@@ -1,0 +1,80 @@
+"""Ablation — hybrid inference policy (DESIGN.md §5).
+
+E6's hybrid backend defaults to the adaptive-EWMA policy.  This
+ablation compares it against the deadline-race policy across a WAN
+quality sweep.
+
+Shape: both policies cap latency near the better of edge/cloud; the
+deadline policy pays for every cloud request even when the network is
+bad (it races both sides), while the adaptive policy sheds cloud
+traffic under congestion — the metric that matters on a metered or
+shared classroom uplink.
+"""
+
+import numpy as np
+
+from repro.edge.devices import RASPBERRY_PI_4, EdgeDevice
+from repro.inference.backends import CloudBackend, EdgeBackend, HybridBackend
+from repro.net.links import Link
+from repro.net.topology import autolearn_topology
+from repro.testbed.hardware import GPU_SPECS
+
+from conftest import emit
+
+FLOPS = 1.0e8
+WAN_SWEEP = [10, 40, 120]  # one-way ms
+
+
+def make_hybrid(policy, wan_ms):
+    wan = Link(f"wan-{wan_ms}", wan_ms / 1000.0, 0.6, 100e6, loss_rate=0.01)
+    topo = autolearn_topology(wan=wan)
+    route = topo.route("car-pi", "chi-uc")
+    device = EdgeDevice("dev-1", "car", RASPBERRY_PI_4, "proj")
+    return HybridBackend(
+        EdgeBackend(device, FLOPS),
+        CloudBackend(GPU_SPECS["V100"], route, FLOPS),
+        policy=policy,
+        deadline_s=0.05,
+    )
+
+
+def run_sweep():
+    rows = []
+    for wan_ms in WAN_SWEEP:
+        for policy in ("deadline", "adaptive"):
+            hybrid = make_hybrid(policy, wan_ms)
+            rng = np.random.default_rng(3)
+            latencies = [hybrid.request_latency(rng) for _ in range(400)]
+            rows.append(
+                (
+                    wan_ms,
+                    policy,
+                    1000 * float(np.mean(latencies)),
+                    1000 * float(np.percentile(latencies, 95)),
+                    hybrid.cloud_requests,
+                )
+            )
+    return rows
+
+
+def test_ablation_hybrid_policy(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'wan(ms)':>8s} {'policy':10s} {'mean(ms)':>9s} {'p95(ms)':>8s} "
+        f"{'cloud reqs/400':>15s}"
+    ]
+    for wan_ms, policy, mean_ms, p95_ms, cloud_reqs in rows:
+        lines.append(
+            f"{wan_ms:8d} {policy:10s} {mean_ms:9.1f} {p95_ms:8.1f} "
+            f"{cloud_reqs:15d}"
+        )
+    emit("ablation_hybrid_policy", "\n".join(lines))
+
+    by_key = {(w, p): (m, p95, c) for w, p, m, p95, c in rows}
+    # On a congested WAN the adaptive policy sheds cloud traffic; the
+    # deadline policy keeps racing the cloud on every request.
+    assert by_key[(120, "adaptive")][2] < by_key[(120, "deadline")][2] / 3
+    # Both policies keep mean latency bounded by roughly the edge cost.
+    edge_ms = 1000 * (FLOPS / RASPBERRY_PI_4.effective_flops + 0.002)
+    for (wan_ms, policy), (mean_ms, _p95, _c) in by_key.items():
+        assert mean_ms <= max(edge_ms, 52.0) * 1.6, (wan_ms, policy)

@@ -1,0 +1,103 @@
+"""Ablation — renderer fidelity (DESIGN.md §5).
+
+The reproduction's results should not hinge on the perspective
+renderer's details.  This ablation trains the same model on data from
+(a) the perspective ground-plane renderer and (b) the top-down
+orthographic renderer, evaluates each in its own world, and also
+measures raw render throughput (frames/second matters for dataset
+generation).
+
+Shape: both fidelities produce a model that drives its own world
+(E1-class conclusions are renderer-robust); perspective rendering is
+the more expensive of the two.
+"""
+
+import time
+
+from repro.core.evaluation import evaluate_model
+from repro.data.datasets import TubDataset
+from repro.data.records import DriveRecord
+from repro.data.tub import Tub
+from repro.core.drivers import PurePursuitDriver, StudentDriver
+from repro.ml.models.factory import create_model
+from repro.ml.training import EarlyStopping, Trainer
+from repro.sim.renderer import CameraRenderer
+from repro.sim.session import DrivingSession
+
+from conftest import BENCH_H, BENCH_W, bench_camera, emit
+
+
+def collect_with_mode(oval, tub_path, mode, n_records=1000):
+    session = DrivingSession(
+        oval, camera=bench_camera(), seed=13, renderer_mode=mode
+    )
+    driver = StudentDriver(PurePursuitDriver(session), skill=0.9, rng=14)
+    tub = Tub.create(tub_path, metadata={"track_half_width": oval.half_width})
+    obs = session.reset()
+    with tub.bulk():
+        for i in range(n_records):
+            steering, throttle = driver(obs.image, obs.cte, obs.speed)
+            obs = session.step(steering, throttle)
+            tub.write_record(
+                DriveRecord(
+                    image=obs.image, angle=steering, throttle=throttle,
+                    cte=obs.cte, speed=obs.speed, off_track=obs.off_track,
+                    timestamp_ms=i * 50,
+                )
+            )
+    return tub
+
+
+def train_eval(oval, tub, mode, seed=5):
+    split = TubDataset(tub).split(rng=seed, targets="both", flip_augment=True)
+    model = create_model(
+        "linear", input_shape=(BENCH_H, BENCH_W, 3), scale=0.5, seed=seed
+    )
+    history = Trainer(
+        batch_size=64, epochs=8, early_stopping=EarlyStopping(patience=3),
+        shuffle_seed=seed,
+    ).fit(model, split)
+    session = DrivingSession(
+        oval, camera=bench_camera(), seed=seed + 50, renderer_mode=mode
+    )
+    from repro.vehicle.builder import build_autopilot_vehicle
+
+    build_autopilot_vehicle(session, model).start(max_loop_count=600)
+    return history, session.stats
+
+
+def render_throughput(oval, mode, frames=150):
+    renderer = CameraRenderer(oval, bench_camera(), mode=mode)
+    x, y, heading = oval.start_pose()
+    start = time.perf_counter()
+    for i in range(frames):
+        renderer.render(x, y, heading + 0.01 * i, rng=None)
+    return frames / (time.perf_counter() - start)
+
+
+def test_ablation_renderer_fidelity(benchmark, tmp_path, oval):
+    def run():
+        rows = {}
+        for mode in ("perspective", "topdown"):
+            tub = collect_with_mode(oval, tmp_path / mode, mode)
+            history, stats = train_eval(oval, tub, mode)
+            rows[mode] = (history, stats, render_throughput(oval, mode))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{'renderer':14s} {'val loss':>9s} {'laps':>5s} {'errors':>7s} "
+        f"{'speed':>7s} {'frames/s':>9s}"
+    ]
+    for mode, (history, stats, fps) in rows.items():
+        lines.append(
+            f"{mode:14s} {history.best_val_loss:9.4f} "
+            f"{stats.laps_completed:5d} {stats.crashes:7d} "
+            f"{stats.mean_speed:7.2f} {fps:9.0f}"
+        )
+    emit("ablation_renderer", "\n".join(lines))
+
+    # Both fidelities train a model that makes real progress.
+    for mode, (history, stats, _fps) in rows.items():
+        assert history.best_val_loss < 0.1, mode
+        assert stats.distance > 5.0, mode

@@ -1,0 +1,122 @@
+"""E10 — §3.3 extensions: vision, GPS path following, RL.
+
+The extension catalog the paper proposes for advanced students:
+
+* "various computer vision classification algorithms (example: camera
+  identifies color of object placed in front of it; red means stop,
+  green means go)";
+* "edge detection/line following";
+* "path following (record a path with GPS and have the car follow that
+  path)";
+* "experiment with reinforcement learning".
+
+Reproduced rows: accuracy of the stop/go classifier over many frames,
+lap performance of the line follower, GPS-following error versus
+receiver quality, and the RL learning curve.
+"""
+
+import numpy as np
+
+from repro.core.drivers import PurePursuitDriver
+from repro.extensions.gps import GPSReceiver, PathFollower, record_gps_path
+from repro.extensions.rl import CEMConfig, train_cem
+from repro.extensions.vision import (
+    LineFollowPilot,
+    classify_signal_color,
+    paint_signal_object,
+)
+from repro.sim.session import DrivingSession
+
+from conftest import bench_camera, emit
+
+
+def stop_go_accuracy(oval, n_frames=120):
+    session = DrivingSession(oval, camera=bench_camera(), seed=71)
+    obs = session.reset()
+    rng = np.random.default_rng(5)
+    correct = total = 0
+    for i in range(n_frames):
+        obs = session.step(0.05 * np.sin(i / 7), 0.3)
+        truth = ("none", "red", "green")[i % 3]
+        frame = obs.image if truth == "none" else paint_signal_object(
+            obs.image, truth, rng=rng
+        )
+        correct += classify_signal_color(frame) == truth
+        total += 1
+    return correct / total
+
+
+def line_following(oval, ticks=800):
+    session = DrivingSession(oval, camera=bench_camera(), seed=72)
+    pilot = LineFollowPilot(gain=1.2, throttle=0.4)
+    obs = session.reset()
+    for _ in range(ticks):
+        steering, throttle = pilot.run(obs.image)
+        obs = session.step(steering, throttle)
+    return session.stats
+
+
+def gps_following(oval, white_sigma):
+    recorder = DrivingSession(oval, render=False, seed=73)
+    trace = record_gps_path(
+        recorder, PurePursuitDriver(recorder), ticks=500,
+        receiver=GPSReceiver(white_sigma=0.0, bias_walk_sigma=0.0),
+    )
+    follower_session = DrivingSession(oval, render=False, seed=74)
+    follower = PathFollower(
+        trace, follower_session,
+        GPSReceiver(white_sigma=white_sigma, bias_walk_sigma=0.0, rng=9),
+    )
+    obs = follower_session.reset()
+    errors = []
+    for i in range(500):
+        steering, throttle = follower(obs.image, obs.cte, obs.speed)
+        obs = follower_session.step(steering, throttle)
+        if i > 80:
+            errors.append(follower.cross_track_error())
+    return float(np.mean(errors)), follower_session.stats.crashes
+
+
+def run_all(oval):
+    vision_acc = stop_go_accuracy(oval)
+    line_stats = line_following(oval)
+    gps_rows = [
+        (sigma, *gps_following(oval, sigma)) for sigma in (0.01, 0.1, 0.3)
+    ]
+    _, rl_curve = train_cem(
+        config=CEMConfig(iterations=10, population=16, episode_steps=200),
+        seed=6,
+    )
+    return vision_acc, line_stats, gps_rows, rl_curve
+
+
+def test_e10_extensions(benchmark, oval):
+    vision_acc, line_stats, gps_rows, rl_curve = benchmark.pedantic(
+        run_all, args=(oval,), rounds=1, iterations=1
+    )
+    lines = [
+        f"stop/go color classifier accuracy: {100 * vision_acc:.1f}% "
+        "(red=stop, green=go, none)",
+        "",
+        f"line following: laps={line_stats.laps_completed} "
+        f"crashes={line_stats.crashes} "
+        f"mean |cte|={line_stats.mean_abs_cte:.3f} m",
+        "",
+        "GPS path following (error vs receiver quality):",
+        f"{'white sigma(m)':>15s} {'mean err(m)':>12s} {'crashes':>8s}",
+    ]
+    for sigma, err, crashes in gps_rows:
+        lines.append(f"{sigma:15.2f} {err:12.3f} {crashes:8d}")
+    lines += [
+        "",
+        "RL (CEM) learning curve, mean elite episode reward:",
+        "  " + " -> ".join(f"{r:.1f}" for r in rl_curve),
+    ]
+    emit("E10_extensions", "\n".join(lines))
+
+    assert vision_acc > 0.9
+    assert line_stats.laps_completed >= 1 and line_stats.crashes == 0
+    # GPS error grows with receiver noise.
+    assert gps_rows[0][1] < gps_rows[-1][1]
+    # RL improves over training.
+    assert rl_curve[-1] > rl_curve[0]

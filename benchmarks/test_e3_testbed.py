@@ -1,0 +1,87 @@
+"""E3 — §3.2: Chameleon inventory and advance reservations.
+
+Reproduced rows: the published accelerator inventory ("40 nodes with a
+single Nvidia RTX6000 GPU ... sets of 4 nodes each with 4x Nvidia V100,
+P100, or A100 Datacenter GPUs and InfiniBand interconnects ... M40,
+K80, AMD MI100"), plus a classroom reservation scenario exercising
+advance reservations, conflicts, and SU accounting end to end.
+"""
+
+from repro.common.errors import ReservationConflictError
+from repro.testbed.chameleon import Chameleon
+from repro.testbed.hardware import NODE_TYPES
+
+from conftest import emit
+
+
+def inventory_rows():
+    rows = []
+    for name, nt in sorted(NODE_TYPES.items()):
+        rows.append((name, nt.site, nt.gpu or "-", nt.gpu_count, nt.node_count,
+                     nt.interconnect))
+    return rows
+
+
+def classroom_scenario():
+    """An instructor reserves a class block; students lease around it."""
+    chi = Chameleon()
+    project, _ = chi.onboard_class(
+        "instructor", "university", [f"student{i:02d}" for i in range(10)]
+    )
+    instructor = chi.login("instructor", project.project_id)
+    week = 7 * 24 * 3600.0
+    class_block = chi.leases.create_lease(
+        instructor, "gpu_rtx_6000", node_count=10, start=week, duration_s=3 * 3600
+    )
+    # Students lease on demand today; the future block does not collide.
+    student_leases = []
+    for i in range(10):
+        session = chi.login(f"student{i:02d}", project.project_id)
+        student_leases.append(
+            chi.leases.create_lease(session, "gpu_rtx_6000", duration_s=2 * 3600)
+        )
+    # During the class block, at most 30 walk-in nodes remain.
+    free_during_class = chi.leases.available_nodes(
+        "gpu_rtx_6000", week, week + 3600
+    )
+    conflict = False
+    try:
+        chi.leases.create_lease(
+            instructor, "gpu_rtx_6000", node_count=31, start=week,
+            duration_s=3600,
+        )
+    except ReservationConflictError:
+        conflict = True
+    return project, class_block, student_leases, free_during_class, conflict
+
+
+def test_e3_inventory_and_reservations(benchmark):
+    result = benchmark.pedantic(classroom_scenario, rounds=1, iterations=1)
+    project, class_block, student_leases, free_during_class, conflict = result
+
+    lines = [f"{'node type':20s} {'site':10s} {'gpu':12s} {'xGPU':>5s} "
+             f"{'nodes':>6s} {'fabric':>12s}"]
+    for name, site, gpu, gcount, ncount, inter in inventory_rows():
+        lines.append(
+            f"{name:20s} {site:10s} {gpu:12s} {gcount:5d} {ncount:6d} {inter:>12s}"
+        )
+    lines += [
+        "",
+        f"classroom scenario: advance block of {len(class_block.node_ids)} "
+        f"RTX6000 nodes next week ({class_block.state.value})",
+        f"walk-in student leases today: {len(student_leases)}",
+        f"free RTX6000 nodes during the class block: {len(free_during_class)}",
+        f"over-subscription rejected: {conflict}",
+        f"SUs charged to the education project: {project.charged_su:.1f} "
+        f"of {project.allocation_su:.0f}",
+    ]
+    emit("E3_testbed", "\n".join(lines))
+
+    # Paper inventory shape.
+    assert NODE_TYPES["gpu_rtx_6000"].node_count == 40
+    for name in ("gpu_v100", "gpu_p100", "gpu_a100"):
+        assert NODE_TYPES[name].node_count == 4
+        assert NODE_TYPES[name].gpu_count == 4
+    assert len(free_during_class) == 30
+    assert conflict
+    assert project.charged_su > 0

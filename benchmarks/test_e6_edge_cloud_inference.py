@@ -1,0 +1,161 @@
+"""E6 — §3.3/§5: edge versus cloud versus hybrid inference.
+
+The model-evaluation extensions explore "running inference models in
+the cloud, constructing hybrid edge cloud inference models"; the Zheng
+SC'23 poster [26] measured the tradeoffs end to end.  Reproduced
+series:
+
+1. **Latency table** — per-request inference latency for edge (Pi 4),
+   cloud (V100 behind the campus->Chameleon path), and hybrid, for a
+   small (linear-class) and a large (3D/RNN-class) model, under a good
+   and a degraded network.
+2. **Crossover** — sweeping the WAN latency to find where cloud loses
+   to edge for the small model.
+3. **On-track consequences** — closed-loop drives through
+   :class:`RemotePilot`: command staleness and crash counts per
+   placement.
+
+Shapes: edge wins for small models (no RTT); cloud wins for the large
+model (the Pi cannot sustain the control rate); hybrid tracks the
+better of the two and falls back to edge when the network degrades.
+"""
+
+import numpy as np
+
+from repro.edge.devices import RASPBERRY_PI_4, EdgeDevice
+from repro.inference.backends import CloudBackend, EdgeBackend, HybridBackend
+from repro.inference.serving import RemotePilot
+from repro.net.links import Link
+from repro.net.topology import autolearn_topology
+from repro.sim.session import DrivingSession
+from repro.testbed.hardware import GPU_SPECS
+
+from conftest import bench_camera, emit
+
+SMALL_FLOPS = 1.0e8  # linear-class forward pass
+LARGE_FLOPS = 2.5e9  # 3D/RNN-class forward pass
+GOOD_WAN = None  # default autolearn topology
+BAD_WAN = Link("wan-congested", 0.12, 1.0, 30e6, loss_rate=0.03)
+
+
+def device():
+    return EdgeDevice("dev-1", "car-01", RASPBERRY_PI_4, "proj-1")
+
+
+def route(wan=None):
+    topo = autolearn_topology() if wan is None else autolearn_topology(wan=wan)
+    return topo.route("car-pi", "chi-uc")
+
+
+def mean_latency(backend, n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    return float(np.mean([backend.request_latency(rng) for _ in range(n)]))
+
+
+def latency_table():
+    rows = []
+    for model_label, flops in (("small (linear)", SMALL_FLOPS),
+                               ("large (3D/RNN)", LARGE_FLOPS)):
+        for net_label, wan in (("good net", GOOD_WAN), ("bad net", BAD_WAN)):
+            edge = EdgeBackend(device(), flops)
+            cloud = CloudBackend(GPU_SPECS["V100"], route(wan), flops)
+            hybrid = HybridBackend(
+                EdgeBackend(device(), flops),
+                CloudBackend(GPU_SPECS["V100"], route(wan), flops),
+                policy="adaptive", deadline_s=0.05,
+            )
+            rows.append(
+                (
+                    model_label,
+                    net_label,
+                    1000 * mean_latency(edge),
+                    1000 * mean_latency(cloud),
+                    1000 * mean_latency(hybrid),
+                )
+            )
+    return rows
+
+
+def wan_crossover():
+    """Smallest WAN one-way latency where edge beats cloud (small model)."""
+    edge_latency = mean_latency(EdgeBackend(device(), SMALL_FLOPS))
+    sweep = []
+    for wan_ms in (2, 5, 8, 12, 16, 22, 30, 45):
+        wan = Link(f"wan-{wan_ms}ms", wan_ms / 1000.0, 0.3, 300e6)
+        cloud = CloudBackend(GPU_SPECS["V100"], route(wan), SMALL_FLOPS)
+        sweep.append((wan_ms, 1000 * edge_latency, 1000 * mean_latency(cloud)))
+    return sweep
+
+
+def on_track(backend, trained, oval, ticks=500, seed=60):
+    session = DrivingSession(oval, camera=bench_camera(), seed=seed)
+    pilot = RemotePilot(trained, backend, dt=session.dt, rng=seed)
+    obs = session.reset()
+    for _ in range(ticks):
+        steering, throttle = pilot.run(obs.image)
+        obs = session.step(steering, throttle)
+    return session.stats, pilot.stats
+
+
+def test_e6_edge_cloud_tradeoffs(benchmark, bench_linear, oval):
+    table, sweep = benchmark.pedantic(
+        lambda: (latency_table(), wan_crossover()), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'model':16s} {'network':10s} {'edge(ms)':>9s} {'cloud(ms)':>10s} "
+        f"{'hybrid(ms)':>11s}"
+    ]
+    for model_label, net_label, edge_ms, cloud_ms, hybrid_ms in table:
+        lines.append(
+            f"{model_label:16s} {net_label:10s} {edge_ms:9.1f} "
+            f"{cloud_ms:10.1f} {hybrid_ms:11.1f}"
+        )
+    lines += ["", "WAN sweep (small model): edge vs cloud mean latency",
+              f"{'wan one-way(ms)':>16s} {'edge(ms)':>9s} {'cloud(ms)':>10s}"]
+    crossover = None
+    for wan_ms, edge_ms, cloud_ms in sweep:
+        marker = ""
+        if crossover is None and cloud_ms > edge_ms:
+            crossover = wan_ms
+            marker = "  <- crossover"
+        lines.append(f"{wan_ms:16d} {edge_ms:9.1f} {cloud_ms:10.1f}{marker}")
+    emit("E6_edge_cloud_latency", "\n".join(lines))
+
+    by_key = {(m, n): (e, c, h) for m, n, e, c, h in table}
+    # Shape: small model -> edge beats cloud on the real network.
+    small_good = by_key[("small (linear)", "good net")]
+    assert small_good[0] < small_good[1]
+    # Shape: large model -> cloud beats edge (the Pi is compute-bound).
+    large_good = by_key[("large (3D/RNN)", "good net")]
+    assert large_good[1] < large_good[0]
+    # Hybrid tracks the better of the two sides in every regime.
+    for key, (edge_ms, cloud_ms, hybrid_ms) in by_key.items():
+        assert hybrid_ms <= min(edge_ms, cloud_ms) * 1.5 + 5.0, key
+    # A crossover exists inside the sweep.
+    assert crossover is not None
+
+    # On-track consequences with the real trained model.
+    results = []
+    for label, backend in (
+        ("edge", EdgeBackend(device(), SMALL_FLOPS)),
+        ("cloud-good", CloudBackend(GPU_SPECS["V100"], route(), SMALL_FLOPS)),
+        ("cloud-bad", CloudBackend(GPU_SPECS["V100"], route(BAD_WAN), SMALL_FLOPS)),
+    ):
+        stats, serving = on_track(backend, bench_linear, oval)
+        results.append((label, stats, serving))
+    lines = [
+        f"{'placement':12s} {'laps':>5s} {'crashes':>8s} {'speed':>7s} "
+        f"{'stale ticks':>12s} {'mean lat(ms)':>13s}"
+    ]
+    for label, stats, serving in results:
+        lines.append(
+            f"{label:12s} {stats.laps_completed:5d} {stats.crashes:8d} "
+            f"{stats.mean_speed:7.2f} {serving.stale_ticks:12d} "
+            f"{1000 * serving.mean_latency:13.1f}"
+        )
+    emit("E6_edge_cloud_ontrack", "\n".join(lines))
+
+    edge_run = results[0]
+    bad_run = results[2]
+    # Shape: the congested-cloud drive is more stale than the edge drive.
+    assert bad_run[2].stale_ticks > edge_run[2].stale_ticks

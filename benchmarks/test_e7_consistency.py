@@ -1,0 +1,81 @@
+"""E7 — §5 / REU poster [12]: consistency from real-time speed data.
+
+"Road To Reliability: Optimizing Self-Driving Consistency With
+Real-Time Speed Data" (Fowler et al., SC'23 poster) — the extension
+closes the throttle loop on live speed telemetry.
+
+Reproduced series: lap times over a long run with (a) open-loop
+throttle (battery sag drifts the pace) and (b) the PI speed governor
+consuming real-time speed data.  Shape: the governor cuts the lap-time
+standard deviation by a large factor while holding comparable pace.
+"""
+
+import numpy as np
+
+from repro.core.drivers import PurePursuitDriver
+from repro.inference.consistency import OpenLoopThrottle, SpeedGovernor
+from repro.sim.session import DrivingSession
+
+from conftest import bench_camera, emit
+
+TICKS = 3000  # 150 s of driving: enough for ~15 laps
+
+
+class _Steer:
+    """Pure-pursuit steering source shared by both throttle modes."""
+
+    def __init__(self, session):
+        self._driver = PurePursuitDriver(session)
+
+    def run(self, image):
+        return self._driver(image, 0.0, 0.0)
+
+
+def lap_times(controller_factory, oval, seed):
+    session = DrivingSession(oval, render=False, seed=seed)
+    controller = controller_factory(session)
+    obs = session.reset()
+    for _ in range(TICKS):
+        angle, throttle = controller.run(obs.image, obs.speed)
+        obs = session.step(angle, throttle)
+    return session.stats
+
+
+def run_experiment(oval):
+    open_stats = lap_times(
+        lambda s: OpenLoopThrottle(_Steer(s), throttle=0.5, sag_per_tick=4e-4),
+        oval, seed=3,
+    )
+    governed_stats = lap_times(
+        lambda s: SpeedGovernor(_Steer(s), target_speed=1.2, dt=s.dt),
+        oval, seed=3,
+    )
+    return open_stats, governed_stats
+
+
+def test_e7_speed_feedback_consistency(benchmark, oval):
+    open_stats, governed_stats = benchmark.pedantic(
+        lambda: run_experiment(oval), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'controller':26s} {'laps':>5s} {'mean lap(s)':>12s} "
+        f"{'lap std(s)':>11s} {'mean speed':>11s}",
+        f"{'open-loop (battery sag)':26s} {open_stats.laps_completed:5d} "
+        f"{open_stats.mean_lap_time:12.2f} {open_stats.lap_time_std:11.3f} "
+        f"{open_stats.mean_speed:11.2f}",
+        f"{'governor (real-time speed)':26s} {governed_stats.laps_completed:5d} "
+        f"{governed_stats.mean_lap_time:12.2f} "
+        f"{governed_stats.lap_time_std:11.3f} "
+        f"{governed_stats.mean_speed:11.2f}",
+        "",
+        f"lap-time variability reduction: "
+        f"{open_stats.lap_time_std / max(governed_stats.lap_time_std, 1e-6):.1f}x",
+    ]
+    emit("E7_consistency", "\n".join(lines))
+
+    assert governed_stats.laps_completed >= 5
+    assert open_stats.laps_completed >= 5
+    # Shape: real-time speed feedback collapses lap-time variance.
+    assert governed_stats.lap_time_std < open_stats.lap_time_std / 2.0
+    # And neither controller crashes.
+    assert governed_stats.crashes == 0

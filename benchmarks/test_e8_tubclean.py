@@ -1,0 +1,120 @@
+"""E8 — §3.3: cleaning bad data before training.
+
+"Learners will likely generate some bad data consisting of mistakes
+(i.e., crashes or images that are off-side) while driving; this data
+need to be deleted for the training set to represent a valid scenario."
+
+Design: a genuinely sloppy student (skill 0.25 — long distraction
+bursts with wrong steering labels, 10 crashes) records a session.  The
+same model recipe is trained on the raw tub and on the tubclean'd tub,
+then judged two ways:
+
+* **label quality** — MSE against a held-out *expert* reference drive
+  (the "valid scenario" the training set should represent);
+* **on-track behaviour** — errors/laps totalled over three evaluation
+  seeds (single-seed on-track counts are noisy).
+
+Shape: tubclean flags a double-digit percentage of the records
+(crashes with margins + off-side spans), and the cleaned model matches
+the expert reference better without driving worse.
+"""
+
+import numpy as np
+
+from repro.core.collection import collect_via_simulator
+from repro.core.evaluation import evaluate_model
+from repro.data.datasets import TubDataset
+from repro.data.tubclean import TubCleaner
+from repro.ml.metrics import mean_squared_error
+from repro.ml.models.factory import create_model
+from repro.ml.training import EarlyStopping, Trainer
+
+from conftest import BENCH_H, BENCH_W, bench_camera, emit
+
+EVAL_SEEDS = (100, 101, 102)
+
+
+def expert_reference(oval, tmp_path):
+    """Held-out clean expert drive: the 'valid scenario'."""
+    report = collect_via_simulator(
+        oval, tmp_path / "expert-ref", n_records=500, skill=1.0,
+        seed=99, camera_hw=(BENCH_H, BENCH_W),
+    )
+    split = TubDataset(report.tub).split(rng=0, val_fraction=0.5)
+    x = np.concatenate([split.x_train, split.x_val])
+    y = np.concatenate([split.y_train, split.y_val])
+    return x, y
+
+
+def fit_and_score(tub, oval, xref, yref, seed=4):
+    split = TubDataset(tub).split(rng=seed, targets="both", flip_augment=True)
+    model = create_model(
+        "linear", input_shape=(BENCH_H, BENCH_W, 3), scale=0.5, seed=seed
+    )
+    Trainer(
+        batch_size=64, epochs=8, early_stopping=EarlyStopping(patience=3),
+        shuffle_seed=seed,
+    ).fit(model, split)
+    angles, throttles = model.predict_batch(xref)
+    ref_mse = mean_squared_error(
+        np.column_stack([angles, throttles]).astype(np.float32), yref
+    )
+    errors = laps = 0
+    speeds = []
+    for eval_seed in EVAL_SEEDS:
+        evaluation = evaluate_model(
+            model, oval, ticks=600, seed=eval_seed, camera=bench_camera()
+        )
+        errors += evaluation.errors
+        laps += evaluation.laps
+        speeds.append(evaluation.mean_speed)
+    return ref_mse, errors, laps, float(np.mean(speeds))
+
+
+def run_experiment(tmp_path, oval):
+    sloppy = collect_via_simulator(
+        oval, tmp_path / "sloppy", n_records=1600, skill=0.25,
+        seed=21, camera_hw=(BENCH_H, BENCH_W),
+    )
+    xref, yref = expert_reference(oval, tmp_path)
+    dirty = fit_and_score(sloppy.tub, oval, xref, yref)
+    cleaner = TubCleaner(sloppy.tub, crash_margin=12)
+    spans = cleaner.find_bad_spans(half_width=oval.half_width)
+    marked = cleaner.clean(half_width=oval.half_width)
+    clean = fit_and_score(sloppy.tub, oval, xref, yref)
+    return sloppy, spans, marked, dirty, clean
+
+
+def test_e8_tubclean_improves_training(benchmark, tmp_path, oval):
+    sloppy, spans, marked, dirty, clean = benchmark.pedantic(
+        run_experiment, args=(tmp_path, oval), rounds=1, iterations=1
+    )
+    reasons = {}
+    for span in spans:
+        reasons[span.reason] = reasons.get(span.reason, 0) + len(span.indexes)
+    lines = [
+        f"sloppy session: {sloppy.records} records, {sloppy.crashes} crashes",
+        f"tubclean flagged {marked} records "
+        f"({100 * marked / sloppy.records:.1f}%): {reasons}",
+        "",
+        f"{'training set':14s} {'records':>8s} {'expert-ref MSE':>15s} "
+        f"{'errors*':>8s} {'laps*':>6s} {'speed':>7s}   (* summed over "
+        f"{len(EVAL_SEEDS)} eval seeds)",
+    ]
+    for label, (ref_mse, errors, laps, speed), count in (
+        ("dirty", dirty, sloppy.records),
+        ("cleaned", clean, sloppy.records - marked),
+    ):
+        lines.append(
+            f"{label:14s} {count:8d} {ref_mse:15.4f} {errors:8d} {laps:6d} "
+            f"{speed:7.2f}"
+        )
+    emit("E8_tubclean", "\n".join(lines))
+
+    assert sloppy.crashes >= 5  # the sloppy student really crashed
+    assert marked / sloppy.records > 0.05  # a meaningful slice flagged
+    # Shape 1: the cleaned training set represents the valid scenario
+    # better — lower error against the expert reference drive.
+    assert clean[0] < dirty[0]
+    # Shape 2: on-track errors do not regress (summed over seeds).
+    assert clean[1] <= dirty[1] + 2

@@ -1,0 +1,72 @@
+"""E9 — §3.4: digital-twin exploration.
+
+"a range of interesting projects can be based on developing a digital
+twin model based on comparing the simulation output with real-life
+model evaluation."
+
+Reproduced series: the same pilot evaluated in the nominal simulator
+and on progressively more "real" plants (heavier, laggier ESC/servo,
+noisier camera — a severity sweep).  The asserted sweep drives with
+the scripted expert, which isolates *plant* divergence from model
+quality; a learned-model row is reported for context (its gap adds
+perception noise on top).
+
+Shapes: the twin gap grows monotonically with plant severity; the
+real car is slower than its simulated twin; an identical plant gives a
+(near-)zero gap.
+"""
+
+from repro.twin.digital_twin import run_twin_comparison
+
+from conftest import bench_camera, emit
+
+SEVERITIES = (0.0, 0.5, 1.0, 2.0)
+
+
+def run_sweep(bench_linear, oval):
+    expert = {
+        severity: run_twin_comparison(
+            "expert", oval, ticks=800, severity=severity, seed=8,
+            camera=bench_camera(),
+        )
+        for severity in SEVERITIES
+    }
+    learned = run_twin_comparison(
+        bench_linear, oval, ticks=800, severity=1.0, seed=8,
+        camera=bench_camera(),
+    )
+    return expert, learned
+
+
+def test_e9_twin_gap_vs_severity(benchmark, bench_linear, oval):
+    expert, learned = benchmark.pedantic(
+        run_sweep, args=(bench_linear, oval), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'pilot':8s} {'severity':>9s} {'sim speed':>10s} {'real speed':>11s} "
+        f"{'cte rmse':>9s} {'speed rmse':>11s} {'twin gap':>9s}"
+    ]
+    for severity in SEVERITIES:
+        r = expert[severity]
+        lines.append(
+            f"{'expert':8s} {severity:9.1f} {r.sim_mean_speed:10.2f} "
+            f"{r.real_mean_speed:11.2f} {r.cte_profile_rmse:9.3f} "
+            f"{r.speed_profile_rmse:11.3f} {r.twin_gap:9.3f}"
+        )
+    lines.append(
+        f"{'learned':8s} {1.0:9.1f} {learned.sim_mean_speed:10.2f} "
+        f"{learned.real_mean_speed:11.2f} {learned.cte_profile_rmse:9.3f} "
+        f"{learned.speed_profile_rmse:11.3f} {learned.twin_gap:9.3f}"
+        "   (adds perception noise)"
+    )
+    emit("E9_digital_twin", "\n".join(lines))
+
+    gaps = [expert[s].twin_gap for s in SEVERITIES]
+    # Shape 1: the twin gap grows monotonically with plant severity.
+    assert all(a <= b + 1e-9 for a, b in zip(gaps, gaps[1:]))
+    # Shape 2: an identical plant is a (near-)perfect twin.
+    assert gaps[0] < 0.02
+    # Shape 3: the heavier, laggier real car is slower than the sim.
+    assert expert[2.0].real_mean_speed < expert[2.0].sim_mean_speed
+    # The expert drives both worlds without crashing.
+    assert expert[2.0].sim_errors == 0 and expert[2.0].real_errors == 0

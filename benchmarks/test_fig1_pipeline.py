@@ -1,0 +1,66 @@
+"""F1 — Fig. 1: the complete module pipeline, per learning pathway.
+
+Fig. 1 structures AutoLearn as artifacts -> computation -> extensions
+across three phases (data collection, model training, model
+evaluation); §3.4/§4 define the three pathways (regular, classroom,
+digital) that pick different alternatives per phase.
+
+Reproduced table: a per-stage simulated-time breakdown of one full
+pipeline pass for each pathway, ending in an on-track evaluation — the
+whole loop of Fig. 1 executed end to end over every substrate
+(simulator, tubs, tubclean, Chameleon, CHI@Edge, network, object
+store).
+"""
+
+import pytest
+
+from repro.core.pathways import PATHWAYS
+from repro.core.pipeline import AutoLearnPipeline
+
+from conftest import BENCH_H, BENCH_W, emit
+
+PIPE_KW = dict(
+    n_records=600,
+    epochs=4,
+    camera_hw=(BENCH_H, BENCH_W),
+    model_scale=0.4,
+    eval_ticks=300,
+)
+
+
+@pytest.mark.parametrize("pathway_name", sorted(PATHWAYS))
+def test_fig1_pipeline(benchmark, tmp_path, pathway_name):
+    pipe = AutoLearnPipeline(pathway_name, tmp_path, seed=6, **PIPE_KW)
+    report = benchmark.pedantic(pipe.run, rounds=1, iterations=1)
+
+    lines = [
+        f"pathway: {pathway_name} "
+        f"({PATHWAYS[pathway_name].description.strip()})",
+        f"{'stage':12s} {'alternative':14s} {'sim time':>10s}  details",
+    ]
+    for stage in report.stages:
+        keys = {
+            k: (round(v, 3) if isinstance(v, float) else v)
+            for k, v in stage.details.items()
+        }
+        lines.append(
+            f"{stage.stage:12s} {stage.alternative:14s} "
+            f"{stage.sim_seconds:8.1f} s  {keys}"
+        )
+    evaluation = report.evaluation
+    lines += [
+        f"{'TOTAL':12s} {'':14s} {report.total_sim_seconds:8.1f} s",
+        f"evaluation: laps={evaluation.laps} errors={evaluation.errors} "
+        f"mean_speed={evaluation.mean_speed:.2f} m/s",
+    ]
+    emit(f"F1_pipeline_{pathway_name}", "\n".join(lines))
+
+    assert [s.stage for s in report.stages] == [
+        "setup", "collection", "cleaning", "training", "deployment",
+        "evaluation",
+    ]
+    pathway = PATHWAYS[pathway_name]
+    assert report.stage("collection").alternative == pathway.collection
+    assert report.stage("training").alternative == pathway.training
+    assert report.evaluation is not None
+    assert report.evaluation.distance > 1.0  # the trained model drives

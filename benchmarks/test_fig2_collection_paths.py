@@ -1,0 +1,74 @@
+"""F2 — Fig. 2: the three data-collection paths.
+
+"AutoLearn provides three different data collection paths.  Sample
+datasets, data collected through the Unity game platform via
+simulation, and through the real physical car."
+
+Reproduced table: per-path record counts, student wall-clock, effective
+collection rate, and what each path needs (car / network / nothing) —
+including the physical path's rsync-to-cloud cost the other two avoid.
+Shape: the sample path is near-instant; simulator and physical collect
+at the 20 Hz drive rate with the physical path paying the transfer tax.
+"""
+
+from repro.core.collection import (
+    collect_sample_dataset,
+    collect_via_physical_car,
+    collect_via_simulator,
+    generate_sample_datasets,
+)
+from repro.net.topology import autolearn_topology
+from repro.objectstore.store import ObjectStore
+
+from conftest import BENCH_H, BENCH_W, emit
+
+N_RECORDS = 800
+
+
+def run_three_paths(tmp_path, oval):
+    topo = autolearn_topology()
+    store = ObjectStore()
+    generate_sample_datasets(
+        store, [oval], tmp_path / "publish", n_records=N_RECORDS,
+        camera_hw=(BENCH_H, BENCH_W),
+    )
+    sample = collect_sample_dataset(
+        store, oval.name, tmp_path / "download",
+        route=topo.route("laptop", "chi-uc"),
+    )
+    simulator = collect_via_simulator(
+        oval, tmp_path / "sim", n_records=N_RECORDS, skill=0.9,
+        seed=11, camera_hw=(BENCH_H, BENCH_W),
+    )
+    physical = collect_via_physical_car(
+        oval, tmp_path / "car", route_to_cloud=topo.route("car-pi", "chi-uc"),
+        n_records=N_RECORDS, skill=0.75, seed=12, camera_hw=(BENCH_H, BENCH_W),
+    )
+    return sample, simulator, physical
+
+
+def test_fig2_three_paths(benchmark, tmp_path, oval):
+    sample, simulator, physical = benchmark.pedantic(
+        run_three_paths, args=(tmp_path, oval), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'path':12s} {'records':>8s} {'wall(s)':>9s} {'rec/min':>9s} "
+        f"{'laps':>5s} {'crashes':>8s} {'rsync(s)':>9s}"
+    ]
+    for report in (sample, simulator, physical):
+        rsync = f"{report.transfer.seconds:9.1f}" if report.transfer else "        -"
+        lines.append(
+            f"{report.path:12s} {report.records:8d} {report.wall_seconds:9.1f} "
+            f"{report.records_per_minute:9.0f} {report.laps:5d} "
+            f"{report.crashes:8d} {rsync}"
+        )
+    emit("F2_collection_paths", "\n".join(lines))
+
+    # Shape: sample >> simulator > physical in records/minute.
+    assert sample.records == simulator.records == physical.records == N_RECORDS
+    assert sample.records_per_minute > simulator.records_per_minute
+    assert simulator.records_per_minute > physical.records_per_minute
+    # Only the physical path pays for rsync.
+    assert physical.transfer is not None and sample.transfer is None
+    # Lower skill + web latency on the real car -> more crashes.
+    assert physical.crashes >= simulator.crashes

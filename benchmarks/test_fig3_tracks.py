@@ -1,0 +1,95 @@
+"""F3 — Fig. 3: the two evaluation tracks and their sample datasets.
+
+Paper claims reproduced:
+
+* default tape oval: "inner line length: 330 in, outer line length:
+  509 in and average width: 27.59 in";
+* "Each of the existing datasets contains 10-50K records, records that
+  consist of .catalog files, images directory, and manifest files."
+
+The geometry table reports both oval builds (direct-measurement and
+calibrated, see ``repro.sim.tracks``); the dataset table demonstrates
+the tub layout and extrapolates collection time to the 10-50 K range.
+"""
+
+import pytest
+
+from repro.core.collection import collect_via_simulator
+from repro.sim.tracks import (
+    PAPER_OVAL_INNER_IN,
+    PAPER_OVAL_OUTER_IN,
+    PAPER_OVAL_WIDTH_IN,
+    default_tape_oval,
+    waveshare_track,
+)
+
+from conftest import BENCH_H, BENCH_W, emit
+
+
+def build_geometry_table():
+    rows = []
+    for label, track in [
+        ("oval (direct meas.)", default_tape_oval()),
+        ("oval (calibrated)", default_tape_oval(calibrated=True)),
+        ("waveshare", waveshare_track()),
+    ]:
+        dims = track.dimensions_inches()
+        rows.append(
+            (label, dims["inner_line_in"], dims["outer_line_in"], dims["width_in"])
+        )
+    return rows
+
+
+def test_fig3_track_geometry(benchmark):
+    rows = benchmark.pedantic(build_geometry_table, rounds=1, iterations=1)
+    lines = [
+        f"{'track':22s} {'inner(in)':>10s} {'outer(in)':>10s} {'width(in)':>10s}",
+        f"{'paper oval':22s} {PAPER_OVAL_INNER_IN:10.1f} "
+        f"{PAPER_OVAL_OUTER_IN:10.1f} {PAPER_OVAL_WIDTH_IN:10.2f}",
+    ]
+    for label, inner, outer, width in rows:
+        lines.append(f"{label:22s} {inner:10.1f} {outer:10.1f} {width:10.2f}")
+    emit("F3_track_geometry", "\n".join(lines))
+
+    direct = rows[0]
+    assert direct[1] == pytest.approx(PAPER_OVAL_INNER_IN, rel=0.005)
+    assert direct[3] == pytest.approx(PAPER_OVAL_WIDTH_IN, rel=0.001)
+    assert direct[2] == pytest.approx(PAPER_OVAL_OUTER_IN, rel=0.02)
+    calibrated = rows[1]
+    assert calibrated[2] == pytest.approx(PAPER_OVAL_OUTER_IN, rel=0.002)
+
+
+def test_fig3_sample_dataset_layout(benchmark, tmp_path, oval):
+    def collect():
+        return collect_via_simulator(
+            oval, tmp_path / "sample", n_records=1000, skill=1.0,
+            seed=5, camera_hw=(BENCH_H, BENCH_W),
+        )
+
+    report = benchmark.pedantic(collect, rounds=1, iterations=1)
+    tub = report.tub
+    catalogs = sorted(p.name for p in tub.path.glob("*.catalog"))
+    sidecars = sorted(p.name for p in tub.path.glob("*.catalog_manifest"))
+    images = len(list(tub.images_dir.glob("*.npy")))
+
+    # Paper: 10-50K records.  Collection at 20 Hz -> extrapolated time.
+    minutes_10k = 10_000 / 20.0 / 60.0
+    minutes_50k = 50_000 / 20.0 / 60.0
+    lines = [
+        f"records:            {report.records}",
+        f"catalog files:      {catalogs}",
+        f"catalog manifests:  {len(sidecars)}",
+        f"manifest.json:      {(tub.path / 'manifest.json').exists()}",
+        f"images/:            {images} files",
+        f"bytes on disk:      {tub.size_bytes():,}",
+        "",
+        "paper-scale extrapolation (driving at 20 Hz):",
+        f"  10K records = {minutes_10k:.0f} min of driving",
+        f"  50K records = {minutes_50k:.0f} min of driving",
+    ]
+    emit("F3_sample_dataset", "\n".join(lines))
+
+    assert report.records == 1000
+    assert catalogs == ["catalog_0.catalog"]
+    assert len(sidecars) == 1
+    assert images == 1000

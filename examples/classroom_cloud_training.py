@@ -1,0 +1,125 @@
+"""Classroom pathway: the Chameleon side of the module.
+
+Reproduces the instructor + students workflow of §3.2/§3.5: onboard an
+education project, publish sample datasets to the object store, reserve
+a GPU node with an advance reservation for the lab slot, deploy the
+CUDA image, rsync the data up, train (real numpy training plus the
+simulated GPU time accounting), store the weights, and publish the
+whole thing as a Trovi artifact whose §5 metrics accrue as students
+launch it.
+
+Run:
+    python examples/classroom_cloud_training.py [--students 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.artifacts.metrics import compute_outcomes
+from repro.artifacts.trovi import TroviHub
+from repro.core.collection import collect_sample_dataset, generate_sample_datasets
+from repro.data.datasets import TubDataset
+from repro.ml import EarlyStopping, Trainer, create_model, save_model_bytes
+from repro.ml.training import estimate_flops_per_sample
+from repro.net import autolearn_topology, rsync_tub
+from repro.sim import default_tape_oval
+from repro.testbed import Chameleon, TrainingJob
+
+H, W = 48, 64
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--students", type=int, default=4)
+    parser.add_argument("--records", type=int, default=1200)
+    parser.add_argument("--epochs", type=int, default=6)
+    args = parser.parse_args()
+    work = Path(tempfile.mkdtemp(prefix="autolearn-class-"))
+
+    chi = Chameleon()
+    topo = autolearn_topology()
+    track = default_tape_oval()
+
+    # Instructor setup: project + sample datasets + lab-slot reservation.
+    students = [f"student{i:02d}" for i in range(args.students)]
+    project, _ = chi.onboard_class("instructor", "university", students)
+    print(f"project {project.project_id}: {len(project.members)} members, "
+          f"{project.allocation_su:.0f} SU allocation")
+    instructor = chi.login("instructor", project.project_id)
+    generate_sample_datasets(
+        chi.object_store, [track], work / "publish", n_records=args.records,
+        camera_hw=(H, W),
+    )
+    lab_start = chi.clock.now + 3600.0  # the lab slot, one hour out
+    lease = chi.leases.create_lease(
+        instructor, "gpu_v100", node_count=1, start=lab_start,
+        duration_s=4 * 3600.0,
+    )
+    print(f"advance reservation {lease.lease_id} for the lab slot "
+          f"({lease.node_ids[0]}, {lease.su_cost:.0f} SU)")
+
+    # The hub artifact the class launches from.
+    hub = TroviHub(chi.clock)
+    artifact = hub.publish(
+        "AutoLearn: Learning in the Edge to Cloud Continuum",
+        owner="instructor",
+        files={"01-reserve.ipynb": b"...", "02-train.ipynb": b"..."},
+        tags={"education"},
+    )
+
+    # Lab time: provision once, students share the node.
+    chi.scheduler.run_until(lab_start)
+    instance = chi.deploy_training_server(lease)
+    print(f"deployed {instance.image.name} on {instance.node_id} "
+          f"({instance.node_type.gpu_count}x {instance.node_type.gpu})")
+
+    for student in students:
+        session = chi.login(student, project.project_id)
+        hub.launch(artifact.artifact_id, student)
+        hub.execute_cell(artifact.artifact_id, student)
+
+        # Download the sample dataset, rsync to the training node.
+        report = collect_sample_dataset(
+            chi.object_store, track.name, work / student,
+            route=topo.route("laptop", "chi-uc"),
+        )
+        transfer = rsync_tub(
+            report.tub, topo.route("laptop", "chi-uc"), clock=chi.clock,
+            rng=hash(student) % 1000,
+        )
+
+        # Real training + simulated GPU accounting.
+        split = TubDataset(report.tub).split(rng=1, flip_augment=True)
+        model = create_model("linear", input_shape=(H, W, 3), scale=0.4, seed=1)
+        history = Trainer(
+            batch_size=64, epochs=args.epochs,
+            early_stopping=EarlyStopping(patience=3), shuffle_seed=1,
+        ).fit(model, split)
+        job = TrainingJob(
+            flops_per_sample=estimate_flops_per_sample(model),
+            n_samples=len(split.y_train),
+            epochs=history.epochs,
+        )
+        run = chi.provisioning.run_training_job(instance, job)
+        payload = save_model_bytes(model)
+        chi.object_store.create_container("models").put(
+            f"{student}.npz", payload, metadata={"val_loss": f"{history.best_val_loss:.4f}"}
+        )
+        print(f"  {student}: rsync {transfer.seconds:5.1f}s, "
+              f"GPU time {run.simulated_seconds:5.0f}s "
+              f"({run.gpu_count}x {run.gpu_name}), "
+              f"val loss {history.best_val_loss:.4f}, "
+              f"model {len(payload) / 1e3:.0f} kB -> object store")
+
+    chi.leases.terminate(lease.lease_id)
+    outcome = compute_outcomes(hub, artifact.artifact_id)
+    print(f"\nproject usage: {project.charged_su:.1f} SU of "
+          f"{project.allocation_su:.0f}")
+    print(f"Trovi metrics: {outcome.as_row()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Edge-to-cloud inference tradeoffs (the Zheng SC'23 poster, E6).
+
+Trains an autopilot, then serves it from three placements — on the
+car's Raspberry Pi, on a Chameleon V100 across the campus network, and
+hybrid with adaptive fallback — while sweeping WAN quality, reporting
+per-request latency and the on-track consequences (staleness, crashes).
+
+Run:
+    python examples/edge_cloud_inference.py [--records 1200] [--epochs 6]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+
+import numpy as np
+
+from repro.core.collection import collect_via_simulator
+from repro.data.datasets import TubDataset
+from repro.data.tubclean import TubCleaner
+from repro.edge import RASPBERRY_PI_4, EdgeDevice
+from repro.inference import CloudBackend, EdgeBackend, HybridBackend, RemotePilot
+from repro.ml import EarlyStopping, Trainer, create_model
+from repro.net import Link, autolearn_topology
+from repro.sim import CameraParams, DrivingSession, default_tape_oval
+from repro.testbed import GPU_SPECS
+
+H, W = 48, 64
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=1200)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--ticks", type=int, default=600)
+    args = parser.parse_args()
+    work = tempfile.mkdtemp(prefix="autolearn-e2c-")
+
+    track = default_tape_oval()
+    print("[1/3] collecting + training the autopilot ...")
+    report = collect_via_simulator(
+        track, f"{work}/tub", n_records=args.records, skill=0.9, seed=1,
+        camera_hw=(H, W),
+    )
+    TubCleaner(report.tub).clean(half_width=track.half_width)
+    split = TubDataset(report.tub).split(rng=2, flip_augment=True)
+    model = create_model("linear", input_shape=(H, W, 3), scale=0.5, seed=3)
+    Trainer(batch_size=64, epochs=args.epochs,
+            early_stopping=EarlyStopping(patience=3), shuffle_seed=2).fit(
+        model, split
+    )
+    # Latency accounting uses the deployment-scale network (the full
+    # 120x160 DonkeyCar architecture) — the bench-scale model above only
+    # supplies the steering *content*.
+    flops = create_model("linear", input_shape=(120, 160, 3)).flops_per_sample()
+    device = EdgeDevice("dev-1", "car-01", RASPBERRY_PI_4, "proj-1")
+    print(f"      deployed model: {flops / 1e6:.0f} MFLOP/frame, "
+          f"Pi inference {1000 * device.inference_seconds(flops):.1f} ms")
+
+    print("\n[2/3] per-request latency across placements and networks")
+    print(f"{'network':14s} {'edge(ms)':>9s} {'cloud(ms)':>10s} {'hybrid(ms)':>11s} "
+          f"{'hybrid cloud%':>14s}")
+    networks = {
+        "campus (good)": None,
+        "congested": Link("wan-bad", 0.10, 1.0, 30e6, loss_rate=0.03),
+    }
+    for label, wan in networks.items():
+        topo = autolearn_topology() if wan is None else autolearn_topology(wan=wan)
+        route = topo.route("car-pi", "chi-uc")
+        edge = EdgeBackend(device, flops)
+        cloud = CloudBackend(GPU_SPECS["V100"], route, flops)
+        hybrid = HybridBackend(
+            EdgeBackend(device, flops),
+            CloudBackend(GPU_SPECS["V100"], route, flops),
+            policy="adaptive",
+        )
+        rng = np.random.default_rng(0)
+        e = 1000 * np.mean([edge.request_latency(rng) for _ in range(300)])
+        c = 1000 * np.mean([cloud.request_latency(rng) for _ in range(300)])
+        h = 1000 * np.mean([hybrid.request_latency(rng) for _ in range(300)])
+        share = 100 * hybrid.cloud_requests / max(
+            hybrid.cloud_requests + hybrid.edge_requests, 1
+        )
+        print(f"{label:14s} {e:9.1f} {c:10.1f} {h:11.1f} {share:13.0f}%")
+
+    print("\n[3/3] on-track consequences (closed loop)")
+    print(f"{'placement':16s} {'laps':>5s} {'crashes':>8s} {'speed':>7s} "
+          f"{'stale ticks':>12s}")
+    placements = {
+        "edge": EdgeBackend(device, flops),
+        "cloud (good)": CloudBackend(
+            GPU_SPECS["V100"], autolearn_topology().route("car-pi", "chi-uc"),
+            flops,
+        ),
+        "cloud (bad)": CloudBackend(
+            GPU_SPECS["V100"],
+            autolearn_topology(
+                wan=Link("wan-bad", 0.10, 1.0, 30e6, loss_rate=0.03)
+            ).route("car-pi", "chi-uc"),
+            flops,
+        ),
+    }
+    for label, backend in placements.items():
+        session = DrivingSession(
+            track, camera=CameraParams(height=H, width=W), seed=60
+        )
+        pilot = RemotePilot(model, backend, dt=session.dt, rng=60)
+        obs = session.reset()
+        for _ in range(args.ticks):
+            steering, throttle = pilot.run(obs.image)
+            obs = session.step(steering, throttle)
+        stats = session.stats
+        print(f"{label:16s} {stats.laps_completed:5d} {stats.crashes:8d} "
+              f"{stats.mean_speed:7.2f} {pilot.stats.stale_ticks:12d}")
+
+
+if __name__ == "__main__":
+    main()

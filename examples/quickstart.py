@@ -1,0 +1,83 @@
+"""Quickstart: the digital pathway on your laptop.
+
+The self-learner loop from the paper's Fig. 1, end to end, with no car
+and no testbed: collect driving data in the simulator, clean it with
+tubclean, train the beginner (linear) model, and evaluate it on the
+paper's orange-tape oval.
+
+Run:
+    python examples/quickstart.py [--records 1500] [--epochs 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.core.collection import collect_via_simulator
+from repro.core.evaluation import evaluate_model
+from repro.data.datasets import TubDataset
+from repro.data.tubclean import TubCleaner
+from repro.ml import EarlyStopping, Trainer, create_model, save_model
+from repro.sim import CameraParams, default_tape_oval
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=2000)
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--camera", default="48x64",
+                        help="HxW camera resolution (default 48x64; the "
+                        "real car uses 120x160)")
+    parser.add_argument("--out", default=None, help="working directory")
+    args = parser.parse_args()
+    h, w = (int(v) for v in args.camera.split("x"))
+    work = Path(args.out) if args.out else Path(tempfile.mkdtemp(prefix="autolearn-"))
+
+    track = default_tape_oval()
+    dims = track.dimensions_inches()
+    print(f"track: {track.name} — inner {dims['inner_line_in']:.0f} in, "
+          f"outer {dims['outer_line_in']:.0f} in, width {dims['width_in']:.1f} in")
+
+    # 1. Data collection (Fig. 2, simulator path).
+    print(f"\n[1/4] collecting {args.records} records in the simulator ...")
+    report = collect_via_simulator(
+        track, work / "tub", n_records=args.records, skill=0.9, seed=1,
+        camera_hw=(h, w),
+    )
+    print(f"      {report.records} records, {report.laps} laps, "
+          f"{report.crashes} crashes, {report.wall_seconds:.0f} s of driving")
+
+    # 2. Cleaning (tubclean).
+    print("[2/4] cleaning with tubclean ...")
+    marked = TubCleaner(report.tub).clean(half_width=track.half_width)
+    print(f"      flagged {marked} bad records; "
+          f"{report.tub.active_count} remain")
+
+    # 3. Training (the beginner model).
+    print(f"[3/4] training the linear model for up to {args.epochs} epochs ...")
+    dataset = TubDataset(report.tub)
+    split = dataset.split(val_fraction=0.15, rng=2, flip_augment=True)
+    model = create_model("linear", input_shape=(h, w, 3), scale=0.5, seed=3)
+    history = Trainer(
+        batch_size=64, epochs=args.epochs,
+        early_stopping=EarlyStopping(patience=3), shuffle_seed=2,
+    ).fit(model, split)
+    print(f"      best val loss {history.best_val_loss:.4f} "
+          f"after {history.epochs} epochs")
+    save_model(model, work / "pilot.npz")
+
+    # 4. Evaluation ("speed, number of errors, etc." — §3.3).
+    print("[4/4] evaluating on track ...")
+    evaluation = evaluate_model(
+        model, track, ticks=800, seed=9, camera=CameraParams(height=h, width=w)
+    )
+    print(f"      laps {evaluation.laps}, errors {evaluation.errors}, "
+          f"mean speed {evaluation.mean_speed:.2f} m/s, "
+          f"mean |cte| {evaluation.mean_abs_cte:.3f} m")
+    print(f"\nmodel and tub saved under {work}")
+
+
+if __name__ == "__main__":
+    main()

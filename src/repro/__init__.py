@@ -1,0 +1,54 @@
+"""AutoLearn: Learning in the Edge to Cloud Continuum — reproduction.
+
+A full reimplementation of the system described in Esquivel Morel et
+al., SC-W 2023 (DOI 10.1145/3624062.3624101): the DonkeyCar-style
+self-driving stack, a track simulator replacing the physical car and
+the Unity simulator, a numpy neural-network framework with the six
+autopilot models, and emulations of the Chameleon testbed, CHI@Edge
+BYOD, the network continuum, the Swift object store, and the Trovi
+artifact hub.  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the paper-versus-measured record.
+
+Quick tour::
+
+    from repro.core import AutoLearnPipeline
+    report = AutoLearnPipeline("digital", work_dir="./run").run()
+    print(report.evaluation)
+"""
+
+from repro import (
+    artifacts,
+    common,
+    core,
+    data,
+    edge,
+    extensions,
+    inference,
+    ml,
+    net,
+    objectstore,
+    sim,
+    testbed,
+    twin,
+    vehicle,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "artifacts",
+    "common",
+    "core",
+    "data",
+    "edge",
+    "extensions",
+    "inference",
+    "ml",
+    "net",
+    "objectstore",
+    "sim",
+    "testbed",
+    "twin",
+    "vehicle",
+    "__version__",
+]

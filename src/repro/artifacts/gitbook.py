@@ -1,0 +1,158 @@
+"""GitBook packaging and the community-contribution loop.
+
+"the Trovi experiment hub integrated with GitBook to share the
+artifact.  The artifact thus consists of a series of Jupyter notebooks
+that can be imported/exported to the GitBook" (§3.5); §4 describes the
+fork / modify / merge-request loop and the feedback channel (the
+Chameleon Education Google Group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import Clock
+from repro.common.errors import ArtifactError
+from repro.common.ids import IdFactory
+
+__all__ = ["Page", "GitBook", "MergeRequest", "FeedbackChannel"]
+
+
+@dataclass
+class Page:
+    """One documentation page (a notebook or markdown chapter)."""
+
+    path: str
+    title: str
+    content: str
+    audience: str = "student"  # student | educator | self-learner
+
+    def word_count(self) -> int:
+        """Rough content size."""
+        return len(self.content.split())
+
+
+@dataclass
+class MergeRequest:
+    """A community contribution awaiting review (§4)."""
+
+    mr_id: str
+    author: str
+    description: str
+    changes: dict[str, str]  # path -> new content
+    state: str = "open"  # open | merged | closed
+
+
+class GitBook:
+    """The AutoLearn GitBook: pages plus the contribution workflow."""
+
+    AUDIENCES = ("student", "educator", "self-learner")
+
+    def __init__(self, title: str = "CHI@Edge Education") -> None:
+        self.title = title
+        self._pages: dict[str, Page] = {}
+        self._ids = IdFactory()
+        self.merge_requests: list[MergeRequest] = []
+
+    # ----------------------------------------------------------- pages
+
+    def add_page(
+        self, path: str, title: str, content: str, audience: str = "student"
+    ) -> Page:
+        """Add a page to the book."""
+        if audience not in self.AUDIENCES:
+            raise ArtifactError(
+                f"audience must be one of {self.AUDIENCES}, got {audience!r}"
+            )
+        if path in self._pages:
+            raise ArtifactError(f"page {path!r} already exists; edit it instead")
+        page = Page(path, title, content, audience)
+        self._pages[path] = page
+        return page
+
+    def page(self, path: str) -> Page:
+        """Fetch a page."""
+        try:
+            return self._pages[path]
+        except KeyError:
+            raise ArtifactError(f"no page {path!r}") from None
+
+    def pages_for(self, audience: str) -> list[Page]:
+        """Documentation pathway for one audience (§3.5: educators,
+        students, and a streamlined self-learner combination)."""
+        if audience == "self-learner":
+            # Self-learners get both roles' pages in a streamlined form.
+            return sorted(self._pages.values(), key=lambda p: p.path)
+        return sorted(
+            (p for p in self._pages.values() if p.audience in (audience, "self-learner")),
+            key=lambda p: p.path,
+        )
+
+    def toc(self) -> list[tuple[str, str]]:
+        """Table of contents: (path, title) pairs."""
+        return [(p.path, p.title) for p in sorted(self._pages.values(), key=lambda p: p.path)]
+
+    # ---------------------------------------------------- contribution
+
+    def fork_and_edit(
+        self, author: str, description: str, changes: dict[str, str]
+    ) -> MergeRequest:
+        """Open a merge request with proposed page edits."""
+        if not changes:
+            raise ArtifactError("a merge request needs at least one change")
+        mr = MergeRequest(
+            mr_id=self._ids.next("mr"),
+            author=author,
+            description=description,
+            changes=dict(changes),
+        )
+        self.merge_requests.append(mr)
+        return mr
+
+    def merge(self, mr_id: str) -> None:
+        """Accept a merge request, applying its edits."""
+        mr = self._find_mr(mr_id)
+        if mr.state != "open":
+            raise ArtifactError(f"merge request {mr_id} is {mr.state}")
+        for path, content in mr.changes.items():
+            if path in self._pages:
+                self._pages[path].content = content
+            else:
+                self.add_page(path, title=path.rsplit("/", 1)[-1], content=content)
+        mr.state = "merged"
+
+    def close(self, mr_id: str) -> None:
+        """Reject a merge request."""
+        mr = self._find_mr(mr_id)
+        if mr.state != "open":
+            raise ArtifactError(f"merge request {mr_id} is {mr.state}")
+        mr.state = "closed"
+
+    def _find_mr(self, mr_id: str) -> MergeRequest:
+        for mr in self.merge_requests:
+            if mr.mr_id == mr_id:
+                return mr
+        raise ArtifactError(f"unknown merge request {mr_id!r}")
+
+
+@dataclass
+class FeedbackChannel:
+    """The Chameleon Education Google Group (§4)."""
+
+    name: str = "chameleon-education"
+    posts: list[tuple[float, str, str]] = field(default_factory=list)
+
+    def post(self, author: str, message: str, clock: Clock | None = None) -> None:
+        """Share feedback or a case study."""
+        if not message.strip():
+            raise ArtifactError("feedback message must be non-empty")
+        now = clock.now if clock is not None else 0.0
+        self.posts.append((now, author, message))
+
+    def case_studies(self) -> list[str]:
+        """Posts that describe classroom experience (simple heuristic)."""
+        keywords = ("class", "course", "students", "taught", "semester")
+        return [
+            msg for _, _, msg in self.posts
+            if any(k in msg.lower() for k in keywords)
+        ]

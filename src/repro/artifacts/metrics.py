@@ -1,0 +1,77 @@
+"""Impact metrics over the Trovi interaction log (paper §5).
+
+§5 defines the counters exactly: "the numbers for our artifact in
+Trovi are modest: 35 total number of launch button clicks, 9 users who
+clicked the launch button, 2 users who executed at least one cell, and
+it has been published 8 versions of the artifact."  Experiment E5
+regenerates those four numbers from a synthetic interaction log using
+these definitions.
+
+The module also distinguishes *outcome* metrics (automated counters)
+from *impact* (what users achieved), which §5 argues needs
+participation — :class:`OutcomeReport.impact_notes` carries the
+self-reported side (e.g. the two REU posters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.artifacts.trovi import TroviHub
+
+__all__ = ["OutcomeReport", "compute_outcomes"]
+
+
+@dataclass(frozen=True)
+class OutcomeReport:
+    """Automated distribution metrics for one artifact (§5)."""
+
+    artifact_id: str
+    views: int
+    launch_clicks: int
+    launching_users: int
+    executing_users: int
+    versions: int
+    impact_notes: tuple[str, ...] = field(default=())
+
+    def as_row(self) -> dict[str, int]:
+        """The four §5 counters as a table row."""
+        return {
+            "launch_clicks": self.launch_clicks,
+            "launching_users": self.launching_users,
+            "executing_users": self.executing_users,
+            "versions": self.versions,
+        }
+
+
+def compute_outcomes(
+    hub: TroviHub,
+    artifact_id: str,
+    impact_notes: tuple[str, ...] = (),
+    since: float | None = None,
+    until: float | None = None,
+) -> OutcomeReport:
+    """Derive the §5 counters from the hub's event log.
+
+    * ``launch_clicks`` — total ``artifact.launch`` events;
+    * ``launching_users`` — distinct actors among those;
+    * ``executing_users`` — distinct actors with at least one
+      ``artifact.execute_cell`` event;
+    * ``versions`` — published versions of the artifact.
+    """
+    artifact = hub.get(artifact_id)
+    window = {"since": since, "until": until}
+    launches = hub.events.filter(kind="artifact.launch", subject=artifact_id, **window)
+    executions = hub.events.filter(
+        kind="artifact.execute_cell", subject=artifact_id, **window
+    )
+    views = hub.events.count(kind="artifact.view", subject=artifact_id, **window)
+    return OutcomeReport(
+        artifact_id=artifact_id,
+        views=views,
+        launch_clicks=len(launches),
+        launching_users=len({e.actor for e in launches if e.actor}),
+        executing_users=len({e.actor for e in executions if e.actor}),
+        versions=len(artifact.versions),
+        impact_notes=impact_notes,
+    )

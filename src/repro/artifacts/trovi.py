@@ -1,0 +1,198 @@
+"""Trovi: the artifact hub.
+
+"Trovi, an experiment hub integrated with the testbed ... so that
+users can not only find experimental artifacts, but interact with them
+easily" (§3.2).  Artifacts are versioned bundles of notebook files
+with metadata (tags, authors, description); the hub records the raw
+interaction events (views, launch clicks, cell executions) that §5's
+impact metrics are derived from, and supports the §4 import/export
+loop with a git repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.clock import Clock
+from repro.common.errors import ArtifactError, VersionNotFoundError
+from repro.common.eventlog import EventLog
+from repro.common.ids import IdFactory, content_id
+
+__all__ = ["ArtifactVersion", "Artifact", "TroviHub"]
+
+
+@dataclass(frozen=True)
+class ArtifactVersion:
+    """One immutable published version of an artifact."""
+
+    number: int
+    contents_id: str  # content hash of the bundle
+    files: tuple[str, ...]
+    published_at: float
+    changelog: str = ""
+
+
+@dataclass
+class Artifact:
+    """A versioned, tagged experiment bundle."""
+
+    artifact_id: str
+    title: str
+    owner: str
+    description: str = ""
+    tags: set[str] = field(default_factory=set)
+    authors: list[str] = field(default_factory=list)
+    versions: list[ArtifactVersion] = field(default_factory=list)
+
+    @property
+    def latest(self) -> ArtifactVersion:
+        """Most recent version."""
+        if not self.versions:
+            raise VersionNotFoundError(f"artifact {self.artifact_id} has no versions")
+        return self.versions[-1]
+
+    def version(self, number: int) -> ArtifactVersion:
+        """Fetch a specific version."""
+        for v in self.versions:
+            if v.number == number:
+                return v
+        raise VersionNotFoundError(
+            f"artifact {self.artifact_id} has no version {number}"
+        )
+
+
+class TroviHub:
+    """The hub: publish, discover, launch, and measure artifacts."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self.events = EventLog()
+        self._ids = IdFactory()
+        self._artifacts: dict[str, Artifact] = {}
+
+    # --------------------------------------------------------- publish
+
+    def publish(
+        self,
+        title: str,
+        owner: str,
+        files: dict[str, bytes],
+        description: str = "",
+        tags: set[str] | None = None,
+        authors: list[str] | None = None,
+    ) -> Artifact:
+        """Create an artifact with its first version."""
+        if not files:
+            raise ArtifactError("an artifact needs at least one file")
+        artifact = Artifact(
+            artifact_id=self._ids.next("artifact"),
+            title=title,
+            owner=owner,
+            description=description,
+            tags=set(tags or ()),
+            authors=list(authors or [owner]),
+        )
+        self._artifacts[artifact.artifact_id] = artifact
+        self.publish_version(artifact.artifact_id, files, changelog="initial")
+        return artifact
+
+    def publish_version(
+        self, artifact_id: str, files: dict[str, bytes], changelog: str = ""
+    ) -> ArtifactVersion:
+        """Publish a new version ("apply metadata ... keep track of new
+        versions", §5)."""
+        artifact = self.get(artifact_id)
+        bundle = b"".join(
+            name.encode() + b"\0" + data for name, data in sorted(files.items())
+        )
+        version = ArtifactVersion(
+            number=len(artifact.versions) + 1,
+            contents_id=content_id(bundle),
+            files=tuple(sorted(files)),
+            published_at=self.clock.now,
+            changelog=changelog,
+        )
+        artifact.versions.append(version)
+        self.events.append(
+            self.clock.now, "artifact.publish_version", artifact_id,
+            artifact.owner, version=version.number,
+        )
+        return version
+
+    # -------------------------------------------------------- discover
+
+    def get(self, artifact_id: str) -> Artifact:
+        """Look up an artifact."""
+        try:
+            return self._artifacts[artifact_id]
+        except KeyError:
+            raise ArtifactError(f"unknown artifact {artifact_id!r}") from None
+
+    def search(self, tag: str | None = None, text: str | None = None) -> list[Artifact]:
+        """Find artifacts by tag and/or title/description substring."""
+        out = []
+        for artifact in self._artifacts.values():
+            if tag is not None and tag not in artifact.tags:
+                continue
+            if text is not None:
+                haystack = (artifact.title + " " + artifact.description).lower()
+                if text.lower() not in haystack:
+                    continue
+            out.append(artifact)
+        return sorted(out, key=lambda a: a.artifact_id)
+
+    # ------------------------------------------------------ interaction
+
+    def view(self, artifact_id: str, user: str) -> None:
+        """A user opens the artifact page."""
+        self.get(artifact_id)
+        self.events.append(self.clock.now, "artifact.view", artifact_id, user)
+
+    def launch(self, artifact_id: str, user: str) -> str:
+        """A user clicks the launch button; returns a launch token.
+
+        Launching binds the artifact to a Jupyter environment on the
+        testbed — the platform-integration benefit §5 credits for being
+        able to count *executions*, not just views.
+        """
+        self.get(artifact_id)
+        self.events.append(self.clock.now, "artifact.launch", artifact_id, user)
+        return self._ids.next("launch")
+
+    def execute_cell(self, artifact_id: str, user: str, cell_index: int = 0) -> None:
+        """A user executes a cell in a launched artifact (§5's
+        'execution ... of at least one cell in the artifact packaging')."""
+        self.get(artifact_id)
+        self.events.append(
+            self.clock.now, "artifact.execute_cell", artifact_id, user,
+            cell=cell_index,
+        )
+
+    # --------------------------------------------------- import/export
+
+    def export_to_repo(self, artifact_id: str, version: int | None = None) -> dict[str, Any]:
+        """Export a version as a git-repo payload (§4 collaboration)."""
+        artifact = self.get(artifact_id)
+        v = artifact.latest if version is None else artifact.version(version)
+        return {
+            "title": artifact.title,
+            "version": v.number,
+            "contents_id": v.contents_id,
+            "files": list(v.files),
+            "tags": sorted(artifact.tags),
+            "authors": list(artifact.authors),
+        }
+
+    def import_from_repo(
+        self, artifact_id: str, files: dict[str, bytes], contributor: str
+    ) -> ArtifactVersion:
+        """Merge a community contribution as a new version (§4: "students
+        can make a merge request to the original repository")."""
+        version = self.publish_version(
+            artifact_id, files, changelog=f"merge request from {contributor}"
+        )
+        artifact = self.get(artifact_id)
+        if contributor not in artifact.authors:
+            artifact.authors.append(contributor)
+        return version

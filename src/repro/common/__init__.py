@@ -1,0 +1,23 @@
+"""Shared infrastructure: errors, simulated time, RNG plumbing, ids, units."""
+
+from repro.common.clock import Clock, EventScheduler, ScheduledEvent
+from repro.common.eventlog import Event, EventLog
+from repro.common.ids import IdFactory, content_id
+from repro.common.rng import DEFAULT_SEED, ensure_rng, seed_from_name, spawn
+from repro.common import errors, units
+
+__all__ = [
+    "Clock",
+    "EventScheduler",
+    "ScheduledEvent",
+    "Event",
+    "EventLog",
+    "IdFactory",
+    "content_id",
+    "DEFAULT_SEED",
+    "ensure_rng",
+    "seed_from_name",
+    "spawn",
+    "errors",
+    "units",
+]

@@ -1,0 +1,171 @@
+"""Simulated time for the testbed, edge, and network emulations.
+
+The paper's system runs against wall-clock time (lease start dates,
+container boot times, transfer durations).  For a deterministic
+reproduction everything runs on a :class:`Clock` — a monotonically
+advancing simulated timestamp — plus a small discrete-event scheduler
+(:class:`EventScheduler`) used by the testbed lease manager and the edge
+device daemons.
+
+No component in :mod:`repro` reads the real wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import ClockError
+
+__all__ = ["Clock", "EventScheduler", "ScheduledEvent"]
+
+
+class Clock:
+    """A monotonically advancing simulated clock.
+
+    Time is a float number of seconds since an arbitrary epoch (0.0).
+    ``advance`` moves time forward; ``advance_to`` jumps to an absolute
+    timestamp.  Moving backwards raises :class:`ClockError` — simulated
+    time, like real time, only goes one way.
+
+    >>> clock = Clock()
+    >>> clock.advance(5.0)
+    5.0
+    >>> clock.now
+    5.0
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start before the epoch: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ClockError(f"cannot advance by a negative duration: {seconds}")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute ``timestamp`` (must not be in the past)."""
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards: now={self._now}, target={timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.3f})"
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event queued on an :class:`EventScheduler`.
+
+    Ordering is (time, sequence) so that events scheduled for the same
+    instant fire in FIFO order.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when due."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A discrete-event scheduler driving a shared :class:`Clock`.
+
+    Events are callbacks scheduled at absolute simulated times.  Calling
+    :meth:`run_until` advances the clock through every due event in
+    timestamp order, firing callbacks as it goes.  Callbacks may
+    schedule further events.
+
+    The testbed lease manager uses this to expire leases; edge device
+    daemons use it for heartbeats; the network layer for transfer
+    completions.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._queue: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def schedule_at(
+        self, timestamp: float, callback: Callable[[], Any], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute simulated ``timestamp``."""
+        if timestamp < self.clock.now:
+            raise ClockError(
+                f"cannot schedule in the past: now={self.clock.now}, at={timestamp}"
+            )
+        event = ScheduledEvent(float(timestamp), next(self._counter), callback, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[], Any], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise ClockError(f"negative delay: {delay}")
+        return self.schedule_at(self.clock.now + delay, callback, label)
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def next_event_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def run_until(self, timestamp: float) -> int:
+        """Fire every event due at or before ``timestamp``.
+
+        The clock ends exactly at ``timestamp`` even if no event was due
+        then.  Returns the number of callbacks fired.
+        """
+        if timestamp < self.clock.now:
+            raise ClockError(
+                f"cannot run into the past: now={self.clock.now}, until={timestamp}"
+            )
+        fired = 0
+        while self._queue and self._queue[0].time <= timestamp:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            # Overdue events (someone advanced the shared clock directly,
+            # e.g. a blocking deploy) fire immediately at the current time.
+            self.clock.advance_to(max(event.time, self.clock.now))
+            event.callback()
+            fired += 1
+        self.clock.advance_to(timestamp)
+        return fired
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Fire events until the queue drains (bounded by ``max_events``)."""
+        fired = 0
+        while fired < max_events:
+            next_time = self.next_event_time()
+            if next_time is None:
+                return fired
+            fired += self.run_until(next_time)
+        raise ClockError(f"scheduler did not drain after {max_events} events")

@@ -1,0 +1,217 @@
+"""Exception hierarchy shared across the AutoLearn reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers
+can catch library failures without accidentally swallowing programming
+errors (``TypeError``, ``ValueError`` from numpy, ...).  The hierarchy
+mirrors the subsystem layout: testbed errors, edge errors, data errors,
+and so on.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ClockError",
+    # data
+    "DataError",
+    "TubError",
+    "CorruptCatalogError",
+    "RecordNotFoundError",
+    # ml
+    "MLError",
+    "ShapeError",
+    "NotFittedError",
+    "SerializationError",
+    # testbed / edge
+    "TestbedError",
+    "AuthenticationError",
+    "QuotaExceededError",
+    "ReservationConflictError",
+    "LeaseError",
+    "ProvisioningError",
+    "NoSuchResourceError",
+    "EdgeError",
+    "DeviceNotEnrolledError",
+    "PolicyViolationError",
+    "ContainerError",
+    # net / store / artifacts
+    "NetworkError",
+    "TransferError",
+    "UnreachableHostError",
+    "ObjectStoreError",
+    "NoSuchContainerError",
+    "NoSuchObjectError",
+    "ArtifactError",
+    "VersionNotFoundError",
+    # vehicle / sim
+    "VehicleError",
+    "PartError",
+    "SimulationError",
+    "TrackError",
+    "OffTrackError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with inconsistent or invalid parameters."""
+
+
+class ClockError(ReproError):
+    """Simulated-time violation (e.g. scheduling an event in the past)."""
+
+
+# ---------------------------------------------------------------- data
+
+
+class DataError(ReproError):
+    """Base class for dataset / tub storage failures."""
+
+
+class TubError(DataError):
+    """Structural problem with a tub (missing parts, bad layout)."""
+
+
+class CorruptCatalogError(TubError):
+    """A ``.catalog`` file failed to parse or failed its checksum."""
+
+
+class RecordNotFoundError(DataError, KeyError):
+    """Lookup of a record index that does not exist in the tub."""
+
+
+# ------------------------------------------------------------------ ml
+
+
+class MLError(ReproError):
+    """Base class for the numpy NN framework."""
+
+
+class ShapeError(MLError):
+    """Tensor shape mismatch between layers, targets, or inputs."""
+
+
+class NotFittedError(MLError):
+    """A model method requiring trained weights was called before fit."""
+
+
+class SerializationError(MLError):
+    """Model weights could not be saved or loaded."""
+
+
+# ------------------------------------------------------------- testbed
+
+
+class TestbedError(ReproError):
+    """Base class for the Chameleon testbed emulation."""
+
+
+class AuthenticationError(TestbedError):
+    """Federated-identity login failed or session expired."""
+
+
+class QuotaExceededError(TestbedError):
+    """The project's allocation cannot cover the requested lease."""
+
+
+class ReservationConflictError(TestbedError):
+    """An advance reservation overlaps an existing lease on a node."""
+
+
+class LeaseError(TestbedError):
+    """Invalid lease lifecycle transition (e.g. using an expired lease)."""
+
+
+class ProvisioningError(TestbedError):
+    """Bare-metal provisioning or image deployment failed."""
+
+
+class NoSuchResourceError(TestbedError, KeyError):
+    """Unknown node, site, image, or lease identifier."""
+
+
+# ---------------------------------------------------------------- edge
+
+
+class EdgeError(ReproError):
+    """Base class for the CHI@Edge emulation."""
+
+
+class DeviceNotEnrolledError(EdgeError):
+    """Operation on a device that has not completed BYOD enrollment."""
+
+
+class PolicyViolationError(EdgeError):
+    """Whitelist access policy denied the request."""
+
+
+class ContainerError(EdgeError):
+    """Container lifecycle failure on an edge device."""
+
+
+# ----------------------------------------------------------------- net
+
+
+class NetworkError(ReproError):
+    """Base class for the network emulation."""
+
+
+class TransferError(NetworkError):
+    """A file transfer (rsync/scp emulation) failed mid-flight."""
+
+
+class UnreachableHostError(NetworkError):
+    """No path between the requested endpoints in the topology."""
+
+
+# --------------------------------------------------------------- store
+
+
+class ObjectStoreError(ReproError):
+    """Base class for the Swift-like object store."""
+
+
+class NoSuchContainerError(ObjectStoreError, KeyError):
+    """Container name not present in the store."""
+
+
+class NoSuchObjectError(ObjectStoreError, KeyError):
+    """Object name not present in the container."""
+
+
+# ----------------------------------------------------------- artifacts
+
+
+class ArtifactError(ReproError):
+    """Base class for the Trovi artifact hub emulation."""
+
+
+class VersionNotFoundError(ArtifactError, KeyError):
+    """Requested artifact version does not exist."""
+
+
+# ------------------------------------------------------- vehicle / sim
+
+
+class VehicleError(ReproError):
+    """Base class for the DonkeyCar-style vehicle framework."""
+
+
+class PartError(VehicleError):
+    """A part failed to run, or its inputs/outputs are mis-wired."""
+
+
+class SimulationError(ReproError):
+    """Base class for the driving simulator."""
+
+
+class TrackError(SimulationError):
+    """Invalid track geometry."""
+
+
+class OffTrackError(SimulationError):
+    """The car left the drivable surface (crash) during a strict run."""

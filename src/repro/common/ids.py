@@ -1,0 +1,52 @@
+"""Deterministic identifier generation.
+
+Real Chameleon/Trovi assign UUIDs; a reproducible emulation needs ids
+that are stable across runs.  :class:`IdFactory` hands out ids of the
+form ``<prefix>-<counter>`` (e.g. ``lease-0007``), with one counter per
+prefix, and can also mint content-addressed ids (hashes) for immutable
+blobs such as images and model weights.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+
+__all__ = ["IdFactory", "content_id"]
+
+
+class IdFactory:
+    """Per-prefix sequential id allocator.
+
+    >>> ids = IdFactory()
+    >>> ids.next("lease")
+    'lease-0001'
+    >>> ids.next("lease")
+    'lease-0002'
+    >>> ids.next("node")
+    'node-0001'
+    """
+
+    def __init__(self, width: int = 4) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self._width = width
+        self._counters: dict[str, int] = defaultdict(int)
+
+    def next(self, prefix: str) -> str:
+        """Allocate the next id for ``prefix``."""
+        if not prefix or "-" in prefix:
+            raise ValueError(f"prefix must be non-empty and dash-free: {prefix!r}")
+        self._counters[prefix] += 1
+        return f"{prefix}-{self._counters[prefix]:0{self._width}d}"
+
+    def peek(self, prefix: str) -> int:
+        """Number of ids already allocated for ``prefix``."""
+        return self._counters[prefix]
+
+
+def content_id(data: bytes, length: int = 12) -> str:
+    """Content-addressed id: first ``length`` hex chars of SHA-256."""
+    if length < 4 or length > 64:
+        raise ValueError(f"length must be in [4, 64], got {length}")
+    return hashlib.sha256(data).hexdigest()[:length]

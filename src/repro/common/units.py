@@ -1,0 +1,69 @@
+"""Unit conversions and physical constants.
+
+The paper mixes units freely — track dimensions in inches (inner line
+330 in, outer line 509 in, average width 27.59 in), car speeds in m/s,
+network rates in Mbit/s, GPU throughput in TFLOP/s.  Everything inside
+:mod:`repro` is SI (metres, seconds, bytes, FLOPs); these helpers live
+at the boundaries.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "INCH_M",
+    "MM_M",
+    "inches_to_m",
+    "m_to_inches",
+    "mbit_to_bytes",
+    "bytes_to_mbit",
+    "tflops",
+    "ms",
+    "DONKEYCAR_IMAGE_HEIGHT",
+    "DONKEYCAR_IMAGE_WIDTH",
+    "DONKEYCAR_IMAGE_CHANNELS",
+    "DONKEYCAR_LOOP_HZ",
+]
+
+INCH_M = 0.0254
+"""Metres per inch."""
+
+MM_M = 0.001
+"""Metres per millimetre."""
+
+#: DonkeyCar's default camera frame (height, width, depth) = 120x160x3.
+DONKEYCAR_IMAGE_HEIGHT = 120
+DONKEYCAR_IMAGE_WIDTH = 160
+DONKEYCAR_IMAGE_CHANNELS = 3
+
+#: DonkeyCar's default drive-loop rate in Hz.
+DONKEYCAR_LOOP_HZ = 20.0
+
+
+def inches_to_m(inches: float) -> float:
+    """Convert inches to metres."""
+    return float(inches) * INCH_M
+
+
+def m_to_inches(metres: float) -> float:
+    """Convert metres to inches."""
+    return float(metres) / INCH_M
+
+
+def mbit_to_bytes(mbit: float) -> float:
+    """Convert megabits to bytes (1 Mbit = 125 000 bytes)."""
+    return float(mbit) * 125_000.0
+
+
+def bytes_to_mbit(nbytes: float) -> float:
+    """Convert bytes to megabits."""
+    return float(nbytes) / 125_000.0
+
+
+def tflops(value: float) -> float:
+    """Convert TFLOP/s to FLOP/s."""
+    return float(value) * 1e12
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) * 1e-3

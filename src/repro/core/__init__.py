@@ -1,0 +1,46 @@
+"""AutoLearn core: drivers, collection paths, pipeline, pathways, evaluation."""
+
+from repro.core.collection import (
+    CollectionReport,
+    collect_sample_dataset,
+    collect_via_physical_car,
+    collect_via_simulator,
+    generate_sample_datasets,
+)
+from repro.core.drivers import PurePursuitDriver, ReplayDriver, StudentDriver
+from repro.core.evaluation import EvaluationReport, evaluate_model
+from repro.core.pathways import (
+    ASSIGNMENTS,
+    PATHWAYS,
+    Assignment,
+    LearningPathway,
+    assignments_for_level,
+    pathway,
+)
+from repro.core.leaderboard import CRITERIA, Entry, Leaderboard
+from repro.core.pipeline import AutoLearnPipeline, PipelineReport, StageReport
+
+__all__ = [
+    "Leaderboard",
+    "Entry",
+    "CRITERIA",
+    "PurePursuitDriver",
+    "StudentDriver",
+    "ReplayDriver",
+    "CollectionReport",
+    "collect_sample_dataset",
+    "collect_via_simulator",
+    "collect_via_physical_car",
+    "generate_sample_datasets",
+    "EvaluationReport",
+    "evaluate_model",
+    "LearningPathway",
+    "PATHWAYS",
+    "pathway",
+    "Assignment",
+    "ASSIGNMENTS",
+    "assignments_for_level",
+    "AutoLearnPipeline",
+    "PipelineReport",
+    "StageReport",
+]

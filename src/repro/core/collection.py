@@ -1,0 +1,236 @@
+"""The three data-collection paths (paper Fig. 2, experiment F2).
+
+"AutoLearn provides three different data collection paths.  Sample
+datasets, data collected through the Unity game platform via
+simulation, and through the real physical car."
+
+* :func:`collect_sample_dataset` — download a pre-packaged tub from the
+  object store (no driving).
+* :func:`collect_via_simulator` — drive the simulator on a laptop.
+* :func:`collect_via_physical_car` — drive the real car: the camera
+  and controls ride the classroom Wi-Fi (web controller latency), data
+  lands on the Pi and is rsync'd to the cloud afterwards.
+
+Every path produces a :class:`CollectionReport` with the tub and the
+simulated time each step took, so F2 can compare rates and content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import seed_from_name
+from repro.core.drivers import PurePursuitDriver, StudentDriver
+from repro.data.tub import Tub
+from repro.net.topology import Route
+from repro.net.transfer import TransferResult, rsync_tub
+from repro.objectstore.store import ObjectStore
+from repro.sim.session import DrivingSession
+from repro.sim.tracks import Track
+from repro.vehicle.builder import build_recording_vehicle
+
+__all__ = [
+    "CollectionReport",
+    "collect_sample_dataset",
+    "collect_via_simulator",
+    "collect_via_physical_car",
+    "generate_sample_datasets",
+]
+
+
+@dataclass(frozen=True)
+class CollectionReport:
+    """Outcome of one collection run."""
+
+    path: str  # "sample" | "simulator" | "physical"
+    tub: Tub
+    records: int
+    wall_seconds: float  # simulated time the student spent
+    laps: int = 0
+    crashes: int = 0
+    transfer: TransferResult | None = None
+
+    @property
+    def records_per_minute(self) -> float:
+        """Collection rate in records per simulated minute."""
+        return 60.0 * self.records / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def _drive_and_record(
+    track: Track,
+    tub_path: str | Path,
+    n_records: int,
+    skill: float,
+    seed: int,
+    controller: str,
+    camera_hw: tuple[int, int] | None,
+    constant_throttle: float | None = None,
+) -> tuple[Tub, DrivingSession]:
+    from repro.sim.renderer import CameraParams
+
+    camera = (
+        CameraParams(height=camera_hw[0], width=camera_hw[1]) if camera_hw else None
+    )
+    session = DrivingSession(track, camera=camera, seed=seed)
+    expert = PurePursuitDriver(session)
+    driver = (
+        expert
+        if skill >= 1.0
+        else StudentDriver(expert, skill=skill, rng=seed + 1)
+    )
+    tub = Tub.create(
+        tub_path,
+        metadata={
+            "track": track.name,
+            "track_half_width": track.half_width,
+            "skill": skill,
+        },
+    )
+    vehicle = build_recording_vehicle(
+        session, driver, tub, controller=controller,
+        constant_throttle=constant_throttle,
+    )
+    vehicle.start(max_loop_count=n_records)
+    return tub, session
+
+
+def collect_via_simulator(
+    track: Track,
+    tub_path: str | Path,
+    n_records: int = 2000,
+    skill: float = 0.85,
+    seed: int | None = None,
+    camera_hw: tuple[int, int] | None = None,
+) -> CollectionReport:
+    """Fig. 2 middle path: the DonkeyCar simulator on a laptop.
+
+    The simulator uses the joystick-latency controller (local input)
+    and runs at the standard 20 Hz.
+    """
+    if n_records <= 0:
+        raise ConfigurationError("n_records must be positive")
+    seed = seed_from_name(f"sim-{track.name}") % 2**31 if seed is None else seed
+    tub, session = _drive_and_record(
+        track, tub_path, n_records, skill, seed, "joystick", camera_hw
+    )
+    return CollectionReport(
+        path="simulator",
+        tub=tub,
+        records=len(tub),
+        wall_seconds=session.time,
+        laps=session.stats.laps_completed,
+        crashes=session.stats.crashes,
+    )
+
+
+def collect_via_physical_car(
+    track: Track,
+    tub_path: str | Path,
+    route_to_cloud: Route,
+    n_records: int = 2000,
+    skill: float = 0.7,
+    seed: int | None = None,
+    camera_hw: tuple[int, int] | None = None,
+    constant_throttle: float | None = None,
+) -> CollectionReport:
+    """Fig. 2 right path: the real car on a real track.
+
+    Differences from the simulator path, all faithful to §3.3:
+    students drive through the **web controller** (two ticks of input
+    latency over Wi-Fi), their skill is typically lower on the physical
+    car, and the tub must be **rsync'd to the cloud** afterwards —
+    the transfer time is part of the report.
+    """
+    if n_records <= 0:
+        raise ConfigurationError("n_records must be positive")
+    seed = seed_from_name(f"car-{track.name}") % 2**31 if seed is None else seed
+    tub, session = _drive_and_record(
+        track, tub_path, n_records, skill, seed, "web", camera_hw,
+        constant_throttle=constant_throttle,
+    )
+    transfer = rsync_tub(tub, route_to_cloud, rng=seed + 7)
+    return CollectionReport(
+        path="physical",
+        tub=tub,
+        records=len(tub),
+        wall_seconds=session.time + transfer.seconds,
+        laps=session.stats.laps_completed,
+        crashes=session.stats.crashes,
+        transfer=transfer,
+    )
+
+
+def generate_sample_datasets(
+    store: ObjectStore,
+    tracks: list[Track],
+    work_dir: str | Path,
+    n_records: int = 2000,
+    camera_hw: tuple[int, int] | None = None,
+) -> dict[str, int]:
+    """Produce and publish the packaged sample datasets.
+
+    "The sample datasets were collected by manually driving the car
+    around a track, and through the DonkeyCar simulator" (§3.3) — one
+    expert-driven tub per track, archived into the object store
+    container ``sample-datasets``.  Returns name -> record count.
+    """
+    import io
+    import tarfile
+
+    work_dir = Path(work_dir)
+    container = store.create_container("sample-datasets")
+    published: dict[str, int] = {}
+    for track in tracks:
+        report = collect_via_simulator(
+            track,
+            work_dir / f"sample-{track.name}",
+            n_records=n_records,
+            skill=1.0,
+            camera_hw=camera_hw,
+        )
+        buf = io.BytesIO()
+        with tarfile.open(fileobj=buf, mode="w") as tar:
+            tar.add(report.tub.path, arcname=f"sample-{track.name}")
+        container.put(
+            f"sample-{track.name}.tar",
+            buf.getvalue(),
+            content_type="application/x-tar",
+            metadata={"track": track.name, "records": str(report.records)},
+        )
+        published[track.name] = report.records
+    return published
+
+
+def collect_sample_dataset(
+    store: ObjectStore,
+    track_name: str,
+    dest_dir: str | Path,
+    route: Route | None = None,
+) -> CollectionReport:
+    """Fig. 2 left path: download a packaged sample dataset.
+
+    No driving: the student fetches the tarball (over ``route`` if
+    given, charging download time) and unpacks it locally.
+    """
+    import io
+    import tarfile
+
+    container = store.container("sample-datasets")
+    obj = container.get(f"sample-{track_name}.tar")
+    seconds = 0.0
+    if route is not None:
+        seconds = route.transfer_time(obj.size)
+    dest_dir = Path(dest_dir)
+    with tarfile.open(fileobj=io.BytesIO(obj.data)) as tar:
+        tar.extractall(dest_dir, filter="data")
+    tub = Tub(dest_dir / f"sample-{track_name}")
+    return CollectionReport(
+        path="sample",
+        tub=tub,
+        records=len(tub),
+        wall_seconds=seconds,
+    )

@@ -1,0 +1,88 @@
+"""Model evaluation on track (paper §3.3, experiment E1).
+
+"Students can ... download the trained models onto them for inference,
+and drive them around the track measuring qualities of interest
+(speed, number of errors, etc.)".  :func:`evaluate_model` runs a
+trained model closed-loop and reports exactly those qualities; the E1
+benchmark ranks the six models by the combined speed+accuracy score
+under which the paper found the inferred model best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.ml.models.base import DonkeyModel
+from repro.sim.renderer import CameraParams
+from repro.sim.session import DrivingSession
+from repro.sim.tracks import Track
+from repro.vehicle.builder import build_autopilot_vehicle
+
+__all__ = ["EvaluationReport", "evaluate_model"]
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """On-track qualities of one model."""
+
+    model_name: str
+    ticks: int
+    sim_seconds: float
+    laps: int
+    mean_lap_time: float
+    lap_time_std: float
+    mean_speed: float
+    errors: int  # off-track excursions ("number of errors")
+    mean_abs_cte: float
+    distance: float
+
+    @property
+    def errors_per_lap(self) -> float:
+        """Errors normalised by completed laps (inf if no lap)."""
+        return self.errors / self.laps if self.laps else float("inf")
+
+    def combined_score(self, error_weight: float = 0.15) -> float:
+        """Speed-and-accuracy score (higher is better).
+
+        Mean speed (m/s) discounted by ``error_weight`` per
+        error-per-minute — a scalarisation of the paper's informal
+        criterion "speed fast, while still being accurate".  The E1
+        benchmark reports the ranking's sensitivity to this weight.
+        """
+        minutes = self.sim_seconds / 60.0 if self.sim_seconds else 1.0
+        return self.mean_speed - error_weight * (self.errors / minutes)
+
+
+def evaluate_model(
+    model: DonkeyModel,
+    track: Track,
+    ticks: int = 1200,
+    seed: int | np.random.Generator | None = None,
+    camera: CameraParams | None = None,
+    mode: str = "pilot",
+    user_throttle: float = 0.5,
+) -> EvaluationReport:
+    """Drive ``model`` for ``ticks`` control intervals and score it."""
+    if ticks <= 0:
+        raise ConfigurationError(f"ticks must be positive, got {ticks}")
+    session = DrivingSession(track, camera=camera, seed=seed)
+    vehicle = build_autopilot_vehicle(
+        session, model, mode=mode, user_throttle=user_throttle
+    )
+    vehicle.start(max_loop_count=ticks)
+    stats = session.stats
+    return EvaluationReport(
+        model_name=model.name,
+        ticks=stats.steps,
+        sim_seconds=session.time,
+        laps=stats.laps_completed,
+        mean_lap_time=stats.mean_lap_time,
+        lap_time_std=stats.lap_time_std,
+        mean_speed=stats.mean_speed,
+        errors=stats.crashes,
+        mean_abs_cte=stats.mean_abs_cte,
+        distance=stats.distance,
+    )

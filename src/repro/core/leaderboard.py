@@ -1,0 +1,149 @@
+"""Class competitions (paper §3.3).
+
+"Students might also compete to train models yielding a combination of
+fastest speed with fewest errors, or accuracy following tracks of
+different shapes."
+
+:class:`Leaderboard` collects :class:`~repro.core.evaluation.EvaluationReport`
+entries per student/model and ranks them under the named criteria the
+paper suggests; multi-track entries aggregate for the
+"tracks of different shapes" competition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.core.evaluation import EvaluationReport
+
+__all__ = ["Entry", "Leaderboard", "CRITERIA"]
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One submission: who, with what, measured where."""
+
+    student: str
+    model_name: str
+    track: str
+    report: EvaluationReport
+
+
+def _speed_and_errors(entry: Entry) -> float:
+    return entry.report.combined_score()
+
+
+def _fastest_lap(entry: Entry) -> float:
+    lap = entry.report.mean_lap_time
+    return -lap if lap > 0 else float("-inf")  # no lap = last place
+
+
+def _fewest_errors(entry: Entry) -> float:
+    return -float(entry.report.errors)
+
+
+def _accuracy(entry: Entry) -> float:
+    return -entry.report.mean_abs_cte
+
+
+#: Ranking criteria (higher key = better rank).
+CRITERIA = {
+    "speed-and-errors": _speed_and_errors,
+    "fastest-lap": _fastest_lap,
+    "fewest-errors": _fewest_errors,
+    "accuracy": _accuracy,
+}
+
+
+class Leaderboard:
+    """Submissions and rankings for one class competition."""
+
+    def __init__(self, name: str = "race-day") -> None:
+        self.name = name
+        self._entries: list[Entry] = []
+
+    def submit(
+        self, student: str, model_name: str, track: str, report: EvaluationReport
+    ) -> Entry:
+        """Record a submission (later submissions by the same student on
+        the same track replace earlier ones — best-effort resubmission)."""
+        entry = Entry(student, model_name, track, report)
+        self._entries = [
+            e for e in self._entries
+            if not (e.student == student and e.track == track)
+        ]
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self, track: str | None = None) -> list[Entry]:
+        """All entries, optionally filtered to one track."""
+        if track is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.track == track]
+
+    def rank(self, criterion: str = "speed-and-errors",
+             track: str | None = None) -> list[Entry]:
+        """Entries ordered best first under a named criterion."""
+        try:
+            key = CRITERIA[criterion]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown criterion {criterion!r}; known: {sorted(CRITERIA)}"
+            ) from None
+        return sorted(self.entries(track), key=key, reverse=True)
+
+    def winner(self, criterion: str = "speed-and-errors",
+               track: str | None = None) -> Entry:
+        """The top entry under a criterion."""
+        ranked = self.rank(criterion, track)
+        if not ranked:
+            raise ConfigurationError("no submissions yet")
+        return ranked[0]
+
+    def multi_track_standings(self, criterion: str = "accuracy") -> list[tuple[str, float]]:
+        """Aggregate standings across track shapes.
+
+        Students are scored by their mean per-track rank points (first
+        place = 1.0, last = 0.0); only students who entered every track
+        qualify — the "accuracy following tracks of different shapes"
+        competition.
+        """
+        tracks = sorted({e.track for e in self._entries})
+        if not tracks:
+            return []
+        points: dict[str, list[float]] = {}
+        for track in tracks:
+            ranked = self.rank(criterion, track)
+            n = len(ranked)
+            for position, entry in enumerate(ranked):
+                score = 1.0 if n == 1 else 1.0 - position / (n - 1)
+                points.setdefault(entry.student, []).append(score)
+        qualified = {
+            student: scores for student, scores in points.items()
+            if len(scores) == len(tracks)
+        }
+        standings = [
+            (student, sum(scores) / len(scores))
+            for student, scores in qualified.items()
+        ]
+        return sorted(standings, key=lambda item: item[1], reverse=True)
+
+    def table(self, criterion: str = "speed-and-errors") -> str:
+        """Printable standings table."""
+        lines = [
+            f"{self.name} — criterion: {criterion}",
+            f"{'#':>2s} {'student':12s} {'model':12s} {'track':18s} "
+            f"{'laps':>5s} {'errors':>7s} {'speed':>7s} {'score':>7s}",
+        ]
+        for position, entry in enumerate(self.rank(criterion), start=1):
+            r = entry.report
+            lines.append(
+                f"{position:2d} {entry.student:12s} {entry.model_name:12s} "
+                f"{entry.track:18s} {r.laps:5d} {r.errors:7d} "
+                f"{r.mean_speed:7.2f} {r.combined_score():7.2f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Learning pathways and assignments (paper §3.4, §4, Fig. 1).
+
+"Our contributions are tangible through an exhaustive digital content
+freely available that can be followed in three different pathways,
+i.e. regular, classroom, and digital path" (§4); each of the three
+pipeline phases (data collection, model training, model evaluation)
+"has multiple alternatives that can be used to customize the student's
+learning pathway" (§3.4).
+
+A :class:`LearningPathway` pins one alternative per phase; the
+assignment catalog encodes the beginner-to-advanced extensions §3.3
+proposes (new tracks, model comparisons, GPS following, edge/cloud
+inference, RL, digital twins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "PhaseAlternatives",
+    "LearningPathway",
+    "PATHWAYS",
+    "pathway",
+    "Assignment",
+    "ASSIGNMENTS",
+    "assignments_for_level",
+]
+
+#: Valid alternatives per phase (Fig. 1 columns).
+PhaseAlternatives = {
+    "collection": ("sample", "simulator", "physical"),
+    "training": ("pretrained", "cloud-gpu", "local"),
+    "evaluation": ("simulator", "physical", "twin"),
+}
+
+
+@dataclass(frozen=True)
+class LearningPathway:
+    """One route through the module's three phases."""
+
+    name: str
+    collection: str
+    training: str
+    evaluation: str
+    audience: str
+    needs_car: bool
+    needs_testbed: bool
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for phase in ("collection", "training", "evaluation"):
+            value = getattr(self, phase)
+            if value not in PhaseAlternatives[phase]:
+                raise ConfigurationError(
+                    f"{phase} alternative {value!r} not in "
+                    f"{PhaseAlternatives[phase]}"
+                )
+
+    @property
+    def stages(self) -> tuple[str, str, str]:
+        """(collection, training, evaluation) alternatives."""
+        return (self.collection, self.training, self.evaluation)
+
+
+#: The three published pathways.
+PATHWAYS: dict[str, LearningPathway] = {
+    p.name: p
+    for p in [
+        LearningPathway(
+            name="regular",
+            collection="physical",
+            training="cloud-gpu",
+            evaluation="physical",
+            audience="student",
+            needs_car=True,
+            needs_testbed=True,
+            description=(
+                "The full loop: drive the real car, train on a Chameleon "
+                "GPU node, evaluate on the track via CHI@Edge."
+            ),
+        ),
+        LearningPathway(
+            name="classroom",
+            collection="sample",
+            training="cloud-gpu",
+            evaluation="simulator",
+            audience="student",
+            needs_car=False,
+            needs_testbed=True,
+            description=(
+                "A course without hardware: packaged sample datasets, "
+                "cloud training, simulator evaluation — the ML-course "
+                "emphasis of §3.4."
+            ),
+        ),
+        LearningPathway(
+            name="digital",
+            collection="simulator",
+            training="local",
+            evaluation="simulator",
+            audience="self-learner",
+            needs_car=False,
+            needs_testbed=False,
+            description=(
+                "Fully self-contained for self-learners: simulator data, "
+                "laptop training, simulator evaluation."
+            ),
+        ),
+    ]
+}
+
+
+def pathway(name: str) -> LearningPathway:
+    """Look up a pathway by name."""
+    try:
+        return PATHWAYS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown pathway {name!r}; available: {sorted(PATHWAYS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One exercise from the extensions catalog (§3.3, §3.4)."""
+
+    key: str
+    title: str
+    level: str  # beginner | intermediate | advanced
+    phase: str  # collection | training | evaluation
+    description: str
+    modules: tuple[str, ...] = field(default=())
+
+
+ASSIGNMENTS: tuple[Assignment, ...] = (
+    Assignment(
+        "new-track", "Collect a dataset on a modified track", "beginner",
+        "collection",
+        "Modify the shape of the track, vary the car configuration or "
+        "driving conditions, and study the effect of different datasets "
+        "on different training models.",
+        ("repro.sim.tracks", "repro.core.collection"),
+    ),
+    Assignment(
+        "tubclean", "Clean a noisy driving session", "beginner", "collection",
+        "Use the tubclean workflow to find and delete crashes and "
+        "off-side images; retrain and compare.",
+        ("repro.data.tubclean",),
+    ),
+    Assignment(
+        "model-comparison", "Compare the six models", "intermediate",
+        "training",
+        "Train linear, memory, 3D, categorical, inferred, and RNN on the "
+        "same tub; rank them by speed and accuracy on track.",
+        ("repro.ml.models", "repro.core.evaluation"),
+    ),
+    Assignment(
+        "race", "Steer-only race with constant throttle", "intermediate",
+        "evaluation",
+        "Fastest speed with fewest errors; the pilot steers while "
+        "throttle is held constant.",
+        ("repro.vehicle", "repro.core.evaluation"),
+    ),
+    Assignment(
+        "gps-path", "Record a GPS path and follow it", "intermediate",
+        "evaluation",
+        "Record a path with GPS and have the car follow that path.",
+        ("repro.extensions.gps",),
+    ),
+    Assignment(
+        "vision", "Classical vision: stop/go, line following, obstacles",
+        "intermediate", "evaluation",
+        "Camera identifies the color of an object placed in front of it "
+        "(red means stop, green means go); edge detection keeps the car "
+        "following the track line.",
+        ("repro.extensions.vision",),
+    ),
+    Assignment(
+        "edge-cloud-inference", "In-situ versus in-the-cloud inference",
+        "advanced", "evaluation",
+        "Run inference on the Pi, in the cloud, and hybrid; measure "
+        "latency and on-track behaviour across network conditions.",
+        ("repro.inference",),
+    ),
+    Assignment(
+        "reinforcement-learning", "Reinforcement learning in the simulator",
+        "advanced", "training",
+        "Train a driving policy from reward instead of demonstrations.",
+        ("repro.extensions.rl",),
+    ),
+    Assignment(
+        "digital-twin", "Digital twin: simulation versus reality",
+        "advanced", "evaluation",
+        "Compare the simulation output with real-life model evaluation "
+        "and quantify the twin gap.",
+        ("repro.twin",),
+    ),
+)
+
+
+def assignments_for_level(level: str) -> list[Assignment]:
+    """Assignments filtered by difficulty."""
+    if level not in ("beginner", "intermediate", "advanced"):
+        raise ConfigurationError(f"unknown level {level!r}")
+    return [a for a in ASSIGNMENTS if a.level == level]

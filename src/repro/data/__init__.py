@@ -1,0 +1,36 @@
+"""Tub datastore, cleaning, and dataset loading (DonkeyCar tub v2)."""
+
+from repro.data.catalog import DEFAULT_MAX_LEN, Catalog
+from repro.data.datasets import (
+    N_STEERING_BINS,
+    ArraySplit,
+    TubDataset,
+    augment_brightness,
+    augment_flip,
+    images_to_float,
+    linear_bin,
+    linear_unbin,
+)
+from repro.data.records import RECORD_INPUTS, RECORD_TYPES, DriveRecord
+from repro.data.tub import Tub
+from repro.data.tubclean import BadSpan, Segment, TubCleaner
+
+__all__ = [
+    "Catalog",
+    "DEFAULT_MAX_LEN",
+    "TubDataset",
+    "ArraySplit",
+    "images_to_float",
+    "linear_bin",
+    "linear_unbin",
+    "augment_flip",
+    "augment_brightness",
+    "N_STEERING_BINS",
+    "DriveRecord",
+    "RECORD_INPUTS",
+    "RECORD_TYPES",
+    "Tub",
+    "TubCleaner",
+    "Segment",
+    "BadSpan",
+]

@@ -1,0 +1,165 @@
+"""DonkeyCar tub-v2 catalog files.
+
+"Each of the existing datasets contains 10-50K records, records that
+consist of .catalog files, images directory, and manifest files.
+.Catalog files consist of steering and throttle values that were
+recorded while driving.  Each of these corresponds to an image in the
+images directory based on their id number.  Catalog_manifest files
+store information about each catalog file and the manifest json file is
+where certain records are marked for deletion." — paper §3.3.
+
+This module implements exactly that on-disk layout:
+
+* ``catalog_<k>.catalog`` — newline-delimited JSON, one record per line.
+* ``catalog_<k>.catalog_manifest`` — JSON with the catalog path, the
+  byte length of every line (DonkeyCar uses these for seek-free random
+  access and as a corruption check), and the global start index.
+* The tub-level ``manifest.json`` (written by :mod:`repro.data.tub`)
+  lists catalogs and carries ``deleted_indexes``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.common.errors import CorruptCatalogError
+
+__all__ = ["Catalog", "DEFAULT_MAX_LEN"]
+
+#: DonkeyCar default: a new catalog file every 1000 records.
+DEFAULT_MAX_LEN = 1000
+
+
+class Catalog:
+    """One ``.catalog`` file plus its ``.catalog_manifest`` sidecar."""
+
+    def __init__(
+        self,
+        path: Path,
+        start_index: int,
+        max_len: int = DEFAULT_MAX_LEN,
+        autoflush: bool = True,
+    ):
+        if max_len <= 0:
+            raise ValueError(f"max_len must be positive, got {max_len}")
+        self.path = Path(path)
+        self.manifest_path = self.path.with_suffix(".catalog_manifest")
+        self.start_index = int(start_index)
+        self.max_len = int(max_len)
+        self.autoflush = bool(autoflush)
+        self.line_lengths: list[int] = []
+        self._dirty = False
+        if self.path.exists():
+            self._load()
+        else:
+            self.path.touch()
+            self._write_manifest()
+
+    # -------------------------------------------------------------- io
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "path": self.path.name,
+            "line_lengths": self.line_lengths,
+            "start_index": self.start_index,
+            "max_len": self.max_len,
+        }
+        self.manifest_path.write_text(json.dumps(payload))
+        self._dirty = False
+
+    def flush(self) -> None:
+        """Write the catalog_manifest sidecar if it is stale."""
+        if self._dirty:
+            self._write_manifest()
+
+    def _load(self) -> None:
+        if not self.manifest_path.exists():
+            raise CorruptCatalogError(
+                f"catalog {self.path} has no catalog_manifest sidecar"
+            )
+        try:
+            meta = json.loads(self.manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CorruptCatalogError(
+                f"unparseable catalog_manifest: {self.manifest_path}"
+            ) from exc
+        self.line_lengths = [int(n) for n in meta["line_lengths"]]
+        self.start_index = int(meta["start_index"])
+        self.max_len = int(meta.get("max_len", DEFAULT_MAX_LEN))
+        actual = self.path.stat().st_size
+        expected = sum(self.line_lengths)
+        if actual != expected:
+            raise CorruptCatalogError(
+                f"catalog {self.path.name}: size {actual} != manifest total "
+                f"{expected} (truncated or corrupted write)"
+            )
+
+    # ----------------------------------------------------------- write
+
+    @property
+    def count(self) -> int:
+        """Number of records in this catalog."""
+        return len(self.line_lengths)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the catalog reached ``max_len`` records."""
+        return self.count >= self.max_len
+
+    def append(self, fields: dict[str, Any]) -> int:
+        """Append one record; returns its global index."""
+        if self.is_full:
+            raise CorruptCatalogError(
+                f"catalog {self.path.name} is full ({self.max_len} records)"
+            )
+        index = self.start_index + self.count
+        record = {"_index": index, **fields}
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        data = line.encode("utf-8")
+        with self.path.open("ab") as fh:
+            fh.write(data)
+        self.line_lengths.append(len(data))
+        self._dirty = True
+        if self.autoflush or self.is_full:
+            self._write_manifest()
+        return index
+
+    # ------------------------------------------------------------ read
+
+    def read(self, index: int) -> dict[str, Any]:
+        """Read one record by *global* index via manifest byte offsets."""
+        local = index - self.start_index
+        if not 0 <= local < self.count:
+            raise CorruptCatalogError(
+                f"index {index} outside catalog "
+                f"[{self.start_index}, {self.start_index + self.count})"
+            )
+        offset = sum(self.line_lengths[:local])
+        with self.path.open("rb") as fh:
+            fh.seek(offset)
+            data = fh.read(self.line_lengths[local])
+        try:
+            record = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CorruptCatalogError(
+                f"corrupt record at index {index} in {self.path.name}"
+            ) from exc
+        if record.get("_index") != index:
+            raise CorruptCatalogError(
+                f"index mismatch in {self.path.name}: wanted {index}, "
+                f"stored {record.get('_index')}"
+            )
+        return record
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        """Iterate records in order (streaming, no offset table walk)."""
+        with self.path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh):
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise CorruptCatalogError(
+                        f"corrupt line {lineno} in {self.path.name}"
+                    ) from exc

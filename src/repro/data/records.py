@@ -1,0 +1,139 @@
+"""Record schema for driving data.
+
+DonkeyCar's tub v2 format stores one JSON record per drive-loop tick
+with keys like ``cam/image_array``, ``user/angle``, ``user/throttle``,
+``user/mode``.  :class:`DriveRecord` is the typed in-memory form; the
+tub layer (:mod:`repro.data.tub`) handles the on-disk encoding.
+
+The reproduction extends the schema with simulator telemetry
+(``sim/cte``, ``sim/speed``, ``sim/off_track``) — the real module gets
+the equivalent signal from students watching the tubclean video; the
+synthetic drivers use it to label bad data (see
+:mod:`repro.data.tubclean`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.common.errors import DataError
+
+__all__ = ["DriveRecord", "RECORD_INPUTS", "RECORD_TYPES"]
+
+#: Tub manifest ``inputs`` — field names in DonkeyCar order.
+RECORD_INPUTS = [
+    "cam/image_array",
+    "user/angle",
+    "user/throttle",
+    "user/mode",
+    "sim/cte",
+    "sim/speed",
+    "sim/off_track",
+]
+
+#: Tub manifest ``types`` matching :data:`RECORD_INPUTS`.
+RECORD_TYPES = [
+    "image_array",
+    "float",
+    "float",
+    "str",
+    "float",
+    "float",
+    "boolean",
+]
+
+
+@dataclass
+class DriveRecord:
+    """One drive-loop tick: camera frame plus control labels.
+
+    Attributes
+    ----------
+    image:
+        HxWx3 uint8 camera frame.
+    angle:
+        Normalised steering in ``[-1, 1]`` (DonkeyCar "angle").
+    throttle:
+        Normalised throttle in ``[-1, 1]``.
+    mode:
+        ``"user"`` for manual driving, ``"pilot"`` for autopilot, or
+        ``"local_angle"`` for the steer-only race mode the paper
+        mentions (constant throttle, pilot steers).
+    cte / speed / off_track:
+        Simulator telemetry at capture time.
+    timestamp_ms:
+        Capture time in integer milliseconds (simulated clock).
+    extras:
+        Additional key/value pairs preserved through the tub round-trip
+        (e.g. GPS fields from the path-following extension).
+    """
+
+    image: np.ndarray
+    angle: float
+    throttle: float
+    mode: str = "user"
+    cte: float = 0.0
+    speed: float = 0.0
+    off_track: bool = False
+    timestamp_ms: int = 0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        img = np.asarray(self.image)
+        if img.ndim != 3 or img.shape[2] != 3 or img.dtype != np.uint8:
+            raise DataError(
+                f"image must be HxWx3 uint8, got shape={img.shape} dtype={img.dtype}"
+            )
+        self.image = img
+        if not -1.0 <= self.angle <= 1.0:
+            raise DataError(f"angle out of [-1, 1]: {self.angle}")
+        if not -1.0 <= self.throttle <= 1.0:
+            raise DataError(f"throttle out of [-1, 1]: {self.throttle}")
+        if self.mode not in ("user", "pilot", "local_angle"):
+            raise DataError(f"unknown drive mode: {self.mode!r}")
+
+    def to_fields(self, image_ref: str) -> dict[str, Any]:
+        """Flatten to tub-record fields, with the image by reference."""
+        fields: dict[str, Any] = {
+            "cam/image_array": image_ref,
+            "user/angle": float(self.angle),
+            "user/throttle": float(self.throttle),
+            "user/mode": self.mode,
+            "sim/cte": float(self.cte),
+            "sim/speed": float(self.speed),
+            "sim/off_track": bool(self.off_track),
+            "_timestamp_ms": int(self.timestamp_ms),
+        }
+        fields.update(self.extras)
+        return fields
+
+    @classmethod
+    def from_fields(cls, fields: dict[str, Any], image: np.ndarray) -> "DriveRecord":
+        """Rebuild a record from tub fields plus the loaded image."""
+        known = {
+            "cam/image_array",
+            "user/angle",
+            "user/throttle",
+            "user/mode",
+            "sim/cte",
+            "sim/speed",
+            "sim/off_track",
+            "_timestamp_ms",
+            "_index",
+            "_session_id",
+        }
+        extras = {k: v for k, v in fields.items() if k not in known}
+        return cls(
+            image=image,
+            angle=float(fields["user/angle"]),
+            throttle=float(fields["user/throttle"]),
+            mode=str(fields.get("user/mode", "user")),
+            cte=float(fields.get("sim/cte", 0.0)),
+            speed=float(fields.get("sim/speed", 0.0)),
+            off_track=bool(fields.get("sim/off_track", False)),
+            timestamp_ms=int(fields.get("_timestamp_ms", 0)),
+            extras=extras,
+        )

@@ -1,0 +1,300 @@
+"""The tub: DonkeyCar's on-disk dataset (images + catalogs + manifest).
+
+Layout (paper §3.3, matching DonkeyCar tub v2)::
+
+    <tub>/
+      manifest.json             # inputs/types, catalog list, deletions
+      catalog_0.catalog         # JSONL records 0..999
+      catalog_0.catalog_manifest
+      catalog_1.catalog         # records 1000..1999
+      ...
+      images/
+        0_cam_image_array_.npy
+        1_cam_image_array_.npy
+
+"By default, all data is stored on the Raspberry Pi /car/data and can
+be manually transferred to the cloud using SSH" — the tub directory is
+exactly what gets rsync'd (see :mod:`repro.net.transfer`).
+
+One substitution: DonkeyCar writes JPEG images; with no image codec
+available offline we store raw ``.npy`` frames.  The bytes differ but
+every consumer (training loader, tubclean, transfer sizing) goes
+through :meth:`Tub.load_image`, so the pipeline is unaffected; transfer
+benchmarks account for the size ratio explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.common.errors import RecordNotFoundError, TubError
+from repro.data.catalog import DEFAULT_MAX_LEN, Catalog
+from repro.data.records import RECORD_INPUTS, RECORD_TYPES, DriveRecord
+
+__all__ = ["Tub"]
+
+_MANIFEST = "manifest.json"
+_IMAGE_DIR = "images"
+_IMAGE_SUFFIX = "_cam_image_array_.npy"
+
+
+class Tub:
+    """A tub dataset rooted at a directory.
+
+    Open an existing tub with ``Tub(path)`` or create one with
+    ``Tub.create(path)``.  Appends go through :meth:`write_record`;
+    bulk writers should wrap appends in :meth:`bulk` (defers sidecar
+    flushes) and must call :meth:`close` (or use the tub as a context
+    manager) to persist the manifest.
+    """
+
+    def __init__(self, path: str | Path, max_catalog_len: int = DEFAULT_MAX_LEN):
+        self.path = Path(path)
+        self.images_dir = self.path / _IMAGE_DIR
+        self._max_catalog_len = int(max_catalog_len)
+        manifest = self.path / _MANIFEST
+        if not manifest.exists():
+            raise TubError(
+                f"{self.path} is not a tub (no {_MANIFEST}); use Tub.create()"
+            )
+        meta = json.loads(manifest.read_text())
+        self.inputs: list[str] = list(meta["inputs"])
+        self.types: list[str] = list(meta["types"])
+        self.metadata: dict[str, Any] = dict(meta.get("metadata", {}))
+        self.deleted_indexes: set[int] = set(meta.get("deleted_indexes", []))
+        self._session_id: str = meta.get("session_id", "session-0")
+        self._max_catalog_len = int(meta.get("max_catalog_len", max_catalog_len))
+        self._catalogs: list[Catalog] = []
+        for name in meta.get("catalogs", []):
+            cat = Catalog(self.path / name, start_index=0)  # start read from sidecar
+            self._catalogs.append(cat)
+        self._catalogs.sort(key=lambda c: c.start_index)
+        self._bulk_depth = 0
+
+    # ------------------------------------------------------- lifecycle
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        metadata: dict[str, Any] | None = None,
+        max_catalog_len: int = DEFAULT_MAX_LEN,
+        session_id: str = "session-0",
+    ) -> "Tub":
+        """Create an empty tub directory (must not already be a tub)."""
+        root = Path(path)
+        if (root / _MANIFEST).exists():
+            raise TubError(f"tub already exists at {root}")
+        (root / _IMAGE_DIR).mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "inputs": RECORD_INPUTS,
+            "types": RECORD_TYPES,
+            "metadata": metadata or {},
+            "catalogs": [],
+            "deleted_indexes": [],
+            "session_id": session_id,
+            "max_catalog_len": max_catalog_len,
+        }
+        (root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+        return cls(root, max_catalog_len=max_catalog_len)
+
+    def flush(self) -> None:
+        """Persist the tub manifest and all catalog sidecars."""
+        for cat in self._catalogs:
+            cat.flush()
+        manifest = {
+            "inputs": self.inputs,
+            "types": self.types,
+            "metadata": self.metadata,
+            "catalogs": [cat.path.name for cat in self._catalogs],
+            "deleted_indexes": sorted(self.deleted_indexes),
+            "session_id": self._session_id,
+            "max_catalog_len": self._max_catalog_len,
+        }
+        (self.path / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+
+    close = flush
+
+    def __enter__(self) -> "Tub":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.flush()
+
+    def bulk(self) -> "_BulkWriter":
+        """Context manager deferring sidecar flushes during mass appends."""
+        return _BulkWriter(self)
+
+    # ----------------------------------------------------------- write
+
+    def write_record(self, record: DriveRecord) -> int:
+        """Append a record; stores the image and returns its index."""
+        catalog = self._current_catalog()
+        index = catalog.start_index + catalog.count
+        image_name = f"{index}{_IMAGE_SUFFIX}"
+        np.save(self.images_dir / image_name, record.image, allow_pickle=False)
+        written = catalog.append(record.to_fields(image_ref=image_name))
+        if written != index:
+            raise TubError(f"index skew: expected {index}, catalog wrote {written}")
+        if self._bulk_depth == 0:
+            self.flush()
+        return index
+
+    def _current_catalog(self) -> Catalog:
+        if self._catalogs and not self._catalogs[-1].is_full:
+            return self._catalogs[-1]
+        start = self._catalogs[-1].start_index + self._catalogs[-1].count if self._catalogs else 0
+        k = len(self._catalogs)
+        cat = Catalog(
+            self.path / f"catalog_{k}.catalog",
+            start_index=start,
+            max_len=self._max_catalog_len,
+            autoflush=self._bulk_depth == 0,
+        )
+        self._catalogs.append(cat)
+        return cat
+
+    # ------------------------------------------------------------ read
+
+    def __len__(self) -> int:
+        """Total records, including ones marked deleted."""
+        return sum(cat.count for cat in self._catalogs)
+
+    @property
+    def active_count(self) -> int:
+        """Records not marked for deletion."""
+        return len(self) - len(self.deleted_indexes & set(self.indexes(include_deleted=True)))
+
+    def indexes(self, include_deleted: bool = False) -> list[int]:
+        """All record indexes, optionally excluding deletions."""
+        out: list[int] = []
+        for cat in self._catalogs:
+            out.extend(range(cat.start_index, cat.start_index + cat.count))
+        if not include_deleted:
+            out = [i for i in out if i not in self.deleted_indexes]
+        return out
+
+    def _catalog_for(self, index: int) -> Catalog:
+        for cat in self._catalogs:
+            if cat.start_index <= index < cat.start_index + cat.count:
+                return cat
+        raise RecordNotFoundError(index)
+
+    def read_fields(self, index: int) -> dict[str, Any]:
+        """Raw record fields (no image load)."""
+        return self._catalog_for(index).read(index)
+
+    def load_image(self, index: int) -> np.ndarray:
+        """Load the camera frame for a record."""
+        fields = self.read_fields(index)
+        ref = fields["cam/image_array"]
+        path = self.images_dir / ref
+        if not path.exists():
+            raise TubError(f"missing image file {ref} for record {index}")
+        return np.load(path, allow_pickle=False)
+
+    def read_record(self, index: int) -> DriveRecord:
+        """Full typed record, image included."""
+        fields = self.read_fields(index)
+        return DriveRecord.from_fields(fields, self.load_image(index))
+
+    def __iter__(self) -> Iterator[DriveRecord]:
+        """Iterate non-deleted records in index order."""
+        for index in self.indexes():
+            yield self.read_record(index)
+
+    def iter_fields(self, include_deleted: bool = False) -> Iterator[dict[str, Any]]:
+        """Iterate raw fields (fast path: no image IO)."""
+        deleted = self.deleted_indexes
+        for cat in self._catalogs:
+            for fields in cat:
+                if include_deleted or fields["_index"] not in deleted:
+                    yield fields
+
+    # -------------------------------------------------------- deletion
+
+    def mark_deleted(self, indexes: int | list[int] | range) -> None:
+        """Mark records for deletion (reversible until vacuum)."""
+        if isinstance(indexes, int):
+            indexes = [indexes]
+        valid = set(self.indexes(include_deleted=True))
+        bad = [i for i in indexes if i not in valid]
+        if bad:
+            raise RecordNotFoundError(bad[0])
+        self.deleted_indexes.update(int(i) for i in indexes)
+        if self._bulk_depth == 0:
+            self.flush()
+
+    def restore(self, indexes: int | list[int] | range) -> None:
+        """Un-mark records previously marked for deletion."""
+        if isinstance(indexes, int):
+            indexes = [indexes]
+        self.deleted_indexes.difference_update(int(i) for i in indexes)
+        if self._bulk_depth == 0:
+            self.flush()
+
+    def vacuum(self) -> int:
+        """Physically remove deleted records' images; returns count.
+
+        Catalog lines are kept (DonkeyCar behaviour: the manifest's
+        ``deleted_indexes`` is authoritative); only image payloads are
+        reclaimed.
+        """
+        removed = 0
+        for index in sorted(self.deleted_indexes):
+            try:
+                fields = self.read_fields(index)
+            except RecordNotFoundError:
+                continue
+            path = self.images_dir / fields["cam/image_array"]
+            if path.exists():
+                path.unlink()
+                removed += 1
+        self.flush()
+        return removed
+
+    # ------------------------------------------------------------ misc
+
+    def size_bytes(self) -> int:
+        """Total on-disk footprint of the tub directory."""
+        return sum(p.stat().st_size for p in self.path.rglob("*") if p.is_file())
+
+    def clone_to(self, dest: str | Path) -> "Tub":
+        """Copy the whole tub directory (local rsync equivalent)."""
+        dest = Path(dest)
+        if dest.exists():
+            raise TubError(f"destination already exists: {dest}")
+        self.flush()
+        shutil.copytree(self.path, dest)
+        return Tub(dest)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tub({str(self.path)!r}, records={len(self)}, "
+            f"deleted={len(self.deleted_indexes)})"
+        )
+
+
+class _BulkWriter:
+    """Defers per-record flushes inside a ``with tub.bulk():`` block."""
+
+    def __init__(self, tub: Tub) -> None:
+        self._tub = tub
+
+    def __enter__(self) -> Tub:
+        self._tub._bulk_depth += 1
+        for cat in self._tub._catalogs:
+            cat.autoflush = False
+        return self._tub
+
+    def __exit__(self, *exc: Any) -> None:
+        self._tub._bulk_depth -= 1
+        if self._tub._bulk_depth == 0:
+            for cat in self._tub._catalogs:
+                cat.autoflush = True
+            self._tub.flush()

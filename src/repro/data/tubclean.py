@@ -1,0 +1,197 @@
+"""``tubclean``: removing bad data before training.
+
+"Learners will likely generate some bad data consisting of mistakes
+(i.e., crashes or images that are off-side) while driving; this data
+need to be deleted for the training set to represent a valid scenario.
+This step is done manually by using the tubclean utility ... which
+plays a video of the collected images; users watch the video, select
+the parts that need to be deleted, which the program then correlates to
+invalid data records" — paper §3.3.
+
+Two interfaces are reproduced:
+
+* the **manual** path: :meth:`TubCleaner.review` iterates the tub as
+  contiguous :class:`Segment` "video" chunks with summary statistics,
+  and :meth:`TubCleaner.mark_segment` / :meth:`TubCleaner.mark_range`
+  correlate a selected chunk back to record indexes — exactly what the
+  web UI does;
+* an **automatic** path used by the synthetic students:
+  :meth:`TubCleaner.find_bad_spans` flags crash frames, off-side
+  frames, and stalled sections from telemetry and control statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.tub import Tub
+
+__all__ = ["Segment", "BadSpan", "TubCleaner"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous chunk of records, as shown in the review 'video'."""
+
+    start: int  # first record index (inclusive)
+    stop: int  # last record index (exclusive)
+    mean_speed: float
+    mean_abs_angle: float
+    max_abs_cte: float
+    crash_count: int
+
+    @property
+    def indexes(self) -> range:
+        """Record indexes covered by this segment."""
+        return range(self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class BadSpan:
+    """A span of records flagged for deletion, with the reason."""
+
+    start: int
+    stop: int
+    reason: str  # "crash" | "offside" | "stalled"
+
+    @property
+    def indexes(self) -> range:
+        """Record indexes covered by this span."""
+        return range(self.start, self.stop)
+
+
+class TubCleaner:
+    """Review and clean one tub."""
+
+    def __init__(
+        self,
+        tub: Tub,
+        offside_cte_fraction: float = 0.9,
+        stall_speed: float = 0.05,
+        stall_min_steps: int = 20,
+        crash_margin: int = 5,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        offside_cte_fraction:
+            Records whose unsigned cross-track error exceeds this
+            fraction of the half lane width count as "off-side images".
+        stall_speed / stall_min_steps:
+            A run of at least ``stall_min_steps`` records below
+            ``stall_speed`` m/s is a stall (driver stopped, data
+            carries no steering signal).
+        crash_margin:
+            Records flagged around each crash on both sides — the
+            frames leading into a crash teach the model the mistake.
+        """
+        self.tub = tub
+        self.offside_cte_fraction = float(offside_cte_fraction)
+        self.stall_speed = float(stall_speed)
+        self.stall_min_steps = int(stall_min_steps)
+        self.crash_margin = int(crash_margin)
+
+    # ------------------------------------------------------- telemetry
+
+    def _telemetry(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(indexes, angle, speed, cte, off_track) arrays, all records."""
+        idx, angle, speed, cte, off = [], [], [], [], []
+        for fields in self.tub.iter_fields(include_deleted=True):
+            idx.append(fields["_index"])
+            angle.append(fields["user/angle"])
+            speed.append(fields.get("sim/speed", 0.0))
+            cte.append(fields.get("sim/cte", 0.0))
+            off.append(bool(fields.get("sim/off_track", False)))
+        return (
+            np.asarray(idx, dtype=np.int64),
+            np.asarray(angle, dtype=np.float64),
+            np.asarray(speed, dtype=np.float64),
+            np.asarray(cte, dtype=np.float64),
+            np.asarray(off, dtype=bool),
+        )
+
+    # ---------------------------------------------------------- manual
+
+    def review(self, segment_len: int = 100) -> list[Segment]:
+        """Split the tub into 'video' segments with summary statistics."""
+        if segment_len <= 0:
+            raise ValueError(f"segment_len must be positive, got {segment_len}")
+        idx, angle, speed, cte, off = self._telemetry()
+        segments: list[Segment] = []
+        for lo in range(0, len(idx), segment_len):
+            hi = min(lo + segment_len, len(idx))
+            segments.append(
+                Segment(
+                    start=int(idx[lo]),
+                    stop=int(idx[hi - 1]) + 1,
+                    mean_speed=float(speed[lo:hi].mean()),
+                    mean_abs_angle=float(np.abs(angle[lo:hi]).mean()),
+                    max_abs_cte=float(np.abs(cte[lo:hi]).max()),
+                    crash_count=int(off[lo:hi].sum()),
+                )
+            )
+        return segments
+
+    def mark_segment(self, segment: Segment) -> None:
+        """Mark a reviewed segment for deletion (the UI 'select' action)."""
+        self.tub.mark_deleted(list(segment.indexes))
+
+    def mark_range(self, start: int, stop: int) -> None:
+        """Mark an arbitrary index range [start, stop) for deletion."""
+        valid = set(self.tub.indexes(include_deleted=True))
+        self.tub.mark_deleted([i for i in range(start, stop) if i in valid])
+
+    # ------------------------------------------------------- automatic
+
+    def find_bad_spans(self, half_width: float | None = None) -> list[BadSpan]:
+        """Flag crash, off-side, and stalled spans from telemetry.
+
+        ``half_width`` (m) scales the off-side threshold; if ``None``
+        it is taken from the tub metadata (``track_half_width``) or
+        defaults to 0.35 m (the paper oval).
+        """
+        if half_width is None:
+            half_width = float(self.tub.metadata.get("track_half_width", 0.35))
+        idx, _angle, speed, cte, off = self._telemetry()
+        if len(idx) == 0:
+            return []
+        bad: list[BadSpan] = []
+
+        # Crashes, padded by crash_margin on both sides.
+        for lo, hi in _runs(off):
+            start = max(0, lo - self.crash_margin)
+            stop = min(len(idx), hi + self.crash_margin)
+            bad.append(BadSpan(int(idx[start]), int(idx[stop - 1]) + 1, "crash"))
+
+        # Off-side (large |cte| but not literally off the track).
+        offside = (np.abs(cte) > self.offside_cte_fraction * half_width) & ~off
+        for lo, hi in _runs(offside):
+            bad.append(BadSpan(int(idx[lo]), int(idx[hi - 1]) + 1, "offside"))
+
+        # Stalls.
+        stalled = speed < self.stall_speed
+        for lo, hi in _runs(stalled):
+            if hi - lo >= self.stall_min_steps:
+                bad.append(BadSpan(int(idx[lo]), int(idx[hi - 1]) + 1, "stalled"))
+
+        bad.sort(key=lambda span: (span.start, span.stop))
+        return bad
+
+    def clean(self, half_width: float | None = None) -> int:
+        """Mark every automatically flagged record; returns count marked."""
+        before = len(self.tub.deleted_indexes)
+        valid = set(self.tub.indexes(include_deleted=True))
+        for span in self.find_bad_spans(half_width=half_width):
+            self.tub.mark_deleted([i for i in span.indexes if i in valid])
+        return len(self.tub.deleted_indexes) - before
+
+
+def _runs(mask: np.ndarray) -> list[tuple[int, int]]:
+    """Contiguous True runs in a boolean array as (start, stop) pairs."""
+    if not mask.any():
+        return []
+    padded = np.concatenate([[False], mask, [False]])
+    changes = np.flatnonzero(padded[1:] != padded[:-1])
+    return list(zip(changes[0::2], changes[1::2]))

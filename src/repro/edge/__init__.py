@@ -1,0 +1,32 @@
+"""CHI@Edge emulation: BYOD devices, containers, whitelist policies."""
+
+from repro.edge.byod import CHIEdge, DeployReport
+from repro.edge.containers import (
+    AUTOLEARN_IMAGE,
+    Container,
+    ContainerEngine,
+    ContainerImage,
+    ContainerState,
+)
+from repro.edge.devices import (
+    RASPBERRY_PI_3,
+    RASPBERRY_PI_4,
+    DeviceSpec,
+    DeviceState,
+    EdgeDevice,
+)
+
+__all__ = [
+    "CHIEdge",
+    "DeployReport",
+    "ContainerEngine",
+    "Container",
+    "ContainerImage",
+    "ContainerState",
+    "AUTOLEARN_IMAGE",
+    "EdgeDevice",
+    "DeviceSpec",
+    "DeviceState",
+    "RASPBERRY_PI_4",
+    "RASPBERRY_PI_3",
+]

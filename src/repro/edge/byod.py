@@ -1,0 +1,196 @@
+"""CHI@Edge BYOD enrollment and device allocation.
+
+The full §3.2 pathway: "users can add devices to the testbed by
+downloading a CHI@Edge command line utility and SD card image; the
+utility registers the device with the testbed, and configures the SD
+card image to be flashed onto the device.  Once booted up, the image
+contains a daemon that connects the device to the testbed and
+configures whitelist-based access policies for the added device.  From
+there on, the added device can be allocated via the standard Chameleon
+methods".
+
+:class:`CHIEdge` is the service facade; the per-step timings feed the
+"zero to ready" measurement (experiment E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.clock import EventScheduler
+from repro.common.errors import (
+    DeviceNotEnrolledError,
+    EdgeError,
+    PolicyViolationError,
+)
+from repro.common.ids import IdFactory
+from repro.edge.containers import AUTOLEARN_IMAGE, Container, ContainerEngine, ContainerImage
+from repro.edge.devices import DeviceSpec, DeviceState, EdgeDevice, RASPBERRY_PI_4
+from repro.testbed.identity import IdentityProvider, Session
+
+__all__ = ["CHIEdge", "DeployReport"]
+
+#: CLI utility download + registration round trip.
+REGISTER_S = 35.0
+#: Daemon connect + policy configuration after boot.
+DAEMON_CONNECT_S = 20.0
+
+
+@dataclass(frozen=True)
+class DeployReport:
+    """Timing breakdown of the one-cell 'zero to ready' deploy (E4)."""
+
+    container: Container
+    pull_and_start_s: float
+    total_s: float
+    steps: tuple[tuple[str, float], ...]
+
+
+class CHIEdge:
+    """The CHI@Edge service: BYOD devices as testbed resources."""
+
+    def __init__(
+        self, scheduler: EventScheduler, identity: IdentityProvider
+    ) -> None:
+        self.scheduler = scheduler
+        self.identity = identity
+        self.engine = ContainerEngine(scheduler.clock)
+        self._ids = IdFactory()
+        self._devices: dict[str, EdgeDevice] = {}
+        self._allocations: dict[str, str] = {}  # device_id -> project_id
+
+    # ------------------------------------------------------ enrollment
+
+    def register_device(
+        self,
+        session: Session,
+        name: str,
+        spec: DeviceSpec = RASPBERRY_PI_4,
+    ) -> EdgeDevice:
+        """Step 1: the CLI utility registers the device."""
+        self.identity.authenticate(session.token)
+        device = EdgeDevice(
+            device_id=self._ids.next("dev"),
+            name=name,
+            spec=spec,
+            owner_project=session.project_id,
+        )
+        self._devices[device.device_id] = device
+        self.scheduler.clock.advance(REGISTER_S)
+        return device
+
+    def flash_sd_image(self, device_id: str) -> None:
+        """Step 2: write the configured SD card image."""
+        device = self.get(device_id)
+        if device.state is not DeviceState.REGISTERED:
+            raise EdgeError(
+                f"device {device_id} is {device.state.value}; flash follows "
+                "registration"
+            )
+        self.scheduler.clock.advance(device.spec.sd_flash_s)
+        device.state = DeviceState.FLASHED
+
+    def boot_device(self, device_id: str) -> None:
+        """Step 3: power on; the daemon connects and applies policies."""
+        device = self.get(device_id)
+        if device.state is not DeviceState.FLASHED:
+            raise EdgeError(
+                f"device {device_id} is {device.state.value}; boot follows flash"
+            )
+        self.scheduler.clock.advance(device.spec.boot_s + DAEMON_CONNECT_S)
+        device.state = DeviceState.CONNECTED
+        device.connected_at = self.scheduler.clock.now
+
+    def enroll(
+        self,
+        session: Session,
+        name: str,
+        spec: DeviceSpec = RASPBERRY_PI_4,
+    ) -> EdgeDevice:
+        """The full register -> flash -> boot sequence."""
+        device = self.register_device(session, name, spec)
+        self.flash_sd_image(device.device_id)
+        self.boot_device(device.device_id)
+        return device
+
+    # ---------------------------------------------------------- policy
+
+    def share_with(self, device_id: str, project_id: str) -> None:
+        """Add a project to the device whitelist (limited sharing)."""
+        device = self.get(device_id)
+        self.identity.project(project_id)  # must exist
+        device.whitelist.add(project_id)
+
+    # ------------------------------------------------------ allocation
+
+    def allocate(self, session: Session, device_id: str) -> EdgeDevice:
+        """Reserve a connected device through the standard methods."""
+        self.identity.authenticate(session.token)
+        device = self.get(device_id)
+        if device.state is not DeviceState.CONNECTED:
+            raise DeviceNotEnrolledError(
+                f"device {device_id} is {device.state.value}; complete BYOD "
+                "enrollment first"
+            )
+        if not device.allows(session.project_id):
+            raise PolicyViolationError(
+                f"project {session.project_id} is not whitelisted on "
+                f"device {device_id}"
+            )
+        device.state = DeviceState.RESERVED
+        self._allocations[device_id] = session.project_id
+        return device
+
+    def release(self, device_id: str) -> None:
+        """Return a device to the connected pool."""
+        device = self.get(device_id)
+        if device.state is not DeviceState.RESERVED:
+            raise EdgeError(f"device {device_id} is not reserved")
+        device.state = DeviceState.CONNECTED
+        self._allocations.pop(device_id, None)
+
+    # -------------------------------------------------------- deploy
+
+    def launch_container(
+        self,
+        session: Session,
+        device_id: str,
+        image: ContainerImage = AUTOLEARN_IMAGE,
+    ) -> DeployReport:
+        """The one-cell "zero to ready" deploy (§3.5).
+
+        The device must be reserved by the caller's project.  Returns a
+        per-step timing report — experiment E4's payload.
+        """
+        self.identity.authenticate(session.token)
+        device = self.get(device_id)
+        if self._allocations.get(device_id) != session.project_id:
+            raise PolicyViolationError(
+                f"device {device_id} is not allocated to project "
+                f"{session.project_id}"
+            )
+        start = self.scheduler.clock.now
+        container = self.engine.launch(device_id, image)
+        pull_s = self.scheduler.clock.now - start
+        return DeployReport(
+            container=container,
+            pull_and_start_s=pull_s,
+            total_s=pull_s,
+            steps=(("pull+start", pull_s),),
+        )
+
+    # ------------------------------------------------------------ misc
+
+    def get(self, device_id: str) -> EdgeDevice:
+        """Look up a device."""
+        try:
+            return self._devices[device_id]
+        except KeyError:
+            raise DeviceNotEnrolledError(f"unknown device {device_id!r}") from None
+
+    def devices(self, state: DeviceState | None = None) -> list[EdgeDevice]:
+        """All devices, optionally filtered by state."""
+        out = list(self._devices.values())
+        if state is not None:
+            out = [d for d in out if d.state is state]
+        return sorted(out, key=lambda d: d.device_id)

@@ -1,0 +1,135 @@
+"""Container engine on edge devices.
+
+CHI@Edge reconfigures devices "by deploying a Docker container rather
+than bare-metal reconfiguration" (§3.2).  The engine models image
+pulls (sized images over the device's Wi-Fi), container lifecycle, and
+the built-in Jupyter console — including the real system's quirk that
+"text editing is not supported in the console at the present time"
+(§3.5), which we reproduce as an explicit error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.clock import Clock
+from repro.common.errors import ContainerError
+from repro.common.ids import IdFactory
+
+__all__ = ["ContainerImage", "ContainerState", "Container", "ContainerEngine",
+           "AUTOLEARN_IMAGE"]
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """A Docker image (name, size, preinstalled software)."""
+
+    name: str
+    size_mb: float
+    software: frozenset[str]
+
+
+#: The AutoLearn image: "a Docker image which pre-installs all
+#: DonkeyCar dependencies" plus "Chameleon's Basic Jupyter Server
+#: Appliance ... included in AutoLearn Docker image" (§3.5).
+AUTOLEARN_IMAGE = ContainerImage(
+    name="autolearn/donkeycar:latest",
+    size_mb=1850.0,
+    software=frozenset({"donkeycar", "python3", "jupyter", "tensorflow-lite"}),
+)
+
+
+class ContainerState(enum.Enum):
+    """Container lifecycle."""
+
+    PULLING = "pulling"
+    RUNNING = "running"
+    EXITED = "exited"
+
+
+@dataclass
+class Container:
+    """A container instance on a device."""
+
+    container_id: str
+    image: ContainerImage
+    device_id: str
+    state: ContainerState = ContainerState.PULLING
+    command_log: list[str] = field(default_factory=list)
+
+
+class ContainerEngine:
+    """Per-device Docker daemon emulation."""
+
+    #: Wi-Fi image pull throughput (MB/s) — the dominant deploy cost.
+    PULL_MBPS = 4.5
+    #: Container start once the image is local.
+    START_S = 8.0
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+        self._ids = IdFactory()
+        self._containers: dict[str, Container] = {}
+        self._image_cache: set[str] = set()
+
+    def launch(self, device_id: str, image: ContainerImage) -> Container:
+        """Pull (if needed) and start a container; advances sim time."""
+        container = Container(
+            container_id=self._ids.next("ctr"),
+            image=image,
+            device_id=device_id,
+        )
+        self._containers[container.container_id] = container
+        if image.name not in self._image_cache:
+            self.clock.advance(image.size_mb / self.PULL_MBPS)
+            self._image_cache.add(image.name)
+        self.clock.advance(self.START_S)
+        container.state = ContainerState.RUNNING
+        return container
+
+    def stop(self, container_id: str) -> None:
+        """Stop a running container."""
+        container = self.get(container_id)
+        if container.state is not ContainerState.RUNNING:
+            raise ContainerError(
+                f"container {container_id} is {container.state.value}"
+            )
+        container.state = ContainerState.EXITED
+
+    def get(self, container_id: str) -> Container:
+        """Look up a container."""
+        try:
+            return self._containers[container_id]
+        except KeyError:
+            raise ContainerError(f"unknown container {container_id!r}") from None
+
+    # --------------------------------------------------------- console
+
+    def console_exec(self, container_id: str, command: str) -> str:
+        """Run a command in the built-in Jupyter console.
+
+        Editors are rejected — the real console does not support text
+        editing (§3.5): students work around it with ``sed``/redirects.
+        """
+        container = self.get(container_id)
+        if container.state is not ContainerState.RUNNING:
+            raise ContainerError(
+                f"cannot exec in {container.state.value} container {container_id}"
+            )
+        binary = command.strip().split()[0] if command.strip() else ""
+        if binary in ("vi", "vim", "nano", "emacs"):
+            raise ContainerError(
+                "text editing is not supported in the console at the present "
+                "time (CHI@Edge limitation, paper §3.5); use sed or shell "
+                "redirection instead"
+            )
+        self.clock.advance(0.2)
+        container.command_log.append(command)
+        if binary == "ls":
+            return "data  models  mycar"
+        if binary == "python" or binary == "python3":
+            return "Python 3.9.2 (donkeycar container)"
+        if binary.startswith("donkey"):
+            return "using donkey v4.4.0 ..."
+        return ""

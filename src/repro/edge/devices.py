@@ -1,0 +1,90 @@
+"""Edge devices: the car's Raspberry Pi (and friends).
+
+The device model carries what the emulation needs: an inference speed
+(sustained FLOP/s of the CPU running the autopilot), memory, and the
+boot/flash timings that the BYOD "zero to ready" experiment (E4)
+accounts.  The inference speed drives the edge side of the
+edge-vs-cloud tradeoff (E6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import EdgeError
+
+__all__ = ["DeviceSpec", "DeviceState", "EdgeDevice", "RASPBERRY_PI_4", "RASPBERRY_PI_3"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware capabilities of an edge device class."""
+
+    model: str
+    arch: str
+    effective_flops: float  # sustained FP32 FLOP/s for NN inference
+    mem_gb: float
+    sd_flash_s: float  # time to flash the CHI@Edge SD image
+    boot_s: float  # power-on to daemon-connected
+
+    def __post_init__(self) -> None:
+        if self.effective_flops <= 0 or self.mem_gb <= 0:
+            raise EdgeError(f"invalid device spec for {self.model!r}")
+
+
+#: The PiRacer's brain (paper kit): Raspberry Pi 4, 4 GB.
+RASPBERRY_PI_4 = DeviceSpec(
+    model="raspberry-pi-4",
+    arch="aarch64",
+    effective_flops=3.0e9,
+    mem_gb=4.0,
+    sd_flash_s=420.0,
+    boot_s=55.0,
+)
+
+RASPBERRY_PI_3 = DeviceSpec(
+    model="raspberry-pi-3",
+    arch="aarch64",
+    effective_flops=1.1e9,
+    mem_gb=1.0,
+    sd_flash_s=420.0,
+    boot_s=75.0,
+)
+
+
+class DeviceState(enum.Enum):
+    """BYOD enrollment lifecycle (paper §3.2)."""
+
+    REGISTERED = "registered"  # CLI utility registered it with the testbed
+    FLASHED = "flashed"  # SD card image written
+    CONNECTED = "connected"  # daemon connected, allocatable
+    RESERVED = "reserved"  # held by a lease
+    OFFLINE = "offline"
+
+
+@dataclass
+class EdgeDevice:
+    """One enrolled (or enrolling) device."""
+
+    device_id: str
+    name: str
+    spec: DeviceSpec
+    owner_project: str
+    state: DeviceState = DeviceState.REGISTERED
+    whitelist: set[str] = None  # project ids allowed to allocate
+    connected_at: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.whitelist is None:
+            self.whitelist = {self.owner_project}
+
+    def allows(self, project_id: str) -> bool:
+        """Whether a project may allocate this device."""
+        return project_id in self.whitelist
+
+    def inference_seconds(self, flops_per_frame: float) -> float:
+        """Per-frame autopilot inference latency on this device."""
+        if flops_per_frame <= 0:
+            raise EdgeError(f"flops_per_frame must be positive: {flops_per_frame}")
+        return flops_per_frame / self.spec.effective_flops

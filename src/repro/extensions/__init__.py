@@ -1,0 +1,45 @@
+"""Extension assignments: GPS paths, classical vision, RL (paper §3.3)."""
+
+from repro.extensions.gps import GPSReceiver, GPSTrace, PathFollower, record_gps_path
+from repro.extensions.uav import (
+    CropField,
+    Quadrotor,
+    SurveyReport,
+    UAVParams,
+    UAVState,
+    fly_survey,
+    lawnmower_waypoints,
+)
+from repro.extensions.rl import CEMConfig, LinearPolicy, RLPilot, train_cem
+from repro.extensions.vision import (
+    LineFollowPilot,
+    StopGoPilot,
+    classify_signal_color,
+    detect_obstacle,
+    line_offset,
+    paint_signal_object,
+)
+
+__all__ = [
+    "Quadrotor",
+    "UAVParams",
+    "UAVState",
+    "CropField",
+    "SurveyReport",
+    "fly_survey",
+    "lawnmower_waypoints",
+    "GPSReceiver",
+    "GPSTrace",
+    "PathFollower",
+    "record_gps_path",
+    "LinearPolicy",
+    "CEMConfig",
+    "train_cem",
+    "RLPilot",
+    "classify_signal_color",
+    "paint_signal_object",
+    "StopGoPilot",
+    "line_offset",
+    "LineFollowPilot",
+    "detect_obstacle",
+]

@@ -1,0 +1,243 @@
+"""Future-work extension (paper §6): UAVs and precision agriculture.
+
+"AutoLearn can be extended in other technologies within these areas
+including the integration of other intelligent autonomous vehicles in
+general such as unmanned aerial vehicles or drones, in addition to
+other applications such as precision agriculture that can lead to a
+broader application integration including sensors or robots."
+
+This module implements that preview: a planar quadrotor with
+acceleration-limited velocity control, waypoint missions, and a
+precision-agriculture survey that flies a lawnmower pattern over a
+synthetic crop-stress field, samples it with a downward sensor, and
+reports coverage and detected stress hotspots.  The UAV enrolls in
+CHI@Edge exactly like a car (it is just another BYOD device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.rng import ensure_rng
+
+__all__ = [
+    "UAVParams",
+    "UAVState",
+    "Quadrotor",
+    "lawnmower_waypoints",
+    "CropField",
+    "SurveyReport",
+    "fly_survey",
+]
+
+
+@dataclass(frozen=True)
+class UAVParams:
+    """Planar quadrotor limits (a small classroom drone)."""
+
+    max_speed: float = 4.0  # m/s
+    max_accel: float = 2.5  # m/s^2
+    arrive_radius: float = 0.5  # waypoint capture radius (m)
+
+    def __post_init__(self) -> None:
+        if min(self.max_speed, self.max_accel, self.arrive_radius) <= 0:
+            raise SimulationError("UAV parameters must be positive")
+
+
+@dataclass(frozen=True)
+class UAVState:
+    """Planar position and velocity."""
+
+    x: float = 0.0
+    y: float = 0.0
+    vx: float = 0.0
+    vy: float = 0.0
+
+    @property
+    def position(self) -> np.ndarray:
+        """(x, y) array."""
+        return np.array([self.x, self.y])
+
+    @property
+    def speed(self) -> float:
+        """Ground speed (m/s)."""
+        return float(np.hypot(self.vx, self.vy))
+
+
+class Quadrotor:
+    """Acceleration-limited velocity controller toward waypoints."""
+
+    def __init__(self, params: UAVParams = UAVParams()) -> None:
+        self.params = params
+
+    def step(self, state: UAVState, target: np.ndarray, dt: float) -> UAVState:
+        """Advance toward ``target`` one control interval."""
+        if dt <= 0:
+            raise SimulationError(f"dt must be positive, got {dt}")
+        p = self.params
+        to_target = np.asarray(target, dtype=float) - state.position
+        distance = float(np.linalg.norm(to_target))
+        # Velocity setpoint: cruise toward the waypoint, braking so the
+        # vehicle can stop within the remaining distance.
+        brake_speed = np.sqrt(2.0 * p.max_accel * max(distance, 1e-9))
+        target_speed = min(p.max_speed, brake_speed)
+        desired_v = (
+            to_target / distance * target_speed if distance > 1e-9
+            else np.zeros(2)
+        )
+        dv = desired_v - np.array([state.vx, state.vy])
+        dv_norm = float(np.linalg.norm(dv))
+        max_dv = p.max_accel * dt
+        if dv_norm > max_dv:
+            dv *= max_dv / dv_norm
+        vx, vy = state.vx + dv[0], state.vy + dv[1]
+        return UAVState(
+            x=state.x + vx * dt, y=state.y + vy * dt, vx=float(vx), vy=float(vy)
+        )
+
+
+def lawnmower_waypoints(
+    width: float, height: float, swath: float, origin=(0.0, 0.0)
+) -> np.ndarray:
+    """Boustrophedon coverage pattern over a width x height field."""
+    if min(width, height, swath) <= 0:
+        raise ConfigurationError("field dimensions and swath must be positive")
+    n_rows = max(1, int(np.ceil(height / swath)))
+    ox, oy = origin
+    points = []
+    for row in range(n_rows + 1):
+        y = oy + min(row * swath, height)
+        if row % 2 == 0:
+            points += [(ox, y), (ox + width, y)]
+        else:
+            points += [(ox + width, y), (ox, y)]
+    return np.asarray(points, dtype=float)
+
+
+class CropField:
+    """A synthetic crop-stress map: smooth background plus hotspots."""
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        n_hotspots: int = 4,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if min(width, height) <= 0 or n_hotspots < 0:
+            raise ConfigurationError("invalid field configuration")
+        gen = ensure_rng(rng)
+        self.width = float(width)
+        self.height = float(height)
+        self.hotspots = np.column_stack(
+            [
+                gen.uniform(0.1 * width, 0.9 * width, n_hotspots),
+                gen.uniform(0.1 * height, 0.9 * height, n_hotspots),
+            ]
+        ) if n_hotspots else np.zeros((0, 2))
+        self.hotspot_radius = 0.06 * max(width, height)
+
+    def stress(self, points: np.ndarray) -> np.ndarray:
+        """Stress index in [0, 1] at the given (N, 2) points."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        base = 0.12 + 0.05 * np.sin(pts[:, 0] / self.width * 3.1) * np.cos(
+            pts[:, 1] / self.height * 2.3
+        )
+        for hotspot in self.hotspots:
+            d2 = ((pts - hotspot) ** 2).sum(axis=1)
+            base = base + 0.8 * np.exp(-d2 / (2 * self.hotspot_radius**2))
+        return np.clip(base, 0.0, 1.0)
+
+
+@dataclass
+class SurveyReport:
+    """Outcome of one survey flight."""
+
+    samples: int
+    flight_seconds: float
+    distance: float
+    coverage_fraction: float
+    detections: list[tuple[float, float]] = field(default_factory=list)
+    hotspots_found: int = 0
+    hotspots_total: int = 0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of true hotspots detected."""
+        if self.hotspots_total == 0:
+            return 1.0
+        return self.hotspots_found / self.hotspots_total
+
+
+def fly_survey(
+    fieldmap: CropField,
+    swath: float = 2.0,
+    dt: float = 0.1,
+    stress_threshold: float = 0.5,
+    params: UAVParams = UAVParams(),
+    max_steps: int = 50_000,
+    cell: float = 1.0,
+) -> SurveyReport:
+    """Fly the lawnmower pattern, sampling stress under the UAV.
+
+    Detection clusters samples above ``stress_threshold`` and matches
+    them to the field's true hotspots within the hotspot radius.
+    """
+    waypoints = lawnmower_waypoints(fieldmap.width, fieldmap.height, swath)
+    uav = Quadrotor(params)
+    state = UAVState(x=waypoints[0][0], y=waypoints[0][1])
+    visited_cells: set[tuple[int, int]] = set()
+    hot_samples: list[np.ndarray] = []
+    distance = 0.0
+    steps = 0
+    for target in waypoints[1:]:
+        while (
+            float(np.linalg.norm(state.position - target)) > params.arrive_radius
+        ):
+            new_state = uav.step(state, target, dt)
+            distance += float(np.linalg.norm(new_state.position - state.position))
+            state = new_state
+            steps += 1
+            if steps >= max_steps:
+                raise SimulationError("survey did not converge (max_steps)")
+            position = state.position
+            if 0 <= position[0] <= fieldmap.width and 0 <= position[1] <= fieldmap.height:
+                # The downward sensor sees a swath/2 half-width strip.
+                col = int(position[0] // cell)
+                lo = int(max(position[1] - swath / 2.0, 0.0) // cell)
+                hi = int(min(position[1] + swath / 2.0, fieldmap.height - 1e-9) // cell)
+                for row in range(lo, hi + 1):
+                    visited_cells.add((col, row))
+                if float(fieldmap.stress(position[None])[0]) >= stress_threshold:
+                    hot_samples.append(position.copy())
+
+    # Cluster hot samples to detections (greedy, hotspot-radius sized).
+    detections: list[np.ndarray] = []
+    for sample in hot_samples:
+        if all(
+            np.linalg.norm(sample - d) > 2.0 * fieldmap.hotspot_radius
+            for d in detections
+        ):
+            detections.append(sample)
+    found = sum(
+        any(
+            np.linalg.norm(hotspot - d) <= 1.5 * fieldmap.hotspot_radius
+            for d in detections
+        )
+        for hotspot in fieldmap.hotspots
+    )
+    total_cells = int(np.ceil(fieldmap.width / cell)) * int(
+        np.ceil(fieldmap.height / cell)
+    )
+    return SurveyReport(
+        samples=steps,
+        flight_seconds=steps * dt,
+        distance=distance,
+        coverage_fraction=len(visited_cells) / max(total_cells, 1),
+        detections=[(float(d[0]), float(d[1])) for d in detections],
+        hotspots_found=int(found),
+        hotspots_total=len(fieldmap.hotspots),
+    )

@@ -1,0 +1,15 @@
+"""Edge/cloud/hybrid inference placement and consistency (E6, E7)."""
+
+from repro.inference.backends import CloudBackend, EdgeBackend, HybridBackend
+from repro.inference.consistency import OpenLoopThrottle, SpeedGovernor
+from repro.inference.serving import RemotePilot, ServingStats
+
+__all__ = [
+    "EdgeBackend",
+    "CloudBackend",
+    "HybridBackend",
+    "RemotePilot",
+    "ServingStats",
+    "SpeedGovernor",
+    "OpenLoopThrottle",
+]

@@ -1,0 +1,95 @@
+"""Driving consistency with real-time speed data (experiment E7).
+
+Reproduces the direction of the SC'23 student poster [12] ("Road To
+Reliability: Optimizing Self-Driving Consistency With Real-Time Speed
+Data"): an autopilot whose throttle is open-loop produces lap times
+that drift with battery level, surface patches, and model noise; a
+governor that closes the loop on *measured speed* holds the pace and
+collapses the lap-time variance.
+
+:class:`SpeedGovernor` wraps any pilot part: steering passes through,
+throttle is replaced by a PI controller tracking ``target_speed``
+using the live speed telemetry (the "real-time speed data").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["SpeedGovernor", "OpenLoopThrottle"]
+
+
+class SpeedGovernor:
+    """PI speed controller over a steering source.
+
+    Vehicle wiring: inputs ``cam/image_array`` and ``sim/speed``,
+    outputs ``pilot/angle`` and ``pilot/throttle``.
+    """
+
+    def __init__(
+        self,
+        steering_source,
+        target_speed: float,
+        kp: float = 0.9,
+        ki: float = 0.35,
+        dt: float = 0.05,
+        throttle_limit: float = 1.0,
+    ) -> None:
+        if target_speed <= 0 or kp < 0 or ki < 0 or dt <= 0:
+            raise ConfigurationError("invalid governor parameters")
+        self.steering_source = steering_source
+        self.target_speed = float(target_speed)
+        self.kp, self.ki, self.dt = float(kp), float(ki), float(dt)
+        self.throttle_limit = float(throttle_limit)
+        self._integral = 0.0
+
+    def run(self, image: np.ndarray | None, speed: float | None):
+        """One tick: pilot steering + governed throttle."""
+        angle, _pilot_throttle = self.steering_source.run(image)
+        error = self.target_speed - (speed or 0.0)
+        # Anti-windup: freeze the integral when saturated against it.
+        raw = self.kp * error + self.ki * self._integral
+        if abs(raw) < self.throttle_limit or raw * error < 0:
+            self._integral += error * self.dt
+        throttle = float(np.clip(raw, 0.0, self.throttle_limit))
+        return float(angle), throttle
+
+    def shutdown(self) -> None:
+        """Vehicle-part lifecycle hook."""
+        hook = getattr(self.steering_source, "shutdown", None)
+        if callable(hook):
+            hook()
+
+
+class OpenLoopThrottle:
+    """The baseline: pilot steering, fixed open-loop throttle with a
+    slow multiplicative drift (battery sag) that the governor corrects
+    for but open-loop operation cannot."""
+
+    def __init__(
+        self,
+        steering_source,
+        throttle: float = 0.55,
+        sag_per_tick: float = 4e-5,
+    ) -> None:
+        if not 0 < throttle <= 1:
+            raise ConfigurationError(f"throttle must be in (0, 1], got {throttle}")
+        self.steering_source = steering_source
+        self.throttle = float(throttle)
+        self.sag_per_tick = float(sag_per_tick)
+        self._ticks = 0
+
+    def run(self, image: np.ndarray | None, speed: float | None):
+        """One tick: pilot steering + sagging constant throttle."""
+        angle, _ = self.steering_source.run(image)
+        self._ticks += 1
+        effective = self.throttle * max(0.6, 1.0 - self.sag_per_tick * self._ticks)
+        return float(angle), effective
+
+    def shutdown(self) -> None:
+        """Vehicle-part lifecycle hook."""
+        hook = getattr(self.steering_source, "shutdown", None)
+        if callable(hook):
+            hook()

@@ -1,0 +1,65 @@
+"""Weight initializers (Keras-compatible defaults).
+
+DonkeyCar's Keras models rely on Keras defaults: ``glorot_uniform`` for
+dense/conv kernels, zeros for biases, ``orthogonal`` for recurrent
+kernels.  Reproducing the initial weight *distributions* matters for
+matching training dynamics, so these follow the Keras definitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import ensure_rng
+
+__all__ = ["glorot_uniform", "he_normal", "orthogonal", "zeros"]
+
+
+def glorot_uniform(
+    shape: tuple[int, ...],
+    rng: int | np.random.Generator | None = None,
+    fan_in: int | None = None,
+    fan_out: int | None = None,
+) -> np.ndarray:
+    """Uniform(-limit, limit) with limit = sqrt(6 / (fan_in + fan_out)).
+
+    For conv kernels shaped ``(*spatial, in, out)`` the fans include the
+    receptive-field size, as in Keras.
+    """
+    gen = ensure_rng(rng)
+    if fan_in is None or fan_out is None:
+        receptive = int(np.prod(shape[:-2])) if len(shape) > 2 else 1
+        fan_in = receptive * shape[-2] if len(shape) >= 2 else shape[0]
+        fan_out = receptive * shape[-1] if len(shape) >= 2 else shape[0]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return gen.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(
+    shape: tuple[int, ...], rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Normal(0, sqrt(2 / fan_in)) — for ReLU stacks."""
+    gen = ensure_rng(rng)
+    receptive = int(np.prod(shape[:-2])) if len(shape) > 2 else 1
+    fan_in = receptive * shape[-2] if len(shape) >= 2 else shape[0]
+    std = np.sqrt(2.0 / fan_in)
+    return (gen.standard_normal(shape) * std).astype(np.float32)
+
+
+def orthogonal(
+    shape: tuple[int, int], rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Orthogonal init for recurrent kernels (QR of a Gaussian)."""
+    gen = ensure_rng(rng)
+    rows, cols = shape
+    a = gen.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q *= np.sign(np.diag(r))  # uniform over the orthogonal group
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols].astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero float32 array (bias init)."""
+    return np.zeros(shape, dtype=np.float32)

@@ -1,0 +1,88 @@
+"""Loss functions: value plus gradient w.r.t. predictions.
+
+Each loss returns ``(value, grad)`` where ``grad`` is the gradient of
+the *mean* loss over the batch — ready to feed the network's backward
+pass.  The categorical cross-entropy assumes the model's final softmax
+was applied (fused formulation, see
+:class:`repro.ml.layers.Activation`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ShapeError
+
+__all__ = ["mse", "mae", "huber", "categorical_crossentropy", "get_loss"]
+
+
+def _check(pred: np.ndarray, target: np.ndarray) -> None:
+    if pred.shape != target.shape:
+        raise ShapeError(f"prediction {pred.shape} vs target {target.shape}")
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error (the DonkeyCar regression default)."""
+    _check(pred, target)
+    diff = pred - target
+    value = float(np.mean(diff**2))
+    grad = (2.0 / diff.size) * diff
+    return value, grad.astype(np.float32)
+
+
+def mae(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean absolute error."""
+    _check(pred, target)
+    diff = pred - target
+    value = float(np.mean(np.abs(diff)))
+    grad = np.sign(diff) / diff.size
+    return value, grad.astype(np.float32)
+
+
+def huber(
+    pred: np.ndarray, target: np.ndarray, delta: float = 1.0
+) -> tuple[float, np.ndarray]:
+    """Huber loss (quadratic near zero, linear in the tails)."""
+    _check(pred, target)
+    diff = pred - target
+    absd = np.abs(diff)
+    quad = absd <= delta
+    value = float(
+        np.mean(np.where(quad, 0.5 * diff**2, delta * (absd - 0.5 * delta)))
+    )
+    grad = np.where(quad, diff, delta * np.sign(diff)) / diff.size
+    return value, grad.astype(np.float32)
+
+
+def categorical_crossentropy(
+    pred: np.ndarray, target: np.ndarray, eps: float = 1e-7
+) -> tuple[float, np.ndarray]:
+    """Cross-entropy over softmax outputs with the fused gradient.
+
+    ``pred`` must be the softmax probabilities; the returned gradient
+    is w.r.t. the *logits* (``(p - t) / N``), which is why the softmax
+    activation backpropagates identity.
+    """
+    _check(pred, target)
+    clipped = np.clip(pred, eps, 1.0)
+    value = float(-np.mean(np.sum(target * np.log(clipped), axis=-1)))
+    grad = (pred - target) / len(pred)
+    return value, grad.astype(np.float32)
+
+
+_LOSSES = {
+    "mse": mse,
+    "mae": mae,
+    "huber": huber,
+    "categorical_crossentropy": categorical_crossentropy,
+}
+
+
+def get_loss(name: str):
+    """Look up a loss function by name."""
+    try:
+        return _LOSSES[name]
+    except KeyError:
+        raise ShapeError(
+            f"unknown loss {name!r}; known: {sorted(_LOSSES)}"
+        ) from None

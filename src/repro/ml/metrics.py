@@ -1,0 +1,65 @@
+"""Evaluation metrics for autopilot models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ShapeError
+
+__all__ = [
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "steering_accuracy",
+    "categorical_accuracy",
+]
+
+
+def _check(pred: np.ndarray, target: np.ndarray) -> None:
+    if pred.shape != target.shape:
+        raise ShapeError(f"prediction {pred.shape} vs target {target.shape}")
+
+
+def mean_squared_error(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error over all elements."""
+    _check(pred, target)
+    return float(np.mean((pred - target) ** 2))
+
+
+def mean_absolute_error(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error over all elements."""
+    _check(pred, target)
+    return float(np.mean(np.abs(pred - target)))
+
+
+def r2_score(pred: np.ndarray, target: np.ndarray) -> float:
+    """Coefficient of determination (1 = perfect, 0 = predict-the-mean)."""
+    _check(pred, target)
+    ss_res = float(np.sum((target - pred) ** 2))
+    ss_tot = float(np.sum((target - target.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def steering_accuracy(
+    pred_angle: np.ndarray, true_angle: np.ndarray, tolerance: float = 0.1
+) -> float:
+    """Fraction of predictions within ``tolerance`` of the true angle.
+
+    The human-interpretable metric used in the module's model
+    comparison exercises (a 0.1 tolerance is roughly 3 degrees of wheel
+    angle on the PiRacer).
+    """
+    _check(pred_angle, true_angle)
+    if tolerance <= 0:
+        raise ShapeError(f"tolerance must be positive, got {tolerance}")
+    return float(np.mean(np.abs(pred_angle - true_angle) <= tolerance))
+
+
+def categorical_accuracy(pred_probs: np.ndarray, true_onehot: np.ndarray) -> float:
+    """Argmax agreement between predicted and true class distributions."""
+    _check(pred_probs, true_onehot)
+    return float(
+        np.mean(pred_probs.argmax(axis=-1) == true_onehot.argmax(axis=-1))
+    )

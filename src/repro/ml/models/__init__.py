@@ -1,0 +1,24 @@
+"""The six DonkeyCar autopilot models (paper §3.3)."""
+
+from repro.ml.models.base import DonkeyModel, default_backbone_layers
+from repro.ml.models.categorical import CategoricalModel
+from repro.ml.models.conv3d import Conv3DModel
+from repro.ml.models.factory import MODEL_NAMES, create_model, register_model
+from repro.ml.models.inferred import InferredModel
+from repro.ml.models.linear import LinearModel
+from repro.ml.models.memory import MemoryModel
+from repro.ml.models.rnn import RNNModel
+
+__all__ = [
+    "DonkeyModel",
+    "default_backbone_layers",
+    "LinearModel",
+    "CategoricalModel",
+    "InferredModel",
+    "MemoryModel",
+    "Conv3DModel",
+    "RNNModel",
+    "MODEL_NAMES",
+    "create_model",
+    "register_model",
+]

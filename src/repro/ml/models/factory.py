@@ -1,0 +1,59 @@
+"""Model factory: the six tested models by name.
+
+"AutoLearn comes with six tested models, including linear, memory, 3D,
+categorical, inferred, and RNN; other models can be also tried, but
+they require doing extra configuration" — paper §3.3.  Third-party
+models register through :func:`register_model` (the "extra
+configuration" path).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+from repro.ml.models.base import DonkeyModel
+from repro.ml.models.categorical import CategoricalModel
+from repro.ml.models.conv3d import Conv3DModel
+from repro.ml.models.inferred import InferredModel
+from repro.ml.models.linear import LinearModel
+from repro.ml.models.memory import MemoryModel
+from repro.ml.models.rnn import RNNModel
+
+__all__ = ["MODEL_NAMES", "create_model", "register_model"]
+
+_REGISTRY: dict[str, Callable[..., DonkeyModel]] = {
+    "linear": LinearModel,
+    "categorical": CategoricalModel,
+    "inferred": InferredModel,
+    "memory": MemoryModel,
+    "3d": Conv3DModel,
+    "rnn": RNNModel,
+}
+
+#: The six paper models, in the paper's listing order.
+MODEL_NAMES = ("linear", "memory", "3d", "categorical", "inferred", "rnn")
+
+
+def create_model(name: str, **kwargs) -> DonkeyModel:
+    """Instantiate a registered model; kwargs pass to the constructor.
+
+    The constructor ``scale`` (if given) is recorded on the instance so
+    serialization can rebuild an identical architecture.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    model = cls(**kwargs)
+    model._scale = kwargs.get("scale", 1.0)
+    return model
+
+
+def register_model(name: str, factory: Callable[..., DonkeyModel]) -> None:
+    """Register a custom model type (students' own architectures)."""
+    if name in _REGISTRY:
+        raise ConfigurationError(f"model {name!r} already registered")
+    _REGISTRY[name] = factory

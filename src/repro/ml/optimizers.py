@@ -1,0 +1,130 @@
+"""Optimizers updating parameter arrays in place.
+
+Keras-default hyperparameters; the DonkeyCar training pipeline uses
+Adam for every model.  Updates are in-place (``param -= ...``) so the
+layers' parameter references stay valid — no reallocation per step
+(views, not copies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import MLError
+
+__all__ = ["Optimizer", "SGD", "Adam", "RMSProp", "get_optimizer"]
+
+
+class Optimizer:
+    """Base optimizer over a flat list of (param, grad) pairs."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise MLError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self._state: dict[int, dict[str, np.ndarray]] = {}
+        self.iterations = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Apply one update to every parameter."""
+        if len(params) != len(grads):
+            raise MLError(f"params/grads mismatch: {len(params)} vs {len(grads)}")
+        self.iterations += 1
+        for slot, (param, grad) in enumerate(zip(params, grads)):
+            if param.shape != grad.shape:
+                raise MLError(
+                    f"param/grad shape mismatch at slot {slot}: "
+                    f"{param.shape} vs {grad.shape}"
+                )
+            self._update(slot, param, grad)
+
+    def _update(self, slot: int, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _slot_state(self, slot: int, param: np.ndarray, names: list[str]):
+        state = self._state.get(slot)
+        if state is None:
+            state = {name: np.zeros_like(param) for name in names}
+            self._state[slot] = state
+        return state
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise MLError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+
+    def _update(self, slot: int, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.momentum == 0.0:
+            param -= self.learning_rate * grad
+            return
+        state = self._slot_state(slot, param, ["velocity"])
+        v = state["velocity"]
+        v *= self.momentum
+        v -= self.learning_rate * grad
+        param += v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Keras defaults)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-7,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise MLError("betas must be in [0, 1)")
+        self.beta1, self.beta2, self.eps = float(beta1), float(beta2), float(eps)
+
+    def _update(self, slot: int, param: np.ndarray, grad: np.ndarray) -> None:
+        state = self._slot_state(slot, param, ["m", "v"])
+        m, v = state["m"], state["v"]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad**2
+        t = self.iterations
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp (Keras defaults)."""
+
+    def __init__(
+        self, learning_rate: float = 0.001, rho: float = 0.9, eps: float = 1e-7
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= rho < 1.0:
+            raise MLError(f"rho must be in [0, 1), got {rho}")
+        self.rho, self.eps = float(rho), float(eps)
+
+    def _update(self, slot: int, param: np.ndarray, grad: np.ndarray) -> None:
+        state = self._slot_state(slot, param, ["avg"])
+        avg = state["avg"]
+        avg *= self.rho
+        avg += (1.0 - self.rho) * grad**2
+        param -= self.learning_rate * grad / (np.sqrt(avg) + self.eps)
+
+
+_OPTIMIZERS = {"sgd": SGD, "adam": Adam, "rmsprop": RMSProp}
+
+
+def get_optimizer(name: str, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by name."""
+    try:
+        cls = _OPTIMIZERS[name]
+    except KeyError:
+        raise MLError(
+            f"unknown optimizer {name!r}; known: {sorted(_OPTIMIZERS)}"
+        ) from None
+    return cls(**kwargs)

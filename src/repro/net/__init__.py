@@ -1,0 +1,35 @@
+"""Network emulation: links, topology, transfers, tunnels."""
+
+from repro.net.links import (
+    CAMPUS_LAN,
+    FABRIC_MANAGED,
+    WAN_INTERNET,
+    WIFI_EDGE,
+    Link,
+    fabric_link,
+)
+from repro.net.topology import Route, Topology, autolearn_topology
+from repro.net.transfer import (
+    JPEG_COMPRESSION_RATIO,
+    SSHTunnel,
+    TransferResult,
+    rsync_tub,
+    scp_bytes,
+)
+
+__all__ = [
+    "Link",
+    "WIFI_EDGE",
+    "CAMPUS_LAN",
+    "WAN_INTERNET",
+    "FABRIC_MANAGED",
+    "fabric_link",
+    "Topology",
+    "Route",
+    "autolearn_topology",
+    "TransferResult",
+    "rsync_tub",
+    "scp_bytes",
+    "SSHTunnel",
+    "JPEG_COMPRESSION_RATIO",
+]

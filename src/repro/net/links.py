@@ -1,0 +1,131 @@
+"""Network link models: latency, jitter, bandwidth, loss.
+
+The edge-to-cloud continuum in the paper runs over real networks (car
+Wi-Fi -> campus -> Internet -> Chameleon site; FABRIC provides managed
+latency between the two principal sites).  The inference experiments
+(E6) need realistic per-request RTT distributions, so links model
+latency as a shifted lognormal (the standard fit for WAN RTT jitter)
+plus a deterministic propagation floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import NetworkError
+from repro.common.rng import ensure_rng
+
+__all__ = [
+    "Link",
+    "WIFI_EDGE",
+    "CAMPUS_LAN",
+    "WAN_INTERNET",
+    "FABRIC_MANAGED",
+    "fabric_link",
+]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed network link.
+
+    Attributes
+    ----------
+    name:
+        Label for topology displays.
+    base_latency_s:
+        One-way propagation + queuing floor (seconds).
+    jitter_scale:
+        Lognormal sigma of the multiplicative jitter; 0 = deterministic.
+    bandwidth_bps:
+        Bottleneck data rate, bits per second.
+    loss_rate:
+        Per-packet loss probability (retransmits add one RTT each).
+    """
+
+    name: str
+    base_latency_s: float
+    jitter_scale: float
+    bandwidth_bps: float
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_latency_s < 0 or self.bandwidth_bps <= 0:
+            raise NetworkError(f"invalid link parameters for {self.name!r}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise NetworkError(f"loss_rate must be in [0, 1): {self.loss_rate}")
+
+    # ------------------------------------------------------- sampling
+
+    def sample_latency(
+        self, rng: int | np.random.Generator | None = None, n: int = 1
+    ) -> np.ndarray:
+        """One-way latency samples (seconds), jitter included."""
+        gen = ensure_rng(rng)
+        if self.jitter_scale == 0.0:
+            samples = np.full(n, self.base_latency_s)
+        else:
+            # Shifted lognormal: the propagation floor plus a strictly
+            # positive queuing term, so base_latency_s is a true floor.
+            jitter = gen.lognormal(mean=0.0, sigma=self.jitter_scale, size=n)
+            samples = self.base_latency_s * (1.0 + 0.3 * jitter)
+        if self.loss_rate > 0.0:
+            # Each lost packet costs one extra RTT (TCP fast retransmit).
+            retries = gen.geometric(1.0 - self.loss_rate, size=n) - 1
+            samples = samples + retries * 2.0 * self.base_latency_s
+        return samples
+
+    def transfer_time(
+        self,
+        nbytes: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> float:
+        """Seconds to move ``nbytes`` across this link (single stream).
+
+        Latency-bound for small payloads, bandwidth-bound for bulk; TCP
+        slow-start is approximated by one extra RTT per decade of
+        payload size.
+        """
+        if nbytes < 0:
+            raise NetworkError(f"negative payload: {nbytes}")
+        gen = ensure_rng(rng)
+        rtt = 2.0 * float(self.sample_latency(gen)[0])
+        if nbytes == 0:
+            return rtt
+        serialisation = 8.0 * nbytes / self.bandwidth_bps
+        slow_start_rtts = max(1.0, np.log10(max(nbytes, 10)))
+        return rtt * slow_start_rtts + serialisation
+
+
+#: Car Raspberry Pi over 2.4 GHz Wi-Fi to the classroom AP.
+WIFI_EDGE = Link("wifi-edge", base_latency_s=0.004, jitter_scale=0.8,
+                 bandwidth_bps=40e6, loss_rate=0.01)
+
+#: Campus wired LAN.
+CAMPUS_LAN = Link("campus-lan", base_latency_s=0.0008, jitter_scale=0.2,
+                  bandwidth_bps=1e9)
+
+#: Commodity Internet from campus to the Chameleon site.
+WAN_INTERNET = Link("wan-internet", base_latency_s=0.022, jitter_scale=0.5,
+                    bandwidth_bps=300e6, loss_rate=0.002)
+
+#: FABRIC-managed path between the two Chameleon sites: "the two
+#: principal Chameleon sites are connected to the FABRIC networking
+#: testbed creating potential to support cloud experiments with managed
+#: latency" (§3.2).  Deterministic latency, high bandwidth.
+FABRIC_MANAGED = Link("fabric", base_latency_s=0.012, jitter_scale=0.0,
+                      bandwidth_bps=10e9)
+
+
+def fabric_link(managed_latency_s: float) -> Link:
+    """A FABRIC path dialled to a specific managed latency (jitter-free)."""
+    if managed_latency_s < 0:
+        raise NetworkError(f"latency must be non-negative: {managed_latency_s}")
+    return Link(
+        f"fabric-{managed_latency_s * 1000:.0f}ms",
+        base_latency_s=managed_latency_s,
+        jitter_scale=0.0,
+        bandwidth_bps=10e9,
+    )

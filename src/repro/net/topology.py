@@ -1,0 +1,136 @@
+"""Network topology: hosts connected by links, routed with networkx.
+
+:func:`autolearn_topology` builds the continuum of the paper: the car's
+Raspberry Pi on classroom Wi-Fi, the student laptop on the campus LAN,
+the two Chameleon sites over the commodity Internet, and the
+FABRIC-managed inter-site path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.common.errors import UnreachableHostError
+from repro.common.rng import ensure_rng
+from repro.net.links import (
+    CAMPUS_LAN,
+    FABRIC_MANAGED,
+    WAN_INTERNET,
+    WIFI_EDGE,
+    Link,
+)
+
+__all__ = ["Route", "Topology", "autolearn_topology"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """A resolved path: the ordered links between two hosts."""
+
+    src: str
+    dst: str
+    links: tuple[Link, ...]
+
+    @property
+    def base_rtt_s(self) -> float:
+        """Round-trip propagation floor (seconds)."""
+        return 2.0 * sum(link.base_latency_s for link in self.links)
+
+    @property
+    def bottleneck_bps(self) -> float:
+        """Minimum bandwidth along the path."""
+        return min(link.bandwidth_bps for link in self.links)
+
+    def sample_rtt(
+        self, rng: int | np.random.Generator | None = None, n: int = 1
+    ) -> np.ndarray:
+        """Round-trip latency samples across all hops."""
+        gen = ensure_rng(rng)
+        total = np.zeros(n)
+        for link in self.links:
+            total += link.sample_latency(gen, n)  # forward
+            total += link.sample_latency(gen, n)  # return
+        return total
+
+    def transfer_time(
+        self, nbytes: int, rng: int | np.random.Generator | None = None
+    ) -> float:
+        """Seconds to move ``nbytes`` end to end (store-and-forward)."""
+        gen = ensure_rng(rng)
+        # Serialisation happens once at the bottleneck; latency sums.
+        rtt = float(self.sample_rtt(gen)[0])
+        if nbytes == 0:
+            return rtt
+        serialisation = 8.0 * nbytes / self.bottleneck_bps
+        slow_start_rtts = max(1.0, np.log10(max(nbytes, 10)))
+        return rtt * slow_start_rtts + serialisation
+
+
+class Topology:
+    """Hosts and links with shortest-latency routing."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+
+    def add_host(self, name: str, kind: str = "host") -> None:
+        """Register a host (kind: car, laptop, cloud, router, ...)."""
+        self._graph.add_node(name, kind=kind)
+
+    def connect(self, a: str, b: str, link: Link) -> None:
+        """Join two hosts with a (bidirectional) link."""
+        for host in (a, b):
+            if host not in self._graph:
+                raise UnreachableHostError(f"unknown host {host!r}; add_host first")
+        self._graph.add_edge(a, b, link=link, weight=link.base_latency_s)
+
+    def hosts(self, kind: str | None = None) -> list[str]:
+        """All host names, optionally filtered by kind."""
+        if kind is None:
+            return sorted(self._graph.nodes)
+        return sorted(
+            n for n, d in self._graph.nodes(data=True) if d.get("kind") == kind
+        )
+
+    def route(self, src: str, dst: str) -> Route:
+        """Lowest-latency path between two hosts."""
+        for host in (src, dst):
+            if host not in self._graph:
+                raise UnreachableHostError(f"unknown host {host!r}")
+        try:
+            path = nx.shortest_path(self._graph, src, dst, weight="weight")
+        except nx.NetworkXNoPath:
+            raise UnreachableHostError(f"no path from {src!r} to {dst!r}") from None
+        links = tuple(
+            self._graph.edges[u, v]["link"] for u, v in zip(path, path[1:])
+        )
+        if not links:
+            raise UnreachableHostError(f"src and dst are the same host: {src!r}")
+        return Route(src, dst, links)
+
+
+def autolearn_topology(
+    wan: Link = WAN_INTERNET,
+    wifi: Link = WIFI_EDGE,
+    fabric: Link = FABRIC_MANAGED,
+) -> Topology:
+    """The paper's continuum: car -> campus -> Internet -> Chameleon.
+
+    Hosts: ``car-pi`` (the Raspberry Pi on the car), ``laptop`` (the
+    student), ``campus-router``, ``chi-uc`` and ``chi-tacc`` (the two
+    principal Chameleon sites, FABRIC-linked).
+    """
+    topo = Topology()
+    topo.add_host("car-pi", kind="car")
+    topo.add_host("laptop", kind="laptop")
+    topo.add_host("campus-router", kind="router")
+    topo.add_host("chi-uc", kind="cloud")
+    topo.add_host("chi-tacc", kind="cloud")
+    topo.connect("car-pi", "campus-router", wifi)
+    topo.connect("laptop", "campus-router", CAMPUS_LAN)
+    topo.connect("campus-router", "chi-uc", wan)
+    topo.connect("campus-router", "chi-tacc", wan)
+    topo.connect("chi-uc", "chi-tacc", fabric)
+    return topo

@@ -1,0 +1,141 @@
+"""File-transfer emulation: the ``rsync``/``scp`` step.
+
+"all data is stored on the Raspberry Pi /car/data and can be manually
+transferred to the cloud using SSH" ... "the student copies the
+training data using rsync command and can begin the training process"
+— §3.3.  The emulation charges simulated time for moving tub bytes
+over a route, models rsync's delta behaviour (unchanged files are
+skipped after the checksum exchange), and provides the SSH tunnel the
+Jupyter server on the Pi is reached through (§3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.clock import Clock
+from repro.common.errors import TransferError
+from repro.common.rng import ensure_rng
+from repro.data.tub import Tub
+from repro.net.topology import Route
+
+__all__ = ["TransferResult", "rsync_tub", "scp_bytes", "SSHTunnel"]
+
+#: rsync per-file checksum negotiation cost (seconds per file).
+_RSYNC_PER_FILE_S = 0.002
+
+#: DonkeyCar stores JPEGs; this repo stores raw .npy frames.  Transfer
+#: sizing converts to the wire bytes the paper's students would move
+#: (JPEG at quality ~80 compresses the 120x160 frames ~12x).
+JPEG_COMPRESSION_RATIO = 12.0
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one emulated transfer."""
+
+    nbytes_logical: int  # bytes the tub occupies locally
+    nbytes_wire: int  # bytes actually sent
+    files: int
+    seconds: float
+    route_rtt_s: float
+
+    @property
+    def throughput_bps(self) -> float:
+        """Effective wire throughput (bits/second)."""
+        return 8.0 * self.nbytes_wire / self.seconds if self.seconds > 0 else 0.0
+
+
+def _tub_wire_bytes(tub: Tub, as_jpeg: bool) -> tuple[int, int, int]:
+    """(logical bytes, wire bytes, file count) for a tub transfer."""
+    logical = tub.size_bytes()
+    files = sum(1 for _ in tub.path.rglob("*") if _.is_file())
+    if not as_jpeg:
+        return logical, logical, files
+    # Only image payloads compress; catalogs/manifests are small text.
+    image_bytes = sum(
+        p.stat().st_size for p in tub.images_dir.glob("*.npy")
+    )
+    wire = int(logical - image_bytes + image_bytes / JPEG_COMPRESSION_RATIO)
+    return logical, wire, files
+
+
+def rsync_tub(
+    tub: Tub,
+    route: Route,
+    clock: Clock | None = None,
+    already_synced_fraction: float = 0.0,
+    as_jpeg: bool = True,
+    rng: int | np.random.Generator | None = None,
+) -> TransferResult:
+    """Emulate ``rsync -a <tub> cloud:`` over a route.
+
+    ``already_synced_fraction`` models incremental syncs (rsync skips
+    unchanged files after the checksum pass).  If a ``clock`` is given,
+    simulated time advances by the transfer duration.
+    """
+    if not 0.0 <= already_synced_fraction <= 1.0:
+        raise TransferError(
+            f"already_synced_fraction must be in [0, 1]: {already_synced_fraction}"
+        )
+    gen = ensure_rng(rng)
+    logical, wire, files = _tub_wire_bytes(tub, as_jpeg)
+    wire = int(wire * (1.0 - already_synced_fraction))
+    seconds = route.transfer_time(wire, gen) + files * _RSYNC_PER_FILE_S
+    if clock is not None:
+        clock.advance(seconds)
+    return TransferResult(
+        nbytes_logical=logical,
+        nbytes_wire=wire,
+        files=files,
+        seconds=seconds,
+        route_rtt_s=route.base_rtt_s,
+    )
+
+
+def scp_bytes(
+    nbytes: int,
+    route: Route,
+    clock: Clock | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> TransferResult:
+    """Emulate ``scp`` of a single blob (e.g. trained model weights)."""
+    if nbytes < 0:
+        raise TransferError(f"negative payload: {nbytes}")
+    gen = ensure_rng(rng)
+    seconds = route.transfer_time(nbytes, gen)
+    if clock is not None:
+        clock.advance(seconds)
+    return TransferResult(
+        nbytes_logical=nbytes,
+        nbytes_wire=nbytes,
+        files=1,
+        seconds=seconds,
+        route_rtt_s=route.base_rtt_s,
+    )
+
+
+class SSHTunnel:
+    """An SSH tunnel pinning a route (laptop -> Jupyter on the Pi).
+
+    "this allows students to access the Jupyter Notebook executing on
+    the Raspberry Pi ... from their own laptops using an SSH tunnel"
+    — §3.5.  The tunnel adds an encryption overhead factor to payloads
+    and exposes per-request round trips for interactive latency
+    accounting.
+    """
+
+    ENCRYPTION_OVERHEAD = 1.03
+
+    def __init__(self, route: Route, rng: int | np.random.Generator | None = None):
+        self.route = route
+        self._rng = ensure_rng(rng)
+        self.requests = 0
+
+    def request(self, nbytes: int = 1024) -> float:
+        """One interactive request/response; returns seconds."""
+        self.requests += 1
+        padded = int(nbytes * self.ENCRYPTION_OVERHEAD)
+        return self.route.transfer_time(padded, self._rng)

@@ -1,0 +1,5 @@
+"""Swift-like object store (Chameleon's object store, paper §3.5)."""
+
+from repro.objectstore.store import Container, ObjectStore, StoredObject
+
+__all__ = ["ObjectStore", "Container", "StoredObject"]

@@ -1,0 +1,173 @@
+"""Swift-like object store.
+
+"The collected datasets and the pre-trained models are stored in
+Chameleon's object store and can be combined with other components of
+the system in a 'mix and match' pathway." — §3.5.
+
+Containers hold named objects (bytes) with ETags (MD5, as Swift
+computes) and user metadata.  The store can persist to a directory so
+examples survive process boundaries, but defaults to in-memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.common.errors import (
+    NoSuchContainerError,
+    NoSuchObjectError,
+    ObjectStoreError,
+)
+
+__all__ = ["StoredObject", "Container", "ObjectStore"]
+
+
+@dataclass
+class StoredObject:
+    """One object: payload plus Swift-style metadata."""
+
+    name: str
+    data: bytes
+    etag: str
+    content_type: str = "application/octet-stream"
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.data)
+
+
+class Container:
+    """A named bucket of objects."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._objects: dict[str, StoredObject] = {}
+
+    def put(
+        self,
+        name: str,
+        data: bytes,
+        content_type: str = "application/octet-stream",
+        metadata: dict[str, str] | None = None,
+    ) -> StoredObject:
+        """Store (or overwrite) an object; returns it with its ETag."""
+        if not name:
+            raise ObjectStoreError("object name must be non-empty")
+        obj = StoredObject(
+            name=name,
+            data=bytes(data),
+            etag=hashlib.md5(data).hexdigest(),
+            content_type=content_type,
+            metadata=dict(metadata or {}),
+        )
+        self._objects[name] = obj
+        return obj
+
+    def get(self, name: str) -> StoredObject:
+        """Fetch an object."""
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise NoSuchObjectError(
+                f"no object {name!r} in container {self.name!r}"
+            ) from None
+
+    def delete(self, name: str) -> None:
+        """Remove an object."""
+        if name not in self._objects:
+            raise NoSuchObjectError(f"no object {name!r} in container {self.name!r}")
+        del self._objects[name]
+
+    def list(self, prefix: str = "") -> list[str]:
+        """Object names, optionally filtered by prefix."""
+        return sorted(n for n in self._objects if n.startswith(prefix))
+
+    @property
+    def bytes_used(self) -> int:
+        """Total payload bytes in this container."""
+        return sum(obj.size for obj in self._objects.values())
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+
+class ObjectStore:
+    """Account-level view: named containers."""
+
+    def __init__(self) -> None:
+        self._containers: dict[str, Container] = {}
+
+    def create_container(self, name: str) -> Container:
+        """Create a container (idempotent, as in Swift)."""
+        if not name or "/" in name:
+            raise ObjectStoreError(f"invalid container name: {name!r}")
+        return self._containers.setdefault(name, Container(name))
+
+    def container(self, name: str) -> Container:
+        """Fetch an existing container."""
+        try:
+            return self._containers[name]
+        except KeyError:
+            raise NoSuchContainerError(f"no container {name!r}") from None
+
+    def delete_container(self, name: str, force: bool = False) -> None:
+        """Delete a container (must be empty unless ``force``)."""
+        container = self.container(name)
+        if len(container) and not force:
+            raise ObjectStoreError(
+                f"container {name!r} is not empty ({len(container)} objects)"
+            )
+        del self._containers[name]
+
+    def list_containers(self) -> list[str]:
+        """All container names."""
+        return sorted(self._containers)
+
+    # -------------------------------------------------- (de)hydration
+
+    def save_to_dir(self, root: str | Path) -> None:
+        """Persist every object under ``root/<container>/<object>``."""
+        root = Path(root)
+        for cname, container in self._containers.items():
+            cdir = root / cname
+            cdir.mkdir(parents=True, exist_ok=True)
+            index: dict[str, Any] = {}
+            for oname in container.list():
+                obj = container.get(oname)
+                safe = oname.replace("/", "__")
+                (cdir / safe).write_bytes(obj.data)
+                index[oname] = {
+                    "file": safe,
+                    "etag": obj.etag,
+                    "content_type": obj.content_type,
+                    "metadata": obj.metadata,
+                }
+            (cdir / "_index.json").write_text(json.dumps(index, indent=2))
+
+    @classmethod
+    def load_from_dir(cls, root: str | Path) -> "ObjectStore":
+        """Rebuild a store persisted by :meth:`save_to_dir`."""
+        root = Path(root)
+        store = cls()
+        for cdir in sorted(p for p in root.iterdir() if p.is_dir()):
+            container = store.create_container(cdir.name)
+            index_path = cdir / "_index.json"
+            if not index_path.exists():
+                raise ObjectStoreError(f"missing index in {cdir}")
+            index = json.loads(index_path.read_text())
+            for oname, meta in index.items():
+                data = (cdir / meta["file"]).read_bytes()
+                obj = container.put(
+                    oname, data, meta["content_type"], meta["metadata"]
+                )
+                if obj.etag != meta["etag"]:
+                    raise ObjectStoreError(
+                        f"etag mismatch reloading {cdir.name}/{oname}"
+                    )
+        return store

@@ -1,0 +1,128 @@
+"""SVG rendering of tracks and trajectories (dependency-free).
+
+The module's documentation and the student reports need figures: the
+track layout (Fig. 3) and driven trajectories (evaluation laps, crash
+sites, twin comparisons).  SVG is plain text, so this works offline
+with no imaging stack; files open in any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.sim.tracks import Track
+
+__all__ = ["track_svg", "trajectory_svg", "save_svg"]
+
+_SVG_HEADER = (
+    '<svg xmlns="http://www.w3.org/2000/svg" viewBox="{vb}" '
+    'width="{w}" height="{h}">'
+)
+
+
+def _polyline(points: np.ndarray, color: str, width: float, dash: str = "") -> str:
+    coords = " ".join(f"{x:.3f},{y:.3f}" for x, y in points)
+    dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+    return (
+        f'<polyline points="{coords}" fill="none" stroke="{color}" '
+        f'stroke-width="{width:.3f}"{dash_attr}/>'
+    )
+
+
+def _closed(points: np.ndarray) -> np.ndarray:
+    return np.vstack([points, points[:1]])
+
+
+def _viewbox(track: Track, margin: float = 0.5) -> tuple[float, float, float, float]:
+    outer = track.outer_line
+    x0, y0 = outer.min(axis=0) - margin
+    x1, y1 = outer.max(axis=0) + margin
+    return float(x0), float(y0), float(x1 - x0), float(y1 - y0)
+
+
+def track_svg(
+    track: Track,
+    pixels_per_meter: float = 80.0,
+    show_centerline: bool = True,
+) -> str:
+    """Render the track's boundary lines (and centreline) as SVG."""
+    if pixels_per_meter <= 0:
+        raise SimulationError("pixels_per_meter must be positive")
+    x0, y0, width, height = _viewbox(track)
+    tape = {"orange": "#e87722", "white": "#d9d9d9"}.get(
+        track.metadata.get("tape_color", "orange"), "#e87722"
+    )
+    parts = [
+        _SVG_HEADER.format(
+            vb=f"{x0} {y0} {width} {height}",
+            w=int(width * pixels_per_meter),
+            h=int(height * pixels_per_meter),
+        ),
+        # Flip the y axis so +y (left of travel) renders upward.
+        f'<g transform="translate(0 {2 * y0 + height}) scale(1 -1)">',
+        f'<rect x="{x0}" y="{y0}" width="{width}" height="{height}" '
+        'fill="#6f6b66"/>',
+        _polyline(_closed(track.inner_line), tape, 0.05),
+        _polyline(_closed(track.outer_line), tape, 0.05),
+    ]
+    if show_centerline:
+        parts.append(
+            _polyline(_closed(track.centerline), "#ffffff", 0.015, dash="0.1,0.1")
+        )
+    parts += ["</g>", "</svg>"]
+    return "\n".join(parts)
+
+
+def trajectory_svg(
+    track: Track,
+    trajectories: dict[str, np.ndarray],
+    crash_points: np.ndarray | None = None,
+    pixels_per_meter: float = 80.0,
+) -> str:
+    """Track plus one or more labelled (N, 2) trajectories.
+
+    Crash points (if given) are drawn as red markers — the on-track
+    "number of errors" made visible.
+    """
+    palette = ["#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"]
+    base = track_svg(track, pixels_per_meter)
+    body, closing = base.rsplit("</g>", 1)
+    parts = [body]
+    legend = []
+    for i, (label, points) in enumerate(trajectories.items()):
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2 or len(pts) < 2:
+            raise SimulationError(
+                f"trajectory {label!r} must be (N>=2, 2), got {pts.shape}"
+            )
+        color = palette[i % len(palette)]
+        parts.append(_polyline(pts, color, 0.03))
+        legend.append((label, color))
+    if crash_points is not None and len(crash_points):
+        for x, y in np.asarray(crash_points, dtype=float):
+            parts.append(
+                f'<circle cx="{x:.3f}" cy="{y:.3f}" r="0.08" fill="#d62728"/>'
+            )
+    parts.append("</g>")
+    # Legend (screen space, after the flipped group).
+    x0, y0, _w, _h = _viewbox(track)
+    for i, (label, color) in enumerate(legend):
+        y = y0 + 0.3 + 0.25 * i
+        parts.append(
+            f'<text x="{x0 + 0.15}" y="{y}" font-size="0.2" '
+            f'fill="{color}" font-family="monospace">{label}</text>'
+        )
+    parts.append(closing.strip() or "</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg: str, path: str | Path) -> Path:
+    """Write an SVG document to disk and return the path."""
+    path = Path(path)
+    if not svg.lstrip().startswith("<svg"):
+        raise SimulationError("not an SVG document")
+    path.write_text(svg)
+    return path

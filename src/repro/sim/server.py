@@ -1,0 +1,124 @@
+"""DonkeyCar-simulator-style server facade.
+
+The real module points students at the Unity ``donkey_gym`` interface:
+a named-track simulator with ``reset`` / ``step(action)`` returning
+``(observation, reward, done, info)``.  :class:`SimulatorServer`
+reproduces that surface on top of :class:`~repro.sim.session.DrivingSession`
+so that the vehicle framework, the RL extension, and students' own code
+can treat the simulator exactly like the gym environment.
+
+"The simulator includes several different tracks to choose from" —
+§3.3; :data:`AVAILABLE_TRACKS` registers them by name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.sim.session import DrivingSession, Observation
+from repro.sim.tracks import Track, default_tape_oval, track_from_waypoints, waveshare_track
+
+__all__ = ["SimulatorServer", "AVAILABLE_TRACKS", "make_track"]
+
+
+def _figure_eight() -> Track:
+    """A larger open-room course (generated, not from the paper)."""
+    t = np.linspace(0.0, 2 * np.pi, 48, endpoint=False)
+    # A smoothed rounded-square course; wide enough for the PiRacer.
+    pts = np.column_stack(
+        [3.6 * np.cos(t) + 0.7 * np.cos(2 * t), 2.8 * np.sin(t) - 0.4 * np.sin(2 * t)]
+    )
+    return track_from_waypoints("generated-road", pts, width=0.8, smoothing=6)
+
+
+#: Track registry: name -> zero-argument factory.
+AVAILABLE_TRACKS: dict[str, Callable[[], Track]] = {
+    "default-tape-oval": default_tape_oval,
+    "waveshare": waveshare_track,
+    "generated-road": _figure_eight,
+}
+
+
+def make_track(name: str) -> Track:
+    """Instantiate a registered track by name."""
+    try:
+        factory = AVAILABLE_TRACKS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown track {name!r}; available: {sorted(AVAILABLE_TRACKS)}"
+        ) from None
+    return factory()
+
+
+class SimulatorServer:
+    """Gym-style episode interface over the driving simulation.
+
+    Reward shaping follows the common donkey_gym convention: forward
+    progress along the centreline, penalised by cross-track error, with
+    a fixed penalty and episode termination on leaving the track.
+    """
+
+    CRASH_PENALTY = -1.0
+
+    def __init__(
+        self,
+        track_name: str = "default-tape-oval",
+        seed: int | np.random.Generator | None = None,
+        max_episode_steps: int = 2000,
+        render: bool = True,
+        cte_weight: float = 0.5,
+    ) -> None:
+        if max_episode_steps <= 0:
+            raise SimulationError("max_episode_steps must be positive")
+        self.track = make_track(track_name)
+        self.session = DrivingSession(self.track, seed=seed, render=render)
+        self.max_episode_steps = max_episode_steps
+        self.cte_weight = float(cte_weight)
+        self._episode_steps = 0
+        self._last_obs: Observation | None = None
+
+    def reset(self, s: float = 0.0, lateral_offset: float = 0.0) -> Observation:
+        """Start a new episode; returns the initial observation."""
+        self._episode_steps = 0
+        self._last_obs = self.session.reset(s=s, lateral_offset=lateral_offset)
+        return self._last_obs
+
+    def step(
+        self, action: tuple[float, float]
+    ) -> tuple[Observation, float, bool, dict[str, Any]]:
+        """Apply ``(steering, throttle)``; returns (obs, reward, done, info)."""
+        if self._last_obs is None:
+            raise SimulationError("call reset() before step()")
+        steering, throttle = action
+        prev_progress = self.session.progress
+        crashes_before = self.session.stats.crashes
+        obs = self.session.step(steering, throttle)
+        self._episode_steps += 1
+
+        crashed = self.session.stats.crashes > crashes_before
+        progress = self.session.progress - prev_progress
+        reward = progress - self.cte_weight * abs(obs.cte) * self.session.dt
+        if crashed:
+            reward += self.CRASH_PENALTY
+
+        done = crashed or self._episode_steps >= self.max_episode_steps
+        info = {
+            "cte": obs.cte,
+            "speed": obs.speed,
+            "lap": obs.lap,
+            "crashed": crashed,
+            "progress": self.session.progress,
+            "episode_steps": self._episode_steps,
+        }
+        self._last_obs = obs
+        return obs, float(reward), bool(done), info
+
+    @property
+    def observation(self) -> Observation:
+        """Most recent observation (after reset/step)."""
+        if self._last_obs is None:
+            raise SimulationError("no observation yet; call reset()")
+        return self._last_obs

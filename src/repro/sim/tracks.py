@@ -1,0 +1,395 @@
+"""Track models, including the paper's two evaluation tracks.
+
+§3.3 of the paper describes the sample-dataset tracks:
+
+* a **default tape oval** "made with an orange tape oval shape with the
+  following dimensions; inner line length: 330 in, outer line length:
+  509 in and average width: 27.59 in" (Fig. 3a), and
+* the **Waveshare track**, a commercial printed mat (Fig. 3b).
+
+:func:`default_tape_oval` reconstructs the oval from those published
+measurements.  The three numbers are mutually inconsistent for an exact
+constant-width stadium (509 - 330 = 179 in of perimeter difference
+implies a width of 179 / 2pi = 28.49 in, not 27.59 in), which is
+expected for a hand-laid tape track.  We therefore expose both
+readings: the default takes the two direct measurements (inner length
+and average width) as ground truth; ``calibrated=True`` instead derives
+the width from the two perimeters so that both line lengths match the
+paper exactly.  The F3 benchmark reports both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any
+
+import numpy as np
+
+from repro.common.errors import TrackError
+from repro.common.units import inches_to_m, m_to_inches
+from repro.sim.geometry import (
+    cumulative_arclength,
+    offset_closed,
+    point_in_closed_polyline,
+    polyline_length,
+    polyline_lengths,
+    project_points,
+    resample_closed,
+)
+
+__all__ = [
+    "Track",
+    "TrackQuery",
+    "default_tape_oval",
+    "waveshare_track",
+    "track_from_waypoints",
+    "PAPER_OVAL_INNER_IN",
+    "PAPER_OVAL_OUTER_IN",
+    "PAPER_OVAL_WIDTH_IN",
+]
+
+#: Published dimensions of the default tape oval (inches), paper §3.3.
+PAPER_OVAL_INNER_IN = 330.0
+PAPER_OVAL_OUTER_IN = 509.0
+PAPER_OVAL_WIDTH_IN = 27.59
+
+
+@dataclass(frozen=True)
+class TrackQuery:
+    """Result of projecting world points onto a track centreline.
+
+    Attributes
+    ----------
+    distance:
+        Unsigned distance to the centreline (m).
+    arclength:
+        Arclength coordinate of the projection in ``[0, track.length)``.
+    side:
+        +1 left of travel, -1 right of travel.
+    on_track:
+        Whether the point lies on the drivable surface.
+    """
+
+    distance: np.ndarray
+    arclength: np.ndarray
+    side: np.ndarray
+    on_track: np.ndarray
+
+    @property
+    def signed_cte(self) -> np.ndarray:
+        """Signed cross-track error (positive = left of centreline)."""
+        return self.distance * self.side
+
+
+class Track:
+    """A closed track: centreline polyline plus a constant lane width.
+
+    The centreline must be counter-clockwise (enforced via the shoelace
+    area); travel direction is along increasing vertex index.  All
+    coordinates are metres.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        centerline: np.ndarray,
+        width: float,
+        resolution: int = 400,
+        metadata: dict[str, Any] | None = None,
+    ) -> None:
+        pts = np.asarray(centerline, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2 or len(pts) < 3:
+            raise TrackError(f"centerline must be (N>=3, 2), got {pts.shape}")
+        if width <= 0:
+            raise TrackError(f"track width must be positive, got {width}")
+        area = _shoelace_area(pts)
+        if area == 0:
+            raise TrackError("degenerate centerline (zero enclosed area)")
+        if area < 0:  # clockwise: flip to CCW so left normals point inward
+            pts = pts[::-1].copy()
+        self.name = name
+        self.width = float(width)
+        self.centerline = resample_closed(pts, resolution)
+        self.metadata = dict(metadata or {})
+        self._s_vertices = cumulative_arclength(self.centerline, closed=True)
+        self._seg_lengths = polyline_lengths(self.centerline, closed=True)
+        min_radius = self.minimum_radius()
+        if min_radius <= self.half_width:
+            raise TrackError(
+                f"track {name!r} self-intersects: min centreline radius "
+                f"{min_radius:.3f} m <= half width {self.half_width:.3f} m"
+            )
+
+    # ------------------------------------------------------- properties
+
+    @property
+    def half_width(self) -> float:
+        """Half the lane width (m)."""
+        return self.width / 2.0
+
+    @cached_property
+    def length(self) -> float:
+        """Centreline length (m)."""
+        return float(self._seg_lengths.sum())
+
+    @cached_property
+    def inner_line(self) -> np.ndarray:
+        """Inner boundary polyline (left of CCW travel = inward)."""
+        return offset_closed(self.centerline, self.half_width)
+
+    @cached_property
+    def outer_line(self) -> np.ndarray:
+        """Outer boundary polyline."""
+        return offset_closed(self.centerline, -self.half_width)
+
+    @cached_property
+    def inner_length(self) -> float:
+        """Length of the inner boundary (m)."""
+        return polyline_length(self.inner_line, closed=True)
+
+    @cached_property
+    def outer_length(self) -> float:
+        """Length of the outer boundary (m)."""
+        return polyline_length(self.outer_line, closed=True)
+
+    def dimensions_inches(self) -> dict[str, float]:
+        """Inner/outer line lengths and width in inches (paper units)."""
+        return {
+            "inner_line_in": m_to_inches(self.inner_length),
+            "outer_line_in": m_to_inches(self.outer_length),
+            "width_in": m_to_inches(self.width),
+        }
+
+    # ----------------------------------------------------- frame lookup
+
+    def point_at(self, s: float | np.ndarray) -> np.ndarray:
+        """Centreline point(s) at arclength ``s`` (wraps modulo length)."""
+        s = np.asarray(s, dtype=np.float64) % self.length
+        ring = np.vstack([self.centerline, self.centerline[:1]])
+        s_ring = np.concatenate([self._s_vertices, [self.length]])
+        x = np.interp(s, s_ring, ring[:, 0])
+        y = np.interp(s, s_ring, ring[:, 1])
+        return np.stack([x, y], axis=-1)
+
+    def heading_at(self, s: float) -> float:
+        """Travel heading (radians) at arclength ``s``."""
+        eps = self.length / (4 * len(self.centerline))
+        ahead = self.point_at(s + eps)
+        behind = self.point_at(s - eps)
+        diff = ahead - behind
+        return float(np.arctan2(diff[1], diff[0]))
+
+    def curvature_at(self, s: float) -> float:
+        """Signed curvature (1/m) at arclength ``s`` (positive = left turn)."""
+        eps = max(self.length / len(self.centerline), 1e-3)
+        h0 = self.heading_at(s - eps)
+        h1 = self.heading_at(s + eps)
+        dh = np.arctan2(np.sin(h1 - h0), np.cos(h1 - h0))
+        return float(dh / (2 * eps))
+
+    def minimum_radius(self) -> float:
+        """Smallest centreline turn radius (m)."""
+        samples = np.linspace(0, self.length, len(self.centerline), endpoint=False)
+        curvatures = np.abs([self.curvature_at(float(s)) for s in samples])
+        max_curvature = float(curvatures.max())
+        return np.inf if max_curvature == 0 else 1.0 / max_curvature
+
+    def start_pose(self, lateral_offset: float = 0.0) -> tuple[float, float, float]:
+        """(x, y, heading) at the start line (s = 0)."""
+        return self.pose_at(0.0, lateral_offset)
+
+    def pose_at(self, s: float, lateral_offset: float = 0.0) -> tuple[float, float, float]:
+        """(x, y, heading) at arclength ``s``, offset left by ``lateral_offset``."""
+        if abs(lateral_offset) > self.half_width:
+            raise TrackError(
+                f"lateral offset {lateral_offset:.3f} exceeds half width "
+                f"{self.half_width:.3f}"
+            )
+        point = self.point_at(s)
+        heading = self.heading_at(s)
+        normal = np.array([-np.sin(heading), np.cos(heading)])
+        xy = point + lateral_offset * normal
+        return float(xy[0]), float(xy[1]), heading
+
+    # ----------------------------------------------------------- query
+
+    def query(
+        self, points: np.ndarray, segment_mask: np.ndarray | None = None
+    ) -> TrackQuery:
+        """Project world points onto the centreline (vectorised)."""
+        distance, arclength, side = project_points(
+            points, self.centerline, segment_mask=segment_mask
+        )
+        return TrackQuery(
+            distance=distance,
+            arclength=arclength,
+            side=side,
+            on_track=distance <= self.half_width,
+        )
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask: which points lie on the drivable surface."""
+        return self.query(points).on_track
+
+    def segments_near(self, xy: np.ndarray, radius: float) -> np.ndarray:
+        """Boolean mask of centreline segments within ``radius`` of ``xy``.
+
+        Used by the renderer to cull the projection hot path: the camera
+        only ever sees a few metres of track, so most segments can be
+        skipped.  Falls back to all segments if nothing is near.
+        """
+        xy = np.asarray(xy, dtype=np.float64)
+        mids = 0.5 * (self.centerline + np.roll(self.centerline, -1, axis=0))
+        near = np.linalg.norm(mids - xy, axis=1) <= radius
+        if not near.any():
+            return np.ones(len(self.centerline), dtype=bool)
+        return near
+
+    def enclosed_by_outer(self, points: np.ndarray) -> np.ndarray:
+        """Whether points fall inside the outer boundary (infield or lane)."""
+        return point_in_closed_polyline(points, self.outer_line)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Track({self.name!r}, length={self.length:.2f} m, "
+            f"width={self.width:.3f} m)"
+        )
+
+
+def _shoelace_area(points: np.ndarray) -> float:
+    x, y = points[:, 0], points[:, 1]
+    return 0.5 * float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+
+
+def _stadium_centerline(
+    straight: float, radius: float, resolution: int = 720
+) -> np.ndarray:
+    """A stadium (two straights joined by two semicircles), CCW.
+
+    Centred on the origin, straights parallel to the x-axis, given the
+    straight length and corner radius of the *centreline*.
+    """
+    if straight < 0 or radius <= 0:
+        raise TrackError(f"invalid stadium: straight={straight}, radius={radius}")
+    n_arc = resolution // 3
+    n_straight = max(resolution // 6, 2)
+    half = straight / 2.0
+
+    bottom = np.column_stack(
+        [np.linspace(-half, half, n_straight, endpoint=False), np.full(n_straight, -radius)]
+    )
+    theta_right = np.linspace(-np.pi / 2, np.pi / 2, n_arc, endpoint=False)
+    right = np.column_stack(
+        [half + radius * np.cos(theta_right), radius * np.sin(theta_right)]
+    )
+    top = np.column_stack(
+        [np.linspace(half, -half, n_straight, endpoint=False), np.full(n_straight, radius)]
+    )
+    theta_left = np.linspace(np.pi / 2, 3 * np.pi / 2, n_arc, endpoint=False)
+    left = np.column_stack(
+        [-half + radius * np.cos(theta_left), radius * np.sin(theta_left)]
+    )
+    return np.vstack([bottom, right, top, left])
+
+
+def default_tape_oval(calibrated: bool = False, resolution: int = 400) -> Track:
+    """The paper's orange-tape oval (Fig. 3a).
+
+    Parameters
+    ----------
+    calibrated:
+        ``False`` (default): honour the two direct measurements — inner
+        line 330 in and average width 27.59 in — and accept that the
+        derived outer line (~503 in) misses the published 509 in by
+        ~1.1% (hand-laid tape).  ``True``: derive the width from the two
+        line lengths (28.49 in) so both perimeters match exactly.
+    """
+    inner_len = inches_to_m(PAPER_OVAL_INNER_IN)
+    if calibrated:
+        width = (inches_to_m(PAPER_OVAL_OUTER_IN) - inner_len) / (2 * np.pi)
+    else:
+        width = inches_to_m(PAPER_OVAL_WIDTH_IN)
+
+    # Choose the inner corner radius for a visually ~2:1 oval, then set
+    # straights to hit the inner perimeter exactly:
+    #   inner = 2 * straight + 2 * pi * r_inner
+    r_inner = inches_to_m(35.0)
+    straight = (inner_len - 2 * np.pi * r_inner) / 2.0
+    if straight <= 0:
+        raise TrackError("inner corner radius too large for the published perimeter")
+    r_center = r_inner + width / 2.0
+    centerline = _stadium_centerline(straight, r_center, resolution=3 * resolution)
+    return Track(
+        name="default-tape-oval" + ("-calibrated" if calibrated else ""),
+        centerline=centerline,
+        width=width,
+        resolution=resolution,
+        metadata={
+            "figure": "3a",
+            "surface": "concrete",
+            "tape_color": "orange",
+            "calibrated": calibrated,
+            "paper_inner_in": PAPER_OVAL_INNER_IN,
+            "paper_outer_in": PAPER_OVAL_OUTER_IN,
+            "paper_width_in": PAPER_OVAL_WIDTH_IN,
+        },
+    )
+
+
+def waveshare_track(resolution: int = 400) -> Track:
+    """The commercial Waveshare mat (Fig. 3b).
+
+    Waveshare does not publish exact geometry; we reconstruct a closed
+    circuit of comparable scale to the photographed mat: a rounded
+    rectangle with a chicane, lane width ~40 cm, total centreline length
+    ~14 m.
+    """
+    waypoints = 1.45 * np.array(
+        [
+            [0.0, 0.0], [1.2, -0.1], [2.4, 0.0], [3.2, 0.5],
+            [3.6, 1.4], [3.4, 2.3], [2.7, 2.8], [1.9, 2.6],
+            [1.4, 2.0], [0.8, 1.7], [0.1, 2.0], [-0.5, 2.6],
+            [-1.3, 2.8], [-2.0, 2.3], [-2.2, 1.4], [-1.8, 0.5],
+            [-1.0, 0.1],
+        ]
+    )
+    return track_from_waypoints(
+        "waveshare",
+        waypoints,
+        width=0.40,
+        smoothing=4,
+        resolution=resolution,
+        metadata={"figure": "3b", "surface": "printed-mat", "tape_color": "white"},
+    )
+
+
+def track_from_waypoints(
+    name: str,
+    waypoints: np.ndarray,
+    width: float,
+    smoothing: int = 0,
+    resolution: int = 400,
+    metadata: dict[str, Any] | None = None,
+) -> Track:
+    """Build a custom track from rough waypoints.
+
+    ``smoothing`` applies that many passes of closed-loop moving-average
+    smoothing (window 3) after an initial dense resample, which rounds
+    corners enough to keep the bicycle model drivable.  Supports the
+    paper's "modify the shape of the track" beginner assignment.
+    """
+    pts = np.asarray(waypoints, dtype=np.float64)
+    n_dense = max(resolution, 4 * len(pts))
+    dense = resample_closed(pts, n_dense)
+    # Circular moving average; the window grows with the smoothing level
+    # so corners round to a radius proportional to the track size.
+    window = max(3, (n_dense // 60) | 1)
+    kernel = np.ones(window) / window
+    for _ in range(max(0, smoothing)):
+        padded = np.vstack([dense[-window:], dense, dense[:window]])
+        for axis in range(2):
+            dense[:, axis] = np.convolve(padded[:, axis], kernel, mode="same")[
+                window : window + n_dense
+            ]
+    return Track(name, dense, width, resolution=resolution, metadata=metadata)

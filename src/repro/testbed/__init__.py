@@ -1,0 +1,62 @@
+"""Chameleon testbed emulation: identity, hardware, leases, provisioning."""
+
+from repro.testbed.chameleon import Chameleon
+from repro.testbed.jupyter import CellResult, Notebook, NotebookError
+from repro.testbed.compute import (
+    TrainingJob,
+    estimate_batch_time,
+    estimate_training_time,
+)
+from repro.testbed.hardware import (
+    GPU_SPECS,
+    NODE_TYPES,
+    GPUSpec,
+    NodeType,
+    gpu_spec,
+    node_type,
+)
+from repro.testbed.identity import IdentityProvider, Project, Session, User
+from repro.testbed.images import (
+    CC_UBUNTU20,
+    CC_UBUNTU20_CUDA,
+    DiskImage,
+    ImageRegistry,
+)
+from repro.testbed.leases import Lease, LeaseManager, LeaseState
+from repro.testbed.provisioning import (
+    InstanceState,
+    ProvisioningManager,
+    ServerInstance,
+    TrainingRun,
+)
+
+__all__ = [
+    "Chameleon",
+    "Notebook",
+    "CellResult",
+    "NotebookError",
+    "GPUSpec",
+    "NodeType",
+    "GPU_SPECS",
+    "NODE_TYPES",
+    "gpu_spec",
+    "node_type",
+    "IdentityProvider",
+    "User",
+    "Project",
+    "Session",
+    "DiskImage",
+    "ImageRegistry",
+    "CC_UBUNTU20",
+    "CC_UBUNTU20_CUDA",
+    "Lease",
+    "LeaseManager",
+    "LeaseState",
+    "ProvisioningManager",
+    "ServerInstance",
+    "InstanceState",
+    "TrainingRun",
+    "TrainingJob",
+    "estimate_batch_time",
+    "estimate_training_time",
+]

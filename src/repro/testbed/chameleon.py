@@ -1,0 +1,93 @@
+"""The Chameleon facade: one object, the whole datacenter side.
+
+Wraps identity, images, leases, and provisioning over a shared
+discrete-event scheduler — the programmatic interface students drive
+from Jupyter ("users can log into the testbed ... and then interact
+with it via a GUI, or programmatically via the command line and python
+interfaces", §3.2).
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import Clock, EventScheduler
+from repro.objectstore.store import ObjectStore
+from repro.testbed.identity import IdentityProvider, Project, Session, User
+from repro.testbed.images import DiskImage, ImageRegistry
+from repro.testbed.leases import Lease, LeaseManager
+from repro.testbed.provisioning import ProvisioningManager, ServerInstance
+
+__all__ = ["Chameleon"]
+
+
+class Chameleon:
+    """The testbed: identity + images + leases + provisioning + store."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.scheduler = EventScheduler(clock)
+        self.identity = IdentityProvider()
+        self.images = ImageRegistry()
+        self.leases = LeaseManager(self.scheduler, self.identity)
+        self.provisioning = ProvisioningManager(self.scheduler, self.leases)
+        self.object_store = ObjectStore()
+
+    @property
+    def clock(self) -> Clock:
+        """The shared simulated clock."""
+        return self.scheduler.clock
+
+    # ------------------------------------------------- student workflow
+
+    def onboard_class(
+        self,
+        instructor: str,
+        institution: str,
+        students: list[str],
+        allocation_su: float = 10_000.0,
+    ) -> tuple[Project, dict[str, User]]:
+        """Create an education project with an instructor and students."""
+        users = {instructor: self.identity.register_user(instructor, institution, "instructor")}
+        project = self.identity.create_project(
+            title="AutoLearn: Learning in the Edge to Cloud Continuum",
+            pi=instructor,
+            allocation_su=allocation_su,
+        )
+        for student in students:
+            users[student] = self.identity.register_user(student, institution)
+            self.identity.add_member(project.project_id, student)
+        return project, users
+
+    def login(self, username: str, project_id: str) -> Session:
+        """Federated login for a project member."""
+        return self.identity.login(username, project_id, now=self.clock.now)
+
+    def reserve_gpu_node(
+        self,
+        session: Session,
+        node_type: str = "gpu_v100",
+        duration_hours: float = 4.0,
+        start: float | None = None,
+    ) -> Lease:
+        """The notebook's reservation cell (defaults from §3.5: v100)."""
+        return self.leases.create_lease(
+            session,
+            node_type=node_type,
+            node_count=1,
+            start=start,
+            duration_s=duration_hours * 3600.0,
+        )
+
+    def deploy_training_server(
+        self, lease: Lease, image_name: str = "CC-Ubuntu20.04-CUDA"
+    ) -> ServerInstance:
+        """Deploy the CUDA image and install the training stack.
+
+        Reproduces the notebook cell that "deploys Ubuntu 20.04 CUDA
+        image with accelerator support, and then installs ... Donkey,
+        Tensorflow, and CUDNN drivers" (§3.3).
+        """
+        image: DiskImage = self.images.get(image_name)
+        instance = self.provisioning.deploy(lease, image)
+        self.provisioning.install(
+            instance, "donkeycar", "tensorflow", "cudnn", "jupyter", "rsync"
+        )
+        return instance

@@ -1,0 +1,101 @@
+"""GPU training-time cost model (experiment E2).
+
+Translates "train model M on N records for E epochs" into simulated
+seconds on a given accelerator.  Two fidelity levels (the DESIGN.md
+ablation):
+
+* ``simple`` — compute-bound only: FLOPs / sustained FLOP/s.
+* ``roofline`` — per-batch time is the max of the compute term and the
+  memory-traffic term (weights + activations through HBM), which is
+  what actually separates e.g. RTX6000 (fast ALUs, modest GDDR6) from
+  V100 (HBM2) on small-batch training.
+
+Multi-GPU nodes scale with an efficiency factor per extra GPU; NVLink
+parts lose less to gradient exchange — reproducing why the paper lists
+``v100NVLINK`` separately from ``V100``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.testbed.hardware import GPUSpec
+
+__all__ = ["TrainingJob", "estimate_batch_time", "estimate_training_time"]
+
+#: Fixed per-batch host overhead (kernel launch, data staging), seconds.
+_BATCH_OVERHEAD_S = 2e-3
+
+#: Startup overhead per job (graph build, first-batch compilation), s.
+_JOB_OVERHEAD_S = 25.0
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """A training run to be costed.
+
+    ``flops_per_sample`` comes from
+    :func:`repro.ml.training.estimate_flops_per_sample`;
+    ``bytes_per_sample`` is the activation+weight traffic per sample
+    (default: derived from the sample FLOPs with a 1:12 byte:FLOP
+    ratio — conv nets reuse activations heavily, so traffic is well
+    below the naive 1:6 streaming ratio).
+    """
+
+    flops_per_sample: float
+    n_samples: int
+    epochs: int
+    batch_size: int = 64
+    bytes_per_sample: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.flops_per_sample <= 0 or self.n_samples <= 0 or self.epochs <= 0:
+            raise ConfigurationError("job dimensions must be positive")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+
+    @property
+    def traffic_per_sample(self) -> float:
+        """Bytes moved through device memory per sample."""
+        if self.bytes_per_sample is not None:
+            return self.bytes_per_sample
+        return self.flops_per_sample / 12.0
+
+    @property
+    def total_flops(self) -> float:
+        """FLOPs for the whole run."""
+        return self.flops_per_sample * self.n_samples * self.epochs
+
+
+def _multi_gpu_factor(gpu: GPUSpec, gpu_count: int) -> float:
+    """Aggregate speedup of ``gpu_count`` devices (sub-linear)."""
+    if gpu_count < 1:
+        raise ConfigurationError(f"gpu_count must be >= 1, got {gpu_count}")
+    per_extra = 0.95 if "NVLINK" in gpu.name else 0.85
+    return float(sum(per_extra**i for i in range(gpu_count)))
+
+
+def estimate_batch_time(
+    job: TrainingJob, gpu: GPUSpec, gpu_count: int = 1, mode: str = "roofline"
+) -> float:
+    """Seconds per mini-batch on the given accelerator."""
+    if mode not in ("simple", "roofline"):
+        raise ConfigurationError(f"unknown cost mode {mode!r}")
+    factor = _multi_gpu_factor(gpu, gpu_count)
+    compute_s = job.flops_per_sample * job.batch_size / (gpu.effective_flops * factor)
+    if mode == "simple":
+        return compute_s + _BATCH_OVERHEAD_S
+    memory_s = job.traffic_per_sample * job.batch_size / (
+        gpu.mem_bandwidth_gbs * 1e9 * factor
+    )
+    return max(compute_s, memory_s) + _BATCH_OVERHEAD_S
+
+
+def estimate_training_time(
+    job: TrainingJob, gpu: GPUSpec, gpu_count: int = 1, mode: str = "roofline"
+) -> float:
+    """Wall-clock seconds for the full training run."""
+    batches_per_epoch = -(-job.n_samples // job.batch_size)  # ceil div
+    batch_s = estimate_batch_time(job, gpu, gpu_count, mode)
+    return _JOB_OVERHEAD_S + job.epochs * batches_per_epoch * batch_s

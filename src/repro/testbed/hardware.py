@@ -1,0 +1,118 @@
+"""Chameleon hardware catalog and GPU performance model.
+
+§3.2 of the paper describes the inventory this module encodes: "a large
+investment in accelerators ranging from 40 nodes with a single Nvidia
+RTX6000 GPU for general use, to sets of 4 nodes each with 4x Nvidia
+V100, P100, or A100 Datacenter GPUs and InfiniBand interconnects ...
+Smaller numbers of nodes with other architectures (Nvidia M40, K80,
+AMD MI100)".  §3.3 adds the training matrix: "We tested this process
+on a range of GPU nodes available via Chameleon including A100, V100,
+v100NVLINK, RTX6000, and P100."
+
+The GPU speed model is deliberately simple (peak FP32 throughput x a
+sustained-efficiency factor, plus a memory-bandwidth roofline used by
+the ablation) — experiment E2 only needs the relative ordering of
+training times across node types, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import NoSuchResourceError
+
+__all__ = ["GPUSpec", "NodeType", "GPU_SPECS", "NODE_TYPES", "gpu_spec", "node_type"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One accelerator model.
+
+    ``fp32_tflops`` is peak single-precision throughput;
+    ``mem_bandwidth_gbs`` feeds the roofline ablation;
+    ``efficiency`` is the sustained fraction of peak a real training
+    loop achieves (datacenter parts sustain more of peak than the
+    older/maxwell parts).
+    """
+
+    name: str
+    fp32_tflops: float
+    mem_bandwidth_gbs: float
+    mem_gb: float
+    efficiency: float = 0.45
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained FLOP/s for training workloads."""
+        return self.fp32_tflops * 1e12 * self.efficiency
+
+
+#: Accelerators named in the paper, with public datasheet numbers.
+GPU_SPECS: dict[str, GPUSpec] = {
+    "A100": GPUSpec("A100", 19.5, 1555.0, 40.0, efficiency=0.55),
+    "V100": GPUSpec("V100", 15.7, 900.0, 32.0, efficiency=0.50),
+    "V100-NVLINK": GPUSpec("V100-NVLINK", 15.7, 900.0, 32.0, efficiency=0.53),
+    "RTX6000": GPUSpec("RTX6000", 16.3, 672.0, 24.0, efficiency=0.45),
+    "P100": GPUSpec("P100", 10.6, 732.0, 16.0, efficiency=0.45),
+    "M40": GPUSpec("M40", 7.0, 288.0, 24.0, efficiency=0.35),
+    "K80": GPUSpec("K80", 8.7, 480.0, 24.0, efficiency=0.30),
+    "MI100": GPUSpec("MI100", 23.1, 1229.0, 32.0, efficiency=0.40),
+}
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """A class of bare-metal nodes at one site."""
+
+    name: str
+    site: str
+    gpu: str | None
+    gpu_count: int
+    node_count: int
+    interconnect: str = "10GbE"
+    tags: tuple[str, ...] = field(default=())
+
+    def gpu_spec(self) -> GPUSpec | None:
+        """Spec of this node's accelerator (None for CPU nodes)."""
+        return GPU_SPECS[self.gpu] if self.gpu else None
+
+
+#: The published inventory (counts from §3.2); sites reflect the two
+#: principal Chameleon sites.
+NODE_TYPES: dict[str, NodeType] = {
+    nt.name: nt
+    for nt in [
+        NodeType("gpu_rtx_6000", "CHI@TACC", "RTX6000", 1, 40, tags=("general",)),
+        NodeType("gpu_v100", "CHI@UC", "V100", 4, 4, "InfiniBand", ("scale",)),
+        NodeType(
+            "gpu_v100_nvlink", "CHI@UC", "V100-NVLINK", 4, 4, "InfiniBand", ("scale",)
+        ),
+        NodeType("gpu_p100", "CHI@TACC", "P100", 4, 4, "InfiniBand", ("scale",)),
+        NodeType("gpu_a100", "CHI@TACC", "A100", 4, 4, "InfiniBand", ("scale",)),
+        NodeType("gpu_m40", "CHI@UC", "M40", 1, 2, tags=("legacy",)),
+        NodeType("gpu_k80", "CHI@UC", "K80", 1, 2, tags=("legacy",)),
+        NodeType("gpu_mi100", "CHI@TACC", "MI100", 1, 2, tags=("amd",)),
+        NodeType("compute_skylake", "CHI@TACC", None, 0, 32, tags=("cpu",)),
+        NodeType("compute_cascadelake", "CHI@UC", None, 0, 32, tags=("cpu",)),
+    ]
+}
+
+
+def gpu_spec(name: str) -> GPUSpec:
+    """Look up an accelerator spec by name."""
+    try:
+        return GPU_SPECS[name]
+    except KeyError:
+        raise NoSuchResourceError(
+            f"unknown GPU {name!r}; known: {sorted(GPU_SPECS)}"
+        ) from None
+
+
+def node_type(name: str) -> NodeType:
+    """Look up a node type by name."""
+    try:
+        return NODE_TYPES[name]
+    except KeyError:
+        raise NoSuchResourceError(
+            f"unknown node type {name!r}; known: {sorted(NODE_TYPES)}"
+        ) from None

@@ -1,0 +1,157 @@
+"""Federated identity and projects.
+
+"to gain access all educational users need to do is request a project
+in computer science education ... users can log into the testbed with
+their institutional credentials via federated identity login" — §3.2.
+
+The emulation models users with home institutions, projects with
+allocations (service units), project membership, and login sessions
+(tokens) that every testbed call authenticates against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import AuthenticationError, QuotaExceededError
+from repro.common.ids import IdFactory
+
+__all__ = ["User", "Project", "Session", "IdentityProvider"]
+
+
+@dataclass
+class User:
+    """A federated user (institutional credentials)."""
+
+    username: str
+    institution: str
+    role: str = "student"  # student | instructor | ta | researcher
+
+
+@dataclass
+class Project:
+    """A Chameleon project with a service-unit allocation."""
+
+    project_id: str
+    title: str
+    domain: str  # e.g. "computer science education"
+    allocation_su: float
+    charged_su: float = 0.0
+    members: set[str] = field(default_factory=set)
+    pi: str = ""
+
+    @property
+    def remaining_su(self) -> float:
+        """Service units left on the allocation."""
+        return self.allocation_su - self.charged_su
+
+    def charge(self, su: float) -> None:
+        """Charge usage against the allocation."""
+        if su < 0:
+            raise ValueError(f"cannot charge negative SUs: {su}")
+        if su > self.remaining_su + 1e-9:
+            raise QuotaExceededError(
+                f"project {self.project_id}: charge of {su:.1f} SU exceeds "
+                f"remaining {self.remaining_su:.1f} SU"
+            )
+        self.charged_su += su
+
+
+@dataclass(frozen=True)
+class Session:
+    """An authenticated login session."""
+
+    token: str
+    username: str
+    project_id: str
+    issued_at: float
+
+
+class IdentityProvider:
+    """User/project registry plus login session issuance."""
+
+    def __init__(self) -> None:
+        self._users: dict[str, User] = {}
+        self._projects: dict[str, Project] = {}
+        self._sessions: dict[str, Session] = {}
+        self._ids = IdFactory()
+
+    # ------------------------------------------------------- directory
+
+    def register_user(self, username: str, institution: str, role: str = "student") -> User:
+        """Register a federated user."""
+        if username in self._users:
+            raise AuthenticationError(f"user {username!r} already exists")
+        user = User(username, institution, role)
+        self._users[username] = user
+        return user
+
+    def create_project(
+        self, title: str, pi: str, domain: str = "computer science education",
+        allocation_su: float = 10_000.0,
+    ) -> Project:
+        """Request a project (PI must be a registered user)."""
+        if pi not in self._users:
+            raise AuthenticationError(f"unknown PI {pi!r}")
+        project = Project(
+            project_id=self._ids.next("proj"),
+            title=title,
+            domain=domain,
+            allocation_su=allocation_su,
+            pi=pi,
+        )
+        project.members.add(pi)
+        self._projects[project.project_id] = project
+        return project
+
+    def add_member(self, project_id: str, username: str) -> None:
+        """Add a user to a project."""
+        project = self.project(project_id)
+        if username not in self._users:
+            raise AuthenticationError(f"unknown user {username!r}")
+        project.members.add(username)
+
+    def project(self, project_id: str) -> Project:
+        """Look up a project."""
+        try:
+            return self._projects[project_id]
+        except KeyError:
+            raise AuthenticationError(f"unknown project {project_id!r}") from None
+
+    def user(self, username: str) -> User:
+        """Look up a user."""
+        try:
+            return self._users[username]
+        except KeyError:
+            raise AuthenticationError(f"unknown user {username!r}") from None
+
+    # ----------------------------------------------------------- login
+
+    def login(self, username: str, project_id: str, now: float = 0.0) -> Session:
+        """Federated login: returns a session token for the project."""
+        if username not in self._users:
+            raise AuthenticationError(f"unknown user {username!r}")
+        project = self.project(project_id)
+        if username not in project.members:
+            raise AuthenticationError(
+                f"user {username!r} is not a member of {project_id}"
+            )
+        session = Session(
+            token=self._ids.next("tok"),
+            username=username,
+            project_id=project_id,
+            issued_at=now,
+        )
+        self._sessions[session.token] = session
+        return session
+
+    def authenticate(self, token: str) -> Session:
+        """Validate a session token."""
+        try:
+            return self._sessions[token]
+        except KeyError:
+            raise AuthenticationError("invalid or expired session token") from None
+
+    def logout(self, token: str) -> None:
+        """Invalidate a session token."""
+        self._sessions.pop(token, None)

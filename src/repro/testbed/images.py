@@ -1,0 +1,74 @@
+"""Disk-image registry.
+
+The training notebook "deploys Ubuntu 20.04 CUDA image with accelerator
+support, and then installs and configures all the required dependencies
+including Donkey, Tensorflow, and CUDNN drivers" (§3.3).  Images carry
+the preinstalled software set and a deploy-time cost; extra packages
+are installed post-boot at a per-package cost — which is exactly what
+the "zero to ready" comparison (E4) measures against the edge path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import NoSuchResourceError
+
+__all__ = ["DiskImage", "ImageRegistry", "CC_UBUNTU20_CUDA", "CC_UBUNTU20"]
+
+
+@dataclass(frozen=True)
+class DiskImage:
+    """A deployable image."""
+
+    name: str
+    os: str
+    size_gb: float
+    preinstalled: frozenset[str] = field(default_factory=frozenset)
+    supports_gpu: bool = False
+
+
+#: Chameleon's stock CUDA image used by the training notebook.
+CC_UBUNTU20_CUDA = DiskImage(
+    name="CC-Ubuntu20.04-CUDA",
+    os="ubuntu-20.04",
+    size_gb=12.0,
+    preinstalled=frozenset({"cuda", "cudnn", "nvidia-driver", "python3"}),
+    supports_gpu=True,
+)
+
+CC_UBUNTU20 = DiskImage(
+    name="CC-Ubuntu20.04",
+    os="ubuntu-20.04",
+    size_gb=3.0,
+    preinstalled=frozenset({"python3"}),
+    supports_gpu=False,
+)
+
+
+class ImageRegistry:
+    """Named image store (Glance equivalent)."""
+
+    def __init__(self) -> None:
+        self._images: dict[str, DiskImage] = {}
+        for image in (CC_UBUNTU20_CUDA, CC_UBUNTU20):
+            self._images[image.name] = image
+
+    def register(self, image: DiskImage) -> None:
+        """Add a custom image (e.g. a student snapshot)."""
+        if image.name in self._images:
+            raise NoSuchResourceError(f"image {image.name!r} already registered")
+        self._images[image.name] = image
+
+    def get(self, name: str) -> DiskImage:
+        """Look up an image by name."""
+        try:
+            return self._images[name]
+        except KeyError:
+            raise NoSuchResourceError(
+                f"unknown image {name!r}; known: {sorted(self._images)}"
+            ) from None
+
+    def list(self) -> list[str]:
+        """All image names."""
+        return sorted(self._images)

@@ -1,0 +1,193 @@
+"""Jupyter-notebook emulation and ``.ipynb`` export.
+
+§3.2: "Chameleon integrates the programmatic interfaces with Jupyter so
+that users can package their experiments more easily and combine
+experimental environment creation, experiment body, and analysis in one
+set of notebooks."  §3.5: "Leveraging the programmatic interface to the
+system via Jupyter notebook was in general very helpful as it allowed
+us to streamline often complex configuration of highly programmable
+resources by combining them in Jupyter cells that can be executed with
+one click."
+
+:class:`Notebook` models exactly that: markdown and code cells, where a
+code cell's payload is a Python callable over a shared context dict
+(the "kernel namespace").  Executions feed Trovi's §5 metric ("the
+execution of at least one cell in the artifact packaging") when a hub
+is attached, and the notebook serialises to valid nbformat-4 JSON so
+the published artifact bundle contains real ``.ipynb`` files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import ConfigurationError, ReproError
+
+__all__ = ["CellResult", "Notebook", "NotebookError"]
+
+
+class NotebookError(ReproError):
+    """A code cell raised during execution."""
+
+
+@dataclass
+class CellResult:
+    """Outcome of one code-cell execution."""
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: str = ""
+    execution_count: int = 0
+
+
+@dataclass
+class _Cell:
+    kind: str  # "markdown" | "code"
+    source: str
+    action: Callable[[dict[str, Any]], Any] | None = None
+    execution_count: int = 0
+    outputs: list[str] = field(default_factory=list)
+
+
+class Notebook:
+    """An executable notebook over a shared context namespace."""
+
+    def __init__(self, name: str, context: dict[str, Any] | None = None) -> None:
+        if not name:
+            raise ConfigurationError("notebook needs a name")
+        self.name = name if name.endswith(".ipynb") else f"{name}.ipynb"
+        self.context: dict[str, Any] = context if context is not None else {}
+        self._cells: list[_Cell] = []
+        self._execution_counter = 0
+        self.hub = None
+        self.artifact_id = ""
+        self.user = ""
+
+    # ------------------------------------------------------- authoring
+
+    def add_markdown(self, source: str) -> int:
+        """Append a markdown cell; returns its index."""
+        self._cells.append(_Cell("markdown", source))
+        return len(self._cells) - 1
+
+    def add_code(
+        self, source: str, action: Callable[[dict[str, Any]], Any]
+    ) -> int:
+        """Append a code cell.
+
+        ``source`` is the display text; ``action`` is the payload —
+        called with the shared context dict, its return value becomes
+        the cell output (and is stored in the context under
+        ``_<index>``).
+        """
+        if not callable(action):
+            raise ConfigurationError("code cell action must be callable")
+        self._cells.append(_Cell("code", source, action))
+        return len(self._cells) - 1
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def code_cells(self) -> list[int]:
+        """Indexes of code cells."""
+        return [i for i, c in enumerate(self._cells) if c.kind == "code"]
+
+    # ------------------------------------------------------- execution
+
+    def attach_hub(self, hub, artifact_id: str, user: str) -> None:
+        """Report cell executions to a Trovi hub (§5's counter)."""
+        self.hub = hub
+        self.artifact_id = artifact_id
+        self.user = user
+
+    def run_cell(self, index: int) -> CellResult:
+        """Execute one code cell ("executed with one click")."""
+        try:
+            cell = self._cells[index]
+        except IndexError:
+            raise ConfigurationError(f"no cell {index}") from None
+        if cell.kind != "code":
+            raise ConfigurationError(f"cell {index} is markdown, not code")
+        self._execution_counter += 1
+        cell.execution_count = self._execution_counter
+        if self.hub is not None:
+            self.hub.execute_cell(self.artifact_id, self.user, cell_index=index)
+        try:
+            value = cell.action(self.context)
+        except Exception as exc:  # the classroom reality: cells fail
+            cell.outputs = [f"{type(exc).__name__}: {exc}"]
+            return CellResult(
+                index=index, ok=False, error=cell.outputs[0],
+                execution_count=cell.execution_count,
+            )
+        cell.outputs = [] if value is None else [repr(value)]
+        self.context[f"_{index}"] = value
+        return CellResult(
+            index=index, ok=True, value=value,
+            execution_count=cell.execution_count,
+        )
+
+    def run_all(self, stop_on_error: bool = True) -> list[CellResult]:
+        """Run every code cell top to bottom (the "Run All" button)."""
+        results = []
+        for index in self.code_cells:
+            result = self.run_cell(index)
+            results.append(result)
+            if not result.ok and stop_on_error:
+                raise NotebookError(
+                    f"{self.name} cell {index} failed: {result.error}"
+                )
+        return results
+
+    # ---------------------------------------------------------- export
+
+    def to_ipynb(self) -> str:
+        """Serialise to nbformat-4 JSON (a real ``.ipynb`` file)."""
+        cells = []
+        for cell in self._cells:
+            if cell.kind == "markdown":
+                cells.append(
+                    {"cell_type": "markdown", "metadata": {},
+                     "source": cell.source.splitlines(keepends=True)}
+                )
+            else:
+                outputs = [
+                    {
+                        "output_type": "execute_result",
+                        "data": {"text/plain": [line]},
+                        "metadata": {},
+                        "execution_count": cell.execution_count or None,
+                    }
+                    for line in cell.outputs
+                ]
+                cells.append(
+                    {
+                        "cell_type": "code",
+                        "metadata": {},
+                        "source": cell.source.splitlines(keepends=True),
+                        "execution_count": cell.execution_count or None,
+                        "outputs": outputs,
+                    }
+                )
+        doc = {
+            "nbformat": 4,
+            "nbformat_minor": 5,
+            "metadata": {
+                "kernelspec": {
+                    "name": "python3",
+                    "display_name": "Python 3",
+                    "language": "python",
+                },
+                "language_info": {"name": "python", "version": "3.11"},
+            },
+            "cells": cells,
+        }
+        return json.dumps(doc, indent=1)
+
+    def to_bytes(self) -> bytes:
+        """The ``.ipynb`` payload for an artifact bundle."""
+        return self.to_ipynb().encode("utf-8")

@@ -1,0 +1,215 @@
+"""Leases and advance reservations.
+
+"All hardware is available either on-demand or via advance
+reservations so that users can reserve required resources ahead of
+time, for example, to manage resource scarcity or to guarantee
+resource availability at a specific time slot for a class or a
+demonstration." — §3.2.
+
+The lease manager tracks per-node reservation calendars (interval
+overlap checks), charges service units against the project allocation,
+and drives lease state transitions (PENDING -> ACTIVE -> EXPIRED) off
+the shared simulated clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.clock import EventScheduler
+from repro.common.errors import (
+    LeaseError,
+    NoSuchResourceError,
+    ReservationConflictError,
+)
+from repro.common.ids import IdFactory
+from repro.testbed.hardware import NODE_TYPES, NodeType
+from repro.testbed.identity import IdentityProvider, Session
+
+__all__ = ["LeaseState", "Lease", "LeaseManager"]
+
+#: Service-unit cost per node-hour (Chameleon charges 1 SU/node-hour).
+SU_PER_NODE_HOUR = 1.0
+
+
+class LeaseState(enum.Enum):
+    """Lifecycle of a lease."""
+
+    PENDING = "pending"
+    ACTIVE = "active"
+    EXPIRED = "expired"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class Lease:
+    """A reservation of ``node_ids`` for [start, end)."""
+
+    lease_id: str
+    project_id: str
+    username: str
+    node_type: str
+    node_ids: tuple[str, ...]
+    start: float
+    end: float
+    state: LeaseState = LeaseState.PENDING
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def duration_hours(self) -> float:
+        """Lease length in hours."""
+        return (self.end - self.start) / 3600.0
+
+    @property
+    def su_cost(self) -> float:
+        """Service units charged for this lease."""
+        return SU_PER_NODE_HOUR * len(self.node_ids) * self.duration_hours
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Whether [start, end) intersects this lease's window."""
+        return self.start < end and start < self.end
+
+
+class LeaseManager:
+    """Per-node reservation calendars over the testbed inventory."""
+
+    def __init__(
+        self, scheduler: EventScheduler, identity: IdentityProvider,
+        node_types: dict[str, NodeType] | None = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.identity = identity
+        self.node_types = dict(node_types or NODE_TYPES)
+        self._ids = IdFactory()
+        self._leases: dict[str, Lease] = {}
+        # node id -> list of lease ids holding reservations on it
+        self._calendar: dict[str, list[str]] = {}
+        self._nodes: dict[str, list[str]] = {
+            name: [f"{name}-n{i:02d}" for i in range(nt.node_count)]
+            for name, nt in self.node_types.items()
+        }
+
+    # ------------------------------------------------------- inventory
+
+    def nodes_of_type(self, node_type: str) -> list[str]:
+        """All node ids of a type."""
+        try:
+            return list(self._nodes[node_type])
+        except KeyError:
+            raise NoSuchResourceError(f"unknown node type {node_type!r}") from None
+
+    def available_nodes(self, node_type: str, start: float, end: float) -> list[str]:
+        """Node ids of a type with no reservation overlapping [start, end)."""
+        if end <= start:
+            raise LeaseError(f"empty lease window: [{start}, {end})")
+        free = []
+        for node_id in self.nodes_of_type(node_type):
+            conflicts = (
+                self._leases[lid].overlaps(start, end)
+                for lid in self._calendar.get(node_id, [])
+                if self._leases[lid].state
+                in (LeaseState.PENDING, LeaseState.ACTIVE)
+            )
+            if not any(conflicts):
+                free.append(node_id)
+        return free
+
+    # ---------------------------------------------------------- leases
+
+    def create_lease(
+        self,
+        session: Session,
+        node_type: str,
+        node_count: int = 1,
+        start: float | None = None,
+        duration_s: float = 4 * 3600.0,
+    ) -> Lease:
+        """Reserve ``node_count`` nodes (on-demand if ``start`` is None).
+
+        Charges the project allocation up front; raises
+        :class:`ReservationConflictError` if not enough nodes are free
+        in the window.
+        """
+        self.identity.authenticate(session.token)
+        if node_count <= 0 or duration_s <= 0:
+            raise LeaseError("node_count and duration must be positive")
+        now = self.scheduler.clock.now
+        start = now if start is None else float(start)
+        if start < now:
+            raise LeaseError(f"lease start {start} is in the past (now={now})")
+        end = start + duration_s
+
+        free = self.available_nodes(node_type, start, end)
+        if len(free) < node_count:
+            raise ReservationConflictError(
+                f"only {len(free)} {node_type} nodes free in "
+                f"[{start:.0f}, {end:.0f}), need {node_count}"
+            )
+        lease = Lease(
+            lease_id=self._ids.next("lease"),
+            project_id=session.project_id,
+            username=session.username,
+            node_type=node_type,
+            node_ids=tuple(free[:node_count]),
+            start=start,
+            end=end,
+        )
+        self.identity.project(session.project_id).charge(lease.su_cost)
+        self._leases[lease.lease_id] = lease
+        for node_id in lease.node_ids:
+            self._calendar.setdefault(node_id, []).append(lease.lease_id)
+
+        lease.events.append(f"created at {now:.0f}")
+        if start == now:
+            self._activate(lease.lease_id)
+        else:
+            self.scheduler.schedule_at(start, lambda: self._activate(lease.lease_id))
+        self.scheduler.schedule_at(end, lambda: self._expire(lease.lease_id))
+        return lease
+
+    def _activate(self, lease_id: str) -> None:
+        lease = self.get(lease_id)
+        if lease.state is LeaseState.PENDING:
+            lease.state = LeaseState.ACTIVE
+            lease.events.append(f"active at {self.scheduler.clock.now:.0f}")
+
+    def _expire(self, lease_id: str) -> None:
+        lease = self.get(lease_id)
+        if lease.state is LeaseState.ACTIVE:
+            lease.state = LeaseState.EXPIRED
+            lease.events.append(f"expired at {self.scheduler.clock.now:.0f}")
+
+    def terminate(self, lease_id: str) -> None:
+        """End a lease early (partial SU refund for the unused tail)."""
+        lease = self.get(lease_id)
+        if lease.state in (LeaseState.EXPIRED, LeaseState.TERMINATED):
+            raise LeaseError(f"lease {lease_id} already ended ({lease.state.value})")
+        now = self.scheduler.clock.now
+        if lease.state is LeaseState.ACTIVE and now < lease.end:
+            unused_hours = (lease.end - now) / 3600.0
+            refund = SU_PER_NODE_HOUR * len(lease.node_ids) * unused_hours
+            project = self.identity.project(lease.project_id)
+            project.charged_su = max(0.0, project.charged_su - refund)
+        lease.state = LeaseState.TERMINATED
+        lease.events.append(f"terminated at {now:.0f}")
+
+    def get(self, lease_id: str) -> Lease:
+        """Look up a lease."""
+        try:
+            return self._leases[lease_id]
+        except KeyError:
+            raise NoSuchResourceError(f"unknown lease {lease_id!r}") from None
+
+    def require_active(self, lease_id: str) -> Lease:
+        """Fetch a lease that must currently be ACTIVE (for provisioning)."""
+        lease = self.get(lease_id)
+        if lease.state is not LeaseState.ACTIVE:
+            raise LeaseError(
+                f"lease {lease_id} is {lease.state.value}, not active"
+            )
+        return lease
+
+    def leases_for_project(self, project_id: str) -> list[Lease]:
+        """All leases belonging to a project."""
+        return [l for l in self._leases.values() if l.project_id == project_id]

@@ -1,0 +1,213 @@
+"""Bare-metal provisioning: deploy images, install software, run jobs.
+
+"The hardware is re-configurable on bare metal level" (§3.2); the
+training notebook "reserves Chameleon hardware, deploys Ubuntu 20.04
+CUDA image with accelerator support, and then installs and configures
+all the required dependencies including Donkey, Tensorflow, and CUDNN
+drivers" (§3.3).  Instances boot after a bare-metal deploy delay, carry
+an installed-software set, and execute :class:`TrainingJob` workloads
+through the GPU cost model — optionally running the *real* numpy
+training alongside to produce actual weights (the E1/E2 bridge).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.clock import EventScheduler
+from repro.common.errors import ProvisioningError
+from repro.common.ids import IdFactory
+from repro.testbed.compute import TrainingJob, estimate_training_time
+from repro.testbed.hardware import NodeType, node_type as lookup_node_type
+from repro.testbed.images import DiskImage
+from repro.testbed.leases import Lease, LeaseManager, LeaseState
+
+__all__ = ["InstanceState", "ServerInstance", "ProvisioningManager", "TrainingRun"]
+
+#: Bare-metal deployment takes ~10 minutes on Chameleon.
+BARE_METAL_DEPLOY_S = 600.0
+
+#: Per-package install cost (pip/apt over the campus network), seconds.
+PACKAGE_INSTALL_S = {
+    "donkeycar": 90.0,
+    "tensorflow": 180.0,
+    "cudnn": 120.0,
+    "jupyter": 45.0,
+    "rsync": 5.0,
+}
+DEFAULT_INSTALL_S = 30.0
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle of a provisioned server."""
+
+    BUILDING = "building"
+    ACTIVE = "active"
+    DELETED = "deleted"
+
+
+@dataclass
+class TrainingRun:
+    """Record of a training job executed on an instance."""
+
+    job: TrainingJob
+    gpu_name: str
+    gpu_count: int
+    simulated_seconds: float
+    started_at: float
+    cost_mode: str
+
+
+@dataclass
+class ServerInstance:
+    """A deployed bare-metal server bound to a lease."""
+
+    instance_id: str
+    node_id: str
+    node_type: NodeType
+    image: DiskImage
+    lease_id: str
+    state: InstanceState = InstanceState.BUILDING
+    installed: set[str] = field(default_factory=set)
+    runs: list[TrainingRun] = field(default_factory=list)
+
+    def require_active(self) -> None:
+        if self.state is not InstanceState.ACTIVE:
+            raise ProvisioningError(
+                f"instance {self.instance_id} is {self.state.value}, not active"
+            )
+
+    def has_software(self, name: str) -> bool:
+        """Whether a package is available (preinstalled or installed)."""
+        return name in self.installed or name in self.image.preinstalled
+
+
+class ProvisioningManager:
+    """Deploys instances onto leased nodes and runs workloads on them."""
+
+    def __init__(self, scheduler: EventScheduler, leases: LeaseManager) -> None:
+        self.scheduler = scheduler
+        self.leases = leases
+        self._ids = IdFactory()
+        self._instances: dict[str, ServerInstance] = {}
+        self._node_in_use: dict[str, str] = {}  # node_id -> instance_id
+
+    # ---------------------------------------------------------- deploy
+
+    def deploy(
+        self, lease: Lease, image: DiskImage, node_id: str | None = None
+    ) -> ServerInstance:
+        """Deploy ``image`` on one node of an ACTIVE lease.
+
+        Advances simulated time by the bare-metal deploy delay and
+        returns the instance in ACTIVE state (the notebook cell blocks
+        until the server is reachable).
+        """
+        live = self.leases.get(lease.lease_id)
+        if live.state is not LeaseState.ACTIVE:
+            raise ProvisioningError(
+                f"lease {lease.lease_id} is {live.state.value}; deploy needs an "
+                "active lease"
+            )
+        node_id = node_id or next(
+            (n for n in live.node_ids if n not in self._node_in_use), None
+        )
+        if node_id is None:
+            raise ProvisioningError(f"all nodes of lease {lease.lease_id} are in use")
+        if node_id not in live.node_ids:
+            raise ProvisioningError(f"node {node_id} is not part of lease {lease.lease_id}")
+        nt = lookup_node_type(live.node_type)
+        if image.supports_gpu and nt.gpu is None:
+            raise ProvisioningError(
+                f"image {image.name} requires a GPU node; {nt.name} has none"
+            )
+        instance = ServerInstance(
+            instance_id=self._ids.next("srv"),
+            node_id=node_id,
+            node_type=nt,
+            image=image,
+            lease_id=lease.lease_id,
+        )
+        self._instances[instance.instance_id] = instance
+        self._node_in_use[node_id] = instance.instance_id
+        self.scheduler.clock.advance(BARE_METAL_DEPLOY_S)
+        instance.state = InstanceState.ACTIVE
+        return instance
+
+    def delete(self, instance_id: str) -> None:
+        """Tear an instance down, freeing its node."""
+        instance = self.get(instance_id)
+        instance.state = InstanceState.DELETED
+        self._node_in_use.pop(instance.node_id, None)
+
+    def get(self, instance_id: str) -> ServerInstance:
+        """Look up an instance."""
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise ProvisioningError(f"unknown instance {instance_id!r}") from None
+
+    # --------------------------------------------------------- software
+
+    def install(self, instance: ServerInstance, *packages: str) -> float:
+        """Install packages; returns simulated seconds spent."""
+        instance.require_active()
+        total = 0.0
+        for package in packages:
+            if instance.has_software(package):
+                continue
+            cost = PACKAGE_INSTALL_S.get(package, DEFAULT_INSTALL_S)
+            instance.installed.add(package)
+            total += cost
+        self.scheduler.clock.advance(total)
+        return total
+
+    # --------------------------------------------------------- training
+
+    def run_training_job(
+        self,
+        instance: ServerInstance,
+        job: TrainingJob,
+        cost_mode: str = "roofline",
+        required_software: tuple[str, ...] = ("tensorflow", "donkeycar"),
+    ) -> TrainingRun:
+        """Execute a costed training job on the instance's GPUs.
+
+        Simulated time advances by the cost-model estimate; the lease
+        must still be active when the job *finishes* (jobs that outlive
+        their lease die with it, as on the real testbed).
+        """
+        instance.require_active()
+        for package in required_software:
+            if not instance.has_software(package):
+                raise ProvisioningError(
+                    f"instance {instance.instance_id} lacks {package!r}; "
+                    "run install() first (the notebook's dependency cell)"
+                )
+        gpu = instance.node_type.gpu_spec()
+        if gpu is None:
+            raise ProvisioningError(
+                f"node type {instance.node_type.name} has no GPU for training"
+            )
+        seconds = estimate_training_time(
+            job, gpu, instance.node_type.gpu_count, mode=cost_mode
+        )
+        started = self.scheduler.clock.now
+        lease = self.leases.get(instance.lease_id)
+        if started + seconds > lease.end:
+            raise ProvisioningError(
+                f"training ({seconds:.0f}s) would outlive lease "
+                f"{lease.lease_id} (ends {lease.end:.0f}); extend the lease"
+            )
+        self.scheduler.run_until(started + seconds)
+        run = TrainingRun(
+            job=job,
+            gpu_name=gpu.name,
+            gpu_count=instance.node_type.gpu_count,
+            simulated_seconds=seconds,
+            started_at=started,
+            cost_mode=cost_mode,
+        )
+        instance.runs.append(run)
+        return run

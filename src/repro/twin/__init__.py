@@ -1,0 +1,5 @@
+"""Digital twin: sim-versus-real comparison (paper §3.4, experiment E9)."""
+
+from repro.twin.digital_twin import TwinReport, perturbed_reality, run_twin_comparison
+
+__all__ = ["TwinReport", "perturbed_reality", "run_twin_comparison"]

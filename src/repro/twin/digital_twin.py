@@ -1,0 +1,169 @@
+"""Digital twin: simulation versus reality (paper §3.3/§3.4, E9).
+
+"combining the simulator and real-life validation can lead to
+interesting exploration of digital twin modeling" — the same trained
+model is evaluated in the *simulator* (nominal plant, clean sensing)
+and on the *real car* (perturbed plant: heavier, laggier, noisier —
+the systematic sim-to-real differences of a physical kit), and the
+divergence between the two runs is quantified.
+
+The "real" car here is the simulator with a perturbed
+:class:`~repro.sim.dynamics.CarParams` and higher sensor noise — the
+substitution DESIGN.md §2 documents.  The *twin gap* metrics are the
+deliverable: they are exactly what a student's digital-twin project
+would report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.ml.models.base import DonkeyModel
+from repro.sim.dynamics import CarParams, PIRACER_PARAMS
+from repro.sim.renderer import CameraParams
+from repro.sim.session import DrivingSession
+from repro.sim.tracks import Track
+
+__all__ = ["TwinReport", "perturbed_reality", "run_twin_comparison"]
+
+
+@dataclass(frozen=True)
+class TwinReport:
+    """Divergence between the simulated and 'real' runs."""
+
+    sim_laps: int
+    real_laps: int
+    sim_mean_lap_time: float
+    real_mean_lap_time: float
+    sim_mean_speed: float
+    real_mean_speed: float
+    sim_errors: int
+    real_errors: int
+    cte_profile_rmse: float  # RMSE between cte-vs-arclength profiles
+    speed_profile_rmse: float
+
+    @property
+    def lap_time_gap(self) -> float:
+        """Relative lap-time difference (real vs sim)."""
+        if self.sim_mean_lap_time == 0:
+            return float("inf") if self.real_mean_lap_time else 0.0
+        return (
+            self.real_mean_lap_time - self.sim_mean_lap_time
+        ) / self.sim_mean_lap_time
+
+    @property
+    def twin_gap(self) -> float:
+        """Scalar twin-fidelity score (0 = perfect twin)."""
+        return float(
+            abs(self.lap_time_gap)
+            + self.cte_profile_rmse
+            + 0.25 * self.speed_profile_rmse
+        )
+
+
+def perturbed_reality(
+    base: CarParams = PIRACER_PARAMS,
+    severity: float = 1.0,
+    seed: int = 0,
+) -> CarParams:
+    """A 'real car' plant: systematic offsets scaled by ``severity``.
+
+    Real kits are heavier (lower accel, lower top speed), have laggier
+    ESCs, and slightly asymmetric steering reach.  ``severity=0``
+    returns the nominal plant.
+    """
+    if severity < 0:
+        raise ConfigurationError(f"severity must be >= 0, got {severity}")
+    rng = np.random.default_rng(seed)
+    sign = rng.choice([-1.0, 1.0])
+    return replace(
+        base,
+        max_speed=base.max_speed * (1.0 - 0.12 * severity),
+        max_accel=base.max_accel * (1.0 - 0.15 * severity),
+        throttle_tau=base.throttle_tau * (1.0 + 0.5 * severity),
+        steering_tau=base.steering_tau * (1.0 + 0.4 * severity),
+        max_steering_angle=base.max_steering_angle
+        * (1.0 + sign * 0.06 * severity),
+    )
+
+
+def _make_pilot(session: DrivingSession, model):
+    """Resolve the pilot: a trained model, or the scripted expert.
+
+    Passing ``"expert"`` drives with the pure-pursuit controller — the
+    twin comparison then isolates *plant* differences from model
+    quality (the recommended mode for quantifying the twin gap).
+    """
+    if isinstance(model, str):
+        if model != "expert":
+            raise ConfigurationError(f"unknown pilot spec {model!r}")
+        from repro.core.drivers import PurePursuitDriver
+
+        driver = PurePursuitDriver(session)
+        return lambda obs: driver(obs.image, obs.cte, obs.speed)
+    model.reset_state()
+    return lambda obs: model.run(obs.image)
+
+
+def _profile(session: DrivingSession, model, ticks: int, bins: int):
+    """Drive and histogram cte/speed against arclength bins."""
+    pilot = _make_pilot(session, model)
+    track = session.track
+    cte_sum = np.zeros(bins)
+    speed_sum = np.zeros(bins)
+    counts = np.zeros(bins)
+    obs = session.reset()
+    for _ in range(ticks):
+        steering, throttle = pilot(obs)
+        obs = session.step(steering, throttle)
+        b = min(int(obs.arclength / track.length * bins), bins - 1)
+        cte_sum[b] += obs.cte
+        speed_sum[b] += obs.speed
+        counts[b] += 1
+    safe = np.maximum(counts, 1)
+    return cte_sum / safe, speed_sum / safe, session.stats
+
+
+def run_twin_comparison(
+    model: DonkeyModel | str,
+    track: Track,
+    ticks: int = 1000,
+    severity: float = 1.0,
+    bins: int = 24,
+    seed: int = 0,
+    camera: CameraParams | None = None,
+) -> TwinReport:
+    """Evaluate ``model`` in sim and on the perturbed 'real' car.
+
+    ``model`` may be a trained :class:`DonkeyModel` or the string
+    ``"expert"`` (pure-pursuit pilot), which isolates plant differences
+    from model quality.
+    """
+    if ticks <= 0 or bins <= 0:
+        raise ConfigurationError("ticks and bins must be positive")
+    sim_session = DrivingSession(track, camera=camera, seed=seed)
+    sim_cte, sim_speed, sim_stats = _profile(sim_session, model, ticks, bins)
+
+    real_params = perturbed_reality(severity=severity, seed=seed)
+    real_camera = camera or CameraParams()
+    noisy_camera = replace(real_camera, noise_sigma=real_camera.noise_sigma * 2.5)
+    real_session = DrivingSession(
+        track, car_params=real_params, camera=noisy_camera, seed=seed + 1
+    )
+    real_cte, real_speed, real_stats = _profile(real_session, model, ticks, bins)
+
+    return TwinReport(
+        sim_laps=sim_stats.laps_completed,
+        real_laps=real_stats.laps_completed,
+        sim_mean_lap_time=sim_stats.mean_lap_time,
+        real_mean_lap_time=real_stats.mean_lap_time,
+        sim_mean_speed=sim_stats.mean_speed,
+        real_mean_speed=real_stats.mean_speed,
+        sim_errors=sim_stats.crashes,
+        real_errors=real_stats.crashes,
+        cte_profile_rmse=float(np.sqrt(np.mean((sim_cte - real_cte) ** 2))),
+        speed_profile_rmse=float(np.sqrt(np.mean((sim_speed - real_speed) ** 2))),
+    )

@@ -1,0 +1,31 @@
+"""DonkeyCar-style vehicle framework: parts loop, memory, standard parts."""
+
+from repro.vehicle.builder import build_autopilot_vehicle, build_recording_vehicle
+from repro.vehicle.memory import Memory
+from repro.vehicle.parts import (
+    DriveMode,
+    JoystickController,
+    PilotPart,
+    PWMSteering,
+    PWMThrottle,
+    SimPlant,
+    TubWriterPart,
+    WebController,
+)
+from repro.vehicle.vehicle import PartEntry, Vehicle
+
+__all__ = [
+    "Vehicle",
+    "PartEntry",
+    "Memory",
+    "SimPlant",
+    "PWMSteering",
+    "PWMThrottle",
+    "WebController",
+    "JoystickController",
+    "DriveMode",
+    "PilotPart",
+    "TubWriterPart",
+    "build_recording_vehicle",
+    "build_autopilot_vehicle",
+]

@@ -1,0 +1,134 @@
+"""Prewired vehicles for the three module stages.
+
+``donkey createcar`` generates a ``manage.py`` that wires the standard
+part graph; these builders are that template for the reproduction:
+
+* :func:`build_recording_vehicle` — data collection (Fig. 2): human
+  driver (web or joystick) + plant + tub writer.
+* :func:`build_autopilot_vehicle` — model evaluation (§3.3): trained
+  pilot drives, telemetry recorded for scoring.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.data.tub import Tub
+from repro.ml.models.base import DonkeyModel
+from repro.sim.session import DrivingSession
+from repro.vehicle.parts import (
+    DriveMode,
+    JoystickController,
+    PilotPart,
+    PWMSteering,
+    PWMThrottle,
+    SimPlant,
+    TubWriterPart,
+    WebController,
+)
+from repro.vehicle.vehicle import Vehicle
+
+__all__ = ["build_recording_vehicle", "build_autopilot_vehicle"]
+
+
+def build_recording_vehicle(
+    session: DrivingSession,
+    driver: Callable[[np.ndarray, float, float], tuple[float, float]],
+    tub: Tub,
+    controller: str = "joystick",
+    constant_throttle: float | None = None,
+) -> Vehicle:
+    """Manual-driving vehicle that records into ``tub``.
+
+    ``controller`` selects ``"joystick"`` or ``"web"`` (§3.3 offers
+    both); ``constant_throttle`` enables the race configuration.
+    """
+    if controller == "joystick":
+        ctrl = JoystickController(driver, constant_throttle=constant_throttle)
+    elif controller == "web":
+        ctrl = WebController(driver, constant_throttle=constant_throttle)
+    else:
+        raise ConfigurationError(
+            f"controller must be 'joystick' or 'web', got {controller!r}"
+        )
+
+    v = Vehicle()
+    v.add(
+        ctrl,
+        inputs=["cam/image_array", "sim/cte", "sim/speed"],
+        outputs=["user/angle", "user/throttle", "user/mode", "recording"],
+    )
+    v.add(PWMSteering(), inputs=["user/angle"], outputs=["act/angle"])
+    v.add(PWMThrottle(), inputs=["user/throttle"], outputs=["act/throttle"])
+    v.add(
+        SimPlant(session),
+        inputs=["act/angle", "act/throttle"],
+        outputs=["cam/image_array", "sim/cte", "sim/speed", "sim/off_track"],
+    )
+    v.add(
+        TubWriterPart(tub),
+        inputs=[
+            "cam/image_array",
+            "user/angle",
+            "user/throttle",
+            "user/mode",
+            "recording",
+            "sim/cte",
+            "sim/speed",
+            "sim/off_track",
+        ],
+        outputs=["tub/count"],
+    )
+    return v
+
+
+def build_autopilot_vehicle(
+    session: DrivingSession,
+    model: DonkeyModel,
+    tub: Tub | None = None,
+    mode: str = "pilot",
+    user_throttle: float = 0.5,
+) -> Vehicle:
+    """Autopilot vehicle (optionally recording the evaluation drive).
+
+    ``mode="local_angle"`` reproduces the race setup: the model steers
+    while throttle is held at ``user_throttle``.
+    """
+    v = Vehicle()
+    # Static user channels (no human in the loop during evaluation).
+    v.mem.put(["user/mode"], mode)
+    v.mem.put(["user/angle", "user/throttle"], [0.0, user_throttle])
+    v.mem.put(["recording"], tub is not None)
+
+    v.add(PilotPart(model), inputs=["cam/image_array"], outputs=["pilot/angle", "pilot/throttle"])
+    v.add(
+        DriveMode(),
+        inputs=["user/mode", "user/angle", "user/throttle", "pilot/angle", "pilot/throttle"],
+        outputs=["cmd/angle", "cmd/throttle"],
+    )
+    v.add(PWMSteering(), inputs=["cmd/angle"], outputs=["act/angle"])
+    v.add(PWMThrottle(), inputs=["cmd/throttle"], outputs=["act/throttle"])
+    v.add(
+        SimPlant(session),
+        inputs=["act/angle", "act/throttle"],
+        outputs=["cam/image_array", "sim/cte", "sim/speed", "sim/off_track"],
+    )
+    if tub is not None:
+        v.add(
+            TubWriterPart(tub),
+            inputs=[
+                "cam/image_array",
+                "cmd/angle",
+                "cmd/throttle",
+                "user/mode",
+                "recording",
+                "sim/cte",
+                "sim/speed",
+                "sim/off_track",
+            ],
+            outputs=["tub/count"],
+        )
+    return v

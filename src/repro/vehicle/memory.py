@@ -1,0 +1,52 @@
+"""The vehicle memory: named channels shared between parts.
+
+DonkeyCar wires parts together through a string-keyed blackboard — a
+part declares input and output channel names and the vehicle loop moves
+values between them.  This is that blackboard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.common.errors import PartError
+
+__all__ = ["Memory"]
+
+
+class Memory:
+    """String-keyed value store with tuple get/put."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, Any] = {}
+
+    def put(self, keys: Iterable[str], values: Any) -> None:
+        """Store values under keys; scalar value allowed for one key."""
+        keys = list(keys)
+        if len(keys) == 1:
+            self._values[keys[0]] = values
+            return
+        values = list(values)
+        if len(keys) != len(values):
+            raise PartError(
+                f"memory.put: {len(keys)} keys but {len(values)} values"
+            )
+        for key, value in zip(keys, values):
+            self._values[key] = value
+
+    def get(self, keys: Iterable[str]) -> list[Any]:
+        """Fetch values for keys (missing channels read as None)."""
+        return [self._values.get(key) for key in keys]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __getitem__(self, key: str) -> Any:
+        return self._values[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._values[key] = value
+
+    def keys(self) -> list[str]:
+        """All channel names currently present."""
+        return list(self._values)

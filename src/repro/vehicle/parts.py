@@ -1,0 +1,299 @@
+"""Standard vehicle parts: plant interface, camera, actuators, pilots,
+controllers, and the tub writer.
+
+These are the boxes in Fig. 1's "computation" column, wired into a
+:class:`~repro.vehicle.vehicle.Vehicle`:
+
+* :class:`SimPlant` — the simulated car + track + camera (on the real
+  car this is the PWM hardware plus the Pi camera; here it wraps a
+  :class:`~repro.sim.session.DrivingSession`).
+* :class:`PWMSteering` / :class:`PWMThrottle` — normalise commands to
+  servo pulses and back; faithful to the DonkeyCar actuator math so the
+  calibration exercise works.
+* :class:`WebController` / :class:`JoystickController` — human input
+  sources; both support the paper's constant-throttle race mode.
+* :class:`DriveMode` — arbitration between user and pilot commands.
+* :class:`PilotPart` — wraps a trained :class:`~repro.ml.models.DonkeyModel`.
+* :class:`TubWriterPart` — records the drive into a tub.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import PartError
+from repro.data.records import DriveRecord
+from repro.data.tub import Tub
+from repro.ml.models.base import DonkeyModel
+from repro.sim.session import DrivingSession
+
+__all__ = [
+    "SimPlant",
+    "PWMSteering",
+    "PWMThrottle",
+    "WebController",
+    "JoystickController",
+    "DriveMode",
+    "PilotPart",
+    "TubWriterPart",
+]
+
+
+class SimPlant:
+    """The simulated car: applies commands, emits camera + telemetry.
+
+    Outputs: ``cam/image_array``, ``sim/cte``, ``sim/speed``,
+    ``sim/off_track``.
+    """
+
+    def __init__(self, session: DrivingSession) -> None:
+        self.session = session
+        self._obs = session.reset()
+
+    def run(self, steering: float | None, throttle: float | None):
+        obs = self.session.step(
+            0.0 if steering is None else float(steering),
+            0.0 if throttle is None else float(throttle),
+        )
+        self._obs = obs
+        return obs.image, obs.cte, obs.speed, obs.off_track
+
+    @property
+    def observation(self):
+        """Most recent observation."""
+        return self._obs
+
+
+class PWMSteering:
+    """Normalised steering -> servo pulse -> normalised (calibrated).
+
+    DonkeyCar calibration stores left/right pulse endpoints; commands
+    map linearly between them.  Keeping the round trip explicit lets the
+    calibration assignment (wrong endpoints => asymmetric steering) be
+    exercised in the simulator.
+    """
+
+    def __init__(
+        self, left_pulse: int = 460, right_pulse: int = 290, center_pulse: int | None = None
+    ) -> None:
+        if left_pulse == right_pulse:
+            raise PartError("left and right pulses must differ")
+        self.left_pulse = int(left_pulse)
+        self.right_pulse = int(right_pulse)
+        self.center_pulse = (
+            int(center_pulse)
+            if center_pulse is not None
+            else (left_pulse + right_pulse) // 2
+        )
+
+    def to_pulse(self, steering: float) -> int:
+        """Command in [-1, 1] to a servo pulse (-1 = full left)."""
+        steering = float(np.clip(steering, -1.0, 1.0))
+        if steering <= 0:
+            span = self.left_pulse - self.center_pulse
+            return int(round(self.center_pulse - steering * span))
+        span = self.center_pulse - self.right_pulse
+        return int(round(self.center_pulse - steering * span))
+
+    def from_pulse(self, pulse: int) -> float:
+        """Inverse mapping (what angle the servo actually took)."""
+        if pulse >= self.center_pulse:
+            span = self.left_pulse - self.center_pulse
+            return -float(np.clip((pulse - self.center_pulse) / span, 0, 1))
+        span = self.center_pulse - self.right_pulse
+        return float(np.clip((self.center_pulse - pulse) / span, 0, 1))
+
+    def run(self, steering: float | None) -> float:
+        """Apply the pulse round trip (quantisation included)."""
+        if steering is None:
+            return 0.0
+        return self.from_pulse(self.to_pulse(steering))
+
+
+class PWMThrottle:
+    """Normalised throttle through ESC pulse quantisation."""
+
+    def __init__(
+        self,
+        max_pulse: int = 500,
+        zero_pulse: int = 370,
+        min_pulse: int = 220,
+    ) -> None:
+        if not min_pulse < zero_pulse < max_pulse:
+            raise PartError("need min_pulse < zero_pulse < max_pulse")
+        self.max_pulse = int(max_pulse)
+        self.zero_pulse = int(zero_pulse)
+        self.min_pulse = int(min_pulse)
+
+    def to_pulse(self, throttle: float) -> int:
+        throttle = float(np.clip(throttle, -1.0, 1.0))
+        if throttle >= 0:
+            return int(
+                round(self.zero_pulse + throttle * (self.max_pulse - self.zero_pulse))
+            )
+        return int(
+            round(self.zero_pulse + throttle * (self.zero_pulse - self.min_pulse))
+        )
+
+    def from_pulse(self, pulse: int) -> float:
+        if pulse >= self.zero_pulse:
+            return float(
+                np.clip((pulse - self.zero_pulse) / (self.max_pulse - self.zero_pulse), 0, 1)
+            )
+        return -float(
+            np.clip((self.zero_pulse - pulse) / (self.zero_pulse - self.min_pulse), 0, 1)
+        )
+
+    def run(self, throttle: float | None) -> float:
+        if throttle is None:
+            return 0.0
+        return self.from_pulse(self.to_pulse(throttle))
+
+
+class _BaseController:
+    """Shared logic for the web and joystick controllers.
+
+    A *driver function* supplies the human input: it receives the
+    latest camera frame and telemetry and returns (steering, throttle)
+    — scripted drivers from :mod:`repro.core.drivers` plug in here.
+    Outputs: ``user/angle``, ``user/throttle``, ``user/mode``,
+    ``recording``.
+    """
+
+    latency_ticks = 0  # subclasses override
+
+    def __init__(
+        self,
+        driver: Callable[[np.ndarray, float, float], tuple[float, float]],
+        mode: str = "user",
+        constant_throttle: float | None = None,
+        recording: bool = True,
+    ) -> None:
+        self.driver = driver
+        self.mode = mode
+        self.constant_throttle = constant_throttle
+        self.recording = recording
+        self._pending: list[tuple[float, float]] = []
+
+    def run(self, image: np.ndarray | None, cte: float | None, speed: float | None):
+        if image is None:
+            command = (0.0, 0.0)
+        else:
+            command = self.driver(image, cte or 0.0, speed or 0.0)
+        # Input latency: commands pass through a FIFO of fixed depth
+        # (the web controller adds network hops; joystick is direct).
+        self._pending.append(tuple(command))
+        if len(self._pending) > self.latency_ticks:
+            steering, throttle = self._pending.pop(0)
+        else:
+            steering, throttle = 0.0, 0.0
+        if self.constant_throttle is not None:
+            throttle = self.constant_throttle
+        return steering, throttle, self.mode, self.recording
+
+
+class JoystickController(_BaseController):
+    """Physical joystick: direct input, no added latency."""
+
+    latency_ticks = 0
+
+
+class WebController(_BaseController):
+    """DonkeyCar web controller: same functionality via the browser.
+
+    "use the DonkeyCar web controller that provides the same
+    functionality via a web interface and sends the commands to the
+    car" — §3.3.  The browser hop adds a couple of control ticks of
+    latency, which is why web-driven training data is slightly sloppier
+    (visible in the F2 benchmark).
+    """
+
+    latency_ticks = 2
+
+
+class DriveMode:
+    """Arbitrates user vs pilot commands by ``user/mode``.
+
+    ``user`` — manual; ``local_angle`` — pilot steers, user throttle
+    (the race configuration); ``pilot`` — full autopilot.
+    """
+
+    def run(
+        self,
+        mode: str | None,
+        user_angle: float | None,
+        user_throttle: float | None,
+        pilot_angle: float | None,
+        pilot_throttle: float | None,
+    ) -> tuple[float, float]:
+        mode = mode or "user"
+        if mode == "user":
+            return user_angle or 0.0, user_throttle or 0.0
+        if mode == "local_angle":
+            return pilot_angle or 0.0, user_throttle or 0.0
+        if mode == "pilot":
+            return pilot_angle or 0.0, pilot_throttle or 0.0
+        raise PartError(f"unknown drive mode: {mode!r}")
+
+
+class PilotPart:
+    """Wraps a trained model as a vehicle part.
+
+    Outputs ``pilot/angle`` and ``pilot/throttle``; resets the model's
+    sequence state on construction so a fresh drive starts clean.
+    """
+
+    def __init__(self, model: DonkeyModel) -> None:
+        self.model = model
+        model.reset_state()
+
+    def run(self, image: np.ndarray | None) -> tuple[float, float]:
+        if image is None:
+            return 0.0, 0.0
+        return self.model.run(image)
+
+    def shutdown(self) -> None:
+        self.model.reset_state()
+
+
+class TubWriterPart:
+    """Records every tick into a tub while ``recording`` is truthy."""
+
+    def __init__(self, tub: Tub, rate_hz: float = 20.0) -> None:
+        self.tub = tub
+        self.rate_hz = float(rate_hz)
+        self._count = 0
+        self._bulk = tub.bulk()
+        self._bulk.__enter__()
+
+    def run(
+        self,
+        image: np.ndarray | None,
+        angle: float | None,
+        throttle: float | None,
+        mode: str | None,
+        recording: bool | None,
+        cte: float | None,
+        speed: float | None,
+        off_track: bool | None,
+    ) -> int:
+        if not recording or image is None:
+            return self._count
+        record = DriveRecord(
+            image=image,
+            angle=float(np.clip(angle or 0.0, -1, 1)),
+            throttle=float(np.clip(throttle or 0.0, -1, 1)),
+            mode=mode or "user",
+            cte=float(cte or 0.0),
+            speed=float(speed or 0.0),
+            off_track=bool(off_track),
+            timestamp_ms=int(self._count * 1000.0 / self.rate_hz),
+        )
+        self.tub.write_record(record)
+        self._count += 1
+        return self._count
+
+    def shutdown(self) -> None:
+        self._bulk.__exit__(None, None, None)

@@ -1,0 +1,131 @@
+"""The Vehicle: DonkeyCar's 20 Hz parts loop.
+
+A vehicle is an ordered list of *parts*.  Each loop tick, every part's
+``run`` is called with its input channels read from the shared
+:class:`~repro.vehicle.memory.Memory` and its return values written to
+its output channels.  ``donkeycar``'s threaded parts are executed
+inline here (``run_threaded`` if present) — the loop is deterministic
+and driven by simulated time, not wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.common.clock import Clock
+from repro.common.errors import PartError
+from repro.common.units import DONKEYCAR_LOOP_HZ
+from repro.vehicle.memory import Memory
+
+__all__ = ["Vehicle", "PartEntry"]
+
+
+@dataclass
+class PartEntry:
+    """A part plus its channel wiring."""
+
+    part: Any
+    inputs: list[str]
+    outputs: list[str]
+    run_condition: str | None = None
+
+    @property
+    def name(self) -> str:
+        return type(self.part).__name__
+
+
+class Vehicle:
+    """Ordered part pipeline over a shared memory and simulated clock."""
+
+    def __init__(self, memory: Memory | None = None, clock: Clock | None = None):
+        self.mem = memory if memory is not None else Memory()
+        self.clock = clock if clock is not None else Clock()
+        self.parts: list[PartEntry] = []
+        self.loop_count = 0
+        self._running = False
+
+    def add(
+        self,
+        part: Any,
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+        run_condition: str | None = None,
+    ) -> None:
+        """Append a part; ``run_condition`` names a boolean channel that
+        gates execution (DonkeyCar's ``run_condition``)."""
+        runner = getattr(part, "run_threaded", None) or getattr(part, "run", None)
+        if not callable(runner):
+            raise PartError(
+                f"{type(part).__name__} has no callable run/run_threaded"
+            )
+        self.parts.append(
+            PartEntry(part, list(inputs), list(outputs), run_condition)
+        )
+
+    # ------------------------------------------------------------ loop
+
+    def run_once(self) -> None:
+        """Execute one tick: every part in order."""
+        for entry in self.parts:
+            if entry.run_condition is not None:
+                gate = self.mem.get([entry.run_condition])[0]
+                if not gate:
+                    continue
+            args = self.mem.get(entry.inputs)
+            runner = getattr(entry.part, "run_threaded", None) or entry.part.run
+            try:
+                result = runner(*args)
+            except Exception as exc:
+                if isinstance(exc, PartError):
+                    raise
+                raise PartError(
+                    f"part {entry.name} failed on loop {self.loop_count}: {exc}"
+                ) from exc
+            if entry.outputs:
+                if len(entry.outputs) == 1:
+                    self.mem.put(entry.outputs, result)
+                else:
+                    if not isinstance(result, (tuple, list)) or len(result) != len(
+                        entry.outputs
+                    ):
+                        raise PartError(
+                            f"part {entry.name} returned {result!r} "
+                            f"for {len(entry.outputs)} outputs"
+                        )
+                    self.mem.put(entry.outputs, result)
+        self.loop_count += 1
+
+    def start(
+        self,
+        rate_hz: float = DONKEYCAR_LOOP_HZ,
+        max_loop_count: int = 1000,
+    ) -> int:
+        """Run the loop ``max_loop_count`` ticks at ``rate_hz``.
+
+        Simulated time advances ``1/rate_hz`` per tick.  A part may set
+        the ``vehicle/stop`` channel truthy to end the drive early (the
+        controllers use this for the 'stop recording / end session'
+        button).  Returns ticks executed.
+        """
+        if rate_hz <= 0 or max_loop_count <= 0:
+            raise PartError("rate_hz and max_loop_count must be positive")
+        dt = 1.0 / rate_hz
+        self._running = True
+        executed = 0
+        for _ in range(max_loop_count):
+            self.run_once()
+            self.clock.advance(dt)
+            executed += 1
+            if self.mem.get(["vehicle/stop"])[0]:
+                break
+        self._running = False
+        self.shutdown()
+        return executed
+
+    def shutdown(self) -> None:
+        """Call ``shutdown`` on every part that has one."""
+        for entry in self.parts:
+            hook = getattr(entry.part, "shutdown", None)
+            if callable(hook):
+                hook()

@@ -1,0 +1,171 @@
+"""Trovi hub, §5 impact metrics, GitBook contribution loop."""
+
+import pytest
+
+from repro.artifacts.gitbook import FeedbackChannel, GitBook
+from repro.artifacts.metrics import compute_outcomes
+from repro.artifacts.trovi import TroviHub
+from repro.common.errors import ArtifactError, VersionNotFoundError
+
+
+@pytest.fixture()
+def hub():
+    return TroviHub()
+
+
+@pytest.fixture()
+def artifact(hub):
+    return hub.publish(
+        "AutoLearn: Learning in the Edge to Cloud Continuum",
+        owner="alicia",
+        files={"01-collect.ipynb": b"cells", "02-train.ipynb": b"cells"},
+        tags={"education", "edge"},
+    )
+
+
+class TestArtifacts:
+    def test_publish_creates_first_version(self, artifact):
+        assert artifact.latest.number == 1
+        assert artifact.latest.files == ("01-collect.ipynb", "02-train.ipynb")
+
+    def test_versions_accumulate(self, hub, artifact):
+        hub.publish_version(artifact.artifact_id, {"01-collect.ipynb": b"v2"})
+        assert artifact.latest.number == 2
+        assert artifact.version(1).number == 1
+        with pytest.raises(VersionNotFoundError):
+            artifact.version(9)
+
+    def test_content_addressing(self, hub, artifact):
+        v2 = hub.publish_version(artifact.artifact_id, {"x": b"same"})
+        v3 = hub.publish_version(artifact.artifact_id, {"x": b"same"})
+        assert v2.contents_id == v3.contents_id
+
+    def test_empty_artifact_rejected(self, hub):
+        with pytest.raises(ArtifactError):
+            hub.publish("empty", "o", files={})
+
+    def test_search_by_tag_and_text(self, hub, artifact):
+        hub.publish("Other module", "bob", {"x": b"1"}, tags={"wireless"})
+        assert hub.search(tag="education") == [artifact]
+        assert hub.search(text="edge to cloud") == [artifact]
+        assert hub.search(tag="education", text="nonexistent") == []
+
+    def test_import_from_repo_adds_author(self, hub, artifact):
+        version = hub.import_from_repo(
+            artifact.artifact_id, {"03-eval.ipynb": b"new"}, contributor="kyle"
+        )
+        assert version.changelog == "merge request from kyle"
+        assert "kyle" in artifact.authors
+
+    def test_export_payload(self, hub, artifact):
+        payload = hub.export_to_repo(artifact.artifact_id)
+        assert payload["version"] == 1
+        assert "01-collect.ipynb" in payload["files"]
+
+
+class TestImpactMetrics:
+    def seed_paper_numbers(self, hub, artifact):
+        """Reproduce §5's exact counters."""
+        for _ in range(7):  # versions 2..8
+            hub.clock.advance(60)
+            hub.publish_version(artifact.artifact_id, {"01-collect.ipynb": b"x"})
+        users = [f"user{i}" for i in range(9)]
+        clicks = [4] * 8 + [3]  # 35 total over 9 users
+        for user, n in zip(users, clicks):
+            hub.view(artifact.artifact_id, user)
+            for _ in range(n):
+                hub.clock.advance(1)
+                hub.launch(artifact.artifact_id, user)
+        for user in users[:2]:
+            hub.execute_cell(artifact.artifact_id, user)
+
+    def test_section5_counters(self, hub, artifact):
+        self.seed_paper_numbers(hub, artifact)
+        report = compute_outcomes(hub, artifact.artifact_id)
+        assert report.as_row() == {
+            "launch_clicks": 35,
+            "launching_users": 9,
+            "executing_users": 2,
+            "versions": 8,
+        }
+
+    def test_views_counted_separately(self, hub, artifact):
+        self.seed_paper_numbers(hub, artifact)
+        report = compute_outcomes(hub, artifact.artifact_id)
+        assert report.views == 9
+
+    def test_window_filtering(self, hub, artifact):
+        hub.launch(artifact.artifact_id, "early")
+        hub.clock.advance(1000)
+        hub.launch(artifact.artifact_id, "late")
+        report = compute_outcomes(hub, artifact.artifact_id, since=500.0)
+        assert report.launch_clicks == 1
+        assert report.launching_users == 1
+
+    def test_impact_notes_carried(self, hub, artifact):
+        report = compute_outcomes(
+            hub, artifact.artifact_id,
+            impact_notes=("REU poster: Fowler", "REU poster: Zheng"),
+        )
+        assert len(report.impact_notes) == 2
+
+    def test_interaction_requires_existing_artifact(self, hub):
+        with pytest.raises(ArtifactError):
+            hub.view("artifact-9999", "u")
+        with pytest.raises(ArtifactError):
+            hub.launch("artifact-9999", "u")
+
+
+class TestGitBook:
+    def test_pages_and_toc(self):
+        book = GitBook()
+        book.add_page("setup/car.md", "Assemble the car", "...", audience="student")
+        book.add_page("teach/checklist.md", "TA checklist", "...", audience="educator")
+        assert len(book.toc()) == 2
+        with pytest.raises(ArtifactError):
+            book.add_page("setup/car.md", "dup", "...")
+
+    def test_audience_pathways(self):
+        book = GitBook()
+        book.add_page("s.md", "Student page", "...", audience="student")
+        book.add_page("e.md", "Educator page", "...", audience="educator")
+        student_paths = [p.path for p in book.pages_for("student")]
+        assert student_paths == ["s.md"]
+        # Self-learners combine both documentation modules (§3.5).
+        self_paths = [p.path for p in book.pages_for("self-learner")]
+        assert self_paths == ["e.md", "s.md"]
+
+    def test_invalid_audience(self):
+        with pytest.raises(ArtifactError):
+            GitBook().add_page("x.md", "t", "c", audience="robot")
+
+    def test_merge_request_lifecycle(self):
+        book = GitBook()
+        book.add_page("a.md", "A", "old")
+        mr = book.fork_and_edit("kyle", "improve A", {"a.md": "new", "b.md": "added"})
+        assert mr.state == "open"
+        book.merge(mr.mr_id)
+        assert book.page("a.md").content == "new"
+        assert book.page("b.md").content == "added"
+        with pytest.raises(ArtifactError):
+            book.merge(mr.mr_id)  # already merged
+
+    def test_close_merge_request(self):
+        book = GitBook()
+        book.add_page("a.md", "A", "old")
+        mr = book.fork_and_edit("kyle", "bad idea", {"a.md": "worse"})
+        book.close(mr.mr_id)
+        assert book.page("a.md").content == "old"
+
+    def test_empty_mr_rejected(self):
+        with pytest.raises(ArtifactError):
+            GitBook().fork_and_edit("kyle", "nothing", {})
+
+    def test_feedback_channel(self):
+        channel = FeedbackChannel()
+        channel.post("prof", "Used AutoLearn in my robotics class this semester")
+        channel.post("stu", "The rsync step failed for me")
+        assert len(channel.posts) == 2
+        assert len(channel.case_studies()) == 1
+        with pytest.raises(ArtifactError):
+            channel.post("x", "   ")

@@ -1,0 +1,77 @@
+"""The shipped educational materials (§3.1/§3.5)."""
+
+import pytest
+
+from repro.artifacts.content import (
+    COURSE_OBJECTIVES,
+    HARDWARE_KIT,
+    TA_CHECKLIST,
+    build_autolearn_gitbook,
+    kit_total_usd,
+    notebook_bundle,
+)
+
+
+class TestHardwareKit:
+    def test_kit_costs_about_200_dollars(self):
+        # §3.1: "inexpensive ~($200) ... car kits and accessories".
+        assert 180.0 <= kit_total_usd() <= 230.0
+
+    def test_optional_items_excluded_from_required_total(self):
+        assert kit_total_usd(required_only=False) > kit_total_usd()
+
+    def test_alternatives_documented(self):
+        with_alt = [item for item in HARDWARE_KIT if item.alternative]
+        assert len(with_alt) >= 3  # "what hardware to buy and alternatives"
+
+
+class TestCourseMaterials:
+    def test_objectives_cover_paper_outcomes(self):
+        text = " ".join(COURSE_OBJECTIVES)
+        for topic in ("hardware", "cloud", "simulation", "ML"):
+            assert topic in text
+
+    def test_ta_checklist_is_one_page(self):
+        assert 5 <= len(TA_CHECKLIST) <= 15
+        assert any("330" in step for step in TA_CHECKLIST)  # track dims
+
+
+class TestGitBookContent:
+    @pytest.fixture(scope="class")
+    def book(self):
+        return build_autolearn_gitbook()
+
+    def test_educator_pathway(self, book):
+        paths = [p.path for p in book.pages_for("educator")]
+        assert "educator/ta-checklist.md" in paths
+        assert "educator/hardware.md" in paths
+
+    def test_student_pathway_has_four_steps(self, book):
+        student = [p for p in book.pages_for("student")
+                   if p.path.startswith("student/")]
+        assert len(student) == 4
+
+    def test_self_learner_gets_everything(self, book):
+        all_paths = {p.path for p in book.pages_for("self-learner")}
+        assert any(p.startswith("educator/") for p in all_paths)
+        assert any(p.startswith("student/") for p in all_paths)
+
+    def test_pages_have_substance(self, book):
+        for path, _title in book.toc():
+            assert book.page(path).word_count() >= 10, path
+
+    def test_extensions_page_lists_assignments(self, book):
+        content = book.page("educator/extensions.md").content
+        for key_phrase in ("reinforcement", "digital twin", "tubclean"):
+            assert key_phrase.lower() in content.lower()
+
+
+class TestNotebookBundle:
+    def test_bundle_publishable_to_trovi(self):
+        from repro.artifacts.trovi import TroviHub
+
+        bundle = notebook_bundle()
+        assert any(name.endswith(".ipynb") for name in bundle)
+        hub = TroviHub()
+        artifact = hub.publish("AutoLearn", "alicia", files=bundle)
+        assert len(artifact.latest.files) == len(bundle)

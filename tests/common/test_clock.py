@@ -1,0 +1,134 @@
+"""Clock and discrete-event scheduler."""
+
+import pytest
+
+from repro.common.clock import Clock, EventScheduler
+from repro.common.errors import ClockError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            Clock(-1.0)
+
+    def test_advance(self):
+        clock = Clock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.advance(0.5) == 3.0
+
+    def test_advance_zero_is_ok(self):
+        clock = Clock(1.0)
+        assert clock.advance(0.0) == 1.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ClockError):
+            Clock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_rejected(self):
+        clock = Clock(5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.9)
+
+
+class TestEventScheduler:
+    def test_fires_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(3.0, lambda: fired.append("c"))
+        sched.schedule_at(1.0, lambda: fired.append("a"))
+        sched.schedule_at(2.0, lambda: fired.append("b"))
+        sched.run_until(5.0)
+        assert fired == ["a", "b", "c"]
+        assert sched.clock.now == 5.0
+
+    def test_fifo_for_same_timestamp(self):
+        sched = EventScheduler()
+        fired = []
+        for tag in ("x", "y", "z"):
+            sched.schedule_at(1.0, lambda t=tag: fired.append(t))
+        sched.run_until(1.0)
+        assert fired == ["x", "y", "z"]
+
+    def test_schedule_in(self):
+        sched = EventScheduler()
+        sched.clock.advance(10.0)
+        event = sched.schedule_in(5.0, lambda: None)
+        assert event.time == 15.0
+
+    def test_schedule_in_past_rejected(self):
+        sched = EventScheduler()
+        sched.clock.advance(10.0)
+        with pytest.raises(ClockError):
+            sched.schedule_at(9.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ClockError):
+            EventScheduler().schedule_in(-1.0, lambda: None)
+
+    def test_cancelled_event_skipped(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.schedule_at(1.0, lambda: fired.append("no"))
+        event.cancel()
+        sched.schedule_at(2.0, lambda: fired.append("yes"))
+        assert sched.run_until(3.0) == 1
+        assert fired == ["yes"]
+
+    def test_callback_may_schedule_more(self):
+        sched = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append(sched.clock.now)
+            if len(fired) < 3:
+                sched.schedule_in(1.0, chain)
+
+        sched.schedule_at(1.0, chain)
+        sched.run_all()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_does_not_fire_future(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(10.0, lambda: fired.append("late"))
+        sched.run_until(5.0)
+        assert fired == []
+        assert sched.pending == 1
+
+    def test_overdue_event_fires_at_current_time(self):
+        # Someone advances the shared clock directly past a queued event.
+        sched = EventScheduler()
+        seen = []
+        sched.schedule_at(1.0, lambda: seen.append(sched.clock.now))
+        sched.clock.advance(5.0)
+        sched.run_until(6.0)
+        assert seen == [5.0]
+
+    def test_next_event_time(self):
+        sched = EventScheduler()
+        assert sched.next_event_time() is None
+        event = sched.schedule_at(4.0, lambda: None)
+        assert sched.next_event_time() == 4.0
+        event.cancel()
+        assert sched.next_event_time() is None
+
+    def test_run_all_bounded(self):
+        sched = EventScheduler()
+
+        def forever():
+            sched.schedule_in(1.0, forever)
+
+        sched.schedule_at(1.0, forever)
+        with pytest.raises(ClockError):
+            sched.run_all(max_events=50)

@@ -1,0 +1,127 @@
+"""Shared fixtures: small tracks, tubs, and trained models.
+
+Everything here is sized for speed: 40x56 camera frames, ~0.2-scale
+networks, short drives.  Session-scoped fixtures amortise the expensive
+artefacts (a recorded tub, a trained model) across the whole run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.rng import ensure_rng
+from repro.core.drivers import PurePursuitDriver, StudentDriver
+from repro.data.records import DriveRecord
+from repro.data.tub import Tub
+from repro.sim.renderer import CameraParams
+from repro.sim.session import DrivingSession
+from repro.sim.tracks import default_tape_oval, waveshare_track
+from repro.vehicle.builder import build_recording_vehicle
+
+#: Small camera used across the suite.
+TEST_H, TEST_W = 40, 56
+
+
+@pytest.fixture(scope="session")
+def oval_track():
+    """The paper's default tape oval."""
+    return default_tape_oval()
+
+
+@pytest.fixture(scope="session")
+def waveshare():
+    """The Waveshare mat."""
+    return waveshare_track()
+
+
+@pytest.fixture()
+def small_camera():
+    """Low-res camera parameters for fast rendering."""
+    return CameraParams(height=TEST_H, width=TEST_W)
+
+
+@pytest.fixture()
+def session_factory(oval_track):
+    """Factory for small driving sessions on the oval."""
+
+    def make(seed=0, render=True, track=None, **kwargs):
+        return DrivingSession(
+            track if track is not None else oval_track,
+            camera=CameraParams(height=TEST_H, width=TEST_W),
+            seed=seed,
+            render=render,
+            **kwargs,
+        )
+
+    return make
+
+
+def make_records(n: int, seed: int = 0, h: int = TEST_H, w: int = TEST_W):
+    """Synthetic drive records with plausible telemetry."""
+    rng = ensure_rng(seed)
+    records = []
+    for i in range(n):
+        records.append(
+            DriveRecord(
+                image=rng.integers(0, 255, (h, w, 3), dtype=np.uint8),
+                angle=float(np.clip(np.sin(i / 9.0) + rng.normal(0, 0.05), -1, 1)),
+                throttle=float(np.clip(0.5 + rng.normal(0, 0.05), -1, 1)),
+                cte=float(rng.normal(0, 0.05)),
+                speed=float(abs(rng.normal(1.0, 0.2))),
+                off_track=False,
+                timestamp_ms=i * 50,
+            )
+        )
+    return records
+
+
+@pytest.fixture()
+def tub_factory(tmp_path):
+    """Create tubs filled with synthetic records."""
+
+    counter = {"n": 0}
+
+    def make(n_records=60, seed=0, metadata=None):
+        counter["n"] += 1
+        tub = Tub.create(
+            tmp_path / f"tub{counter['n']}",
+            metadata=metadata or {"track_half_width": 0.35},
+        )
+        with tub.bulk():
+            for record in make_records(n_records, seed=seed):
+                tub.write_record(record)
+        return tub
+
+    return make
+
+
+@pytest.fixture(scope="session")
+def driven_tub(tmp_path_factory, oval_track):
+    """A tub recorded by a decent scripted student on the oval."""
+    root = tmp_path_factory.mktemp("driven")
+    session = DrivingSession(
+        oval_track, camera=CameraParams(height=TEST_H, width=TEST_W), seed=11
+    )
+    driver = StudentDriver(PurePursuitDriver(session), skill=0.9, rng=12)
+    tub = Tub.create(
+        root / "tub",
+        metadata={"track": oval_track.name, "track_half_width": oval_track.half_width},
+    )
+    vehicle = build_recording_vehicle(session, driver, tub)
+    vehicle.start(max_loop_count=700)
+    return tub
+
+
+@pytest.fixture(scope="session")
+def trained_linear(driven_tub):
+    """A small linear model trained on the driven tub (session-scoped)."""
+    from repro.data.datasets import TubDataset
+    from repro.ml.models.factory import create_model
+    from repro.ml.training import Trainer
+
+    dataset = TubDataset(driven_tub)
+    split = dataset.split(val_fraction=0.15, rng=5, targets="both")
+    model = create_model("linear", input_shape=(TEST_H, TEST_W, 3), scale=0.4, seed=7)
+    Trainer(batch_size=64, epochs=6, shuffle_seed=3).fit(model, split)
+    return model

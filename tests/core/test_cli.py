@@ -1,0 +1,59 @@
+"""The autolearn CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("tracks", "collect", "clean", "train", "evaluate",
+                        "pipeline"):
+            args = {
+                "tracks": [],
+                "collect": ["/tmp/x"],
+                "clean": ["/tmp/x"],
+                "train": ["/tmp/x", "/tmp/m.npz"],
+                "evaluate": ["/tmp/m.npz"],
+                "pipeline": ["digital"],
+            }[command]
+            parsed = parser.parse_args([command, *args])
+            assert parsed.command == command
+
+
+class TestCommands:
+    def test_tracks(self, capsys):
+        assert main(["tracks"]) == 0
+        out = capsys.readouterr().out
+        assert "default-tape-oval" in out
+        assert "waveshare" in out
+
+    def test_collect_clean_train_evaluate(self, tmp_path, capsys):
+        tub = str(tmp_path / "tub")
+        model = str(tmp_path / "m.npz")
+        assert main([
+            "collect", tub, "--records", "300", "--seed", "3",
+            "--camera", "40x56", "--skill", "0.6",
+        ]) == 0
+        assert "collected 300 records" in capsys.readouterr().out
+
+        assert main(["clean", tub, "--dry-run"]) == 0
+        assert main(["clean", tub]) == 0
+        out = capsys.readouterr().out
+        assert "marked" in out
+
+        assert main([
+            "train", tub, model, "--model", "linear", "--epochs", "2",
+            "--scale", "0.25",
+        ]) == 0
+        assert "val loss" in capsys.readouterr().out
+
+        assert main(["evaluate", model, "--ticks", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "mean speed" in out
+        assert "laps" in out

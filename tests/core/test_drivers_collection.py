@@ -1,0 +1,149 @@
+"""Scripted drivers and the three collection paths (Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.collection import (
+    collect_sample_dataset,
+    collect_via_physical_car,
+    collect_via_simulator,
+    generate_sample_datasets,
+)
+from repro.core.drivers import PurePursuitDriver, ReplayDriver, StudentDriver
+from repro.net.topology import autolearn_topology
+from repro.objectstore.store import ObjectStore
+
+from tests.conftest import TEST_H, TEST_W
+
+
+class TestPurePursuit:
+    def test_expert_laps_cleanly(self, session_factory):
+        session = session_factory(render=False)
+        driver = PurePursuitDriver(session)
+        obs = session.reset()
+        for _ in range(600):
+            s, t = driver(obs.image, obs.cte, obs.speed)
+            obs = session.step(s, t)
+        assert session.stats.laps_completed >= 2
+        assert session.stats.crashes == 0
+        assert session.stats.mean_abs_cte < 0.08
+
+    def test_slows_for_corners(self, session_factory):
+        session = session_factory(render=False)
+        driver = PurePursuitDriver(session, target_speed=3.0)
+        # Straight (s near quarter lap on the bottom straight) vs corner.
+        straight_target = driver.speed_target(0.3)
+        corner_s = session.track.length * 0.25
+        corner_target = driver.speed_target(corner_s)
+        assert corner_target < straight_target
+
+    def test_validation(self, session_factory):
+        with pytest.raises(ConfigurationError):
+            PurePursuitDriver(session_factory(render=False), target_speed=0.0)
+
+
+class TestStudentDriver:
+    def test_low_skill_crashes_more(self, session_factory):
+        def crashes(skill, seed):
+            session = session_factory(render=False, seed=seed)
+            driver = StudentDriver(
+                PurePursuitDriver(session), skill=skill, rng=seed
+            )
+            obs = session.reset()
+            for _ in range(500):
+                s, t = driver(obs.image, obs.cte, obs.speed)
+                obs = session.step(s, t)
+            return session.stats.crashes
+
+        sloppy = sum(crashes(0.15, seed) for seed in (1, 2, 3))
+        skilled = sum(crashes(0.95, seed) for seed in (1, 2, 3))
+        assert sloppy > skilled
+
+    def test_skill_bounds(self, session_factory):
+        session = session_factory(render=False)
+        with pytest.raises(ConfigurationError):
+            StudentDriver(PurePursuitDriver(session), skill=1.5)
+
+    def test_commands_clipped(self, session_factory):
+        session = session_factory(render=False)
+        driver = StudentDriver(PurePursuitDriver(session), skill=0.0, rng=0)
+        obs = session.reset()
+        for _ in range(100):
+            s, t = driver(obs.image, obs.cte, obs.speed)
+            assert -1.0 <= s <= 1.0
+            assert 0.0 <= t <= 1.0
+            obs = session.step(s, t)
+
+
+class TestReplayDriver:
+    def test_replays_and_loops(self):
+        driver = ReplayDriver([(0.1, 0.5), (0.2, 0.6)])
+        frames = [driver(None, 0, 0) for _ in range(5)]
+        assert frames == [(0.1, 0.5), (0.2, 0.6), (0.1, 0.5), (0.2, 0.6), (0.1, 0.5)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplayDriver([])
+
+
+class TestCollectionPaths:
+    def test_simulator_path(self, oval_track, tmp_path):
+        report = collect_via_simulator(
+            oval_track, tmp_path / "sim", n_records=150,
+            camera_hw=(TEST_H, TEST_W), seed=3,
+        )
+        assert report.path == "simulator"
+        assert report.records == 150
+        assert report.wall_seconds == pytest.approx(150 / 20.0)
+        assert report.records_per_minute == pytest.approx(1200.0)
+
+    def test_physical_path_includes_transfer(self, oval_track, tmp_path):
+        route = autolearn_topology().route("car-pi", "chi-uc")
+        report = collect_via_physical_car(
+            oval_track, tmp_path / "car", route_to_cloud=route,
+            n_records=150, camera_hw=(TEST_H, TEST_W), seed=3,
+        )
+        assert report.path == "physical"
+        assert report.transfer is not None
+        assert report.transfer.seconds > 0
+        # Transfer time makes the physical path slower per record.
+        assert report.wall_seconds > 150 / 20.0
+
+    def test_physical_uses_web_controller_latency(self, oval_track, tmp_path):
+        route = autolearn_topology().route("car-pi", "chi-uc")
+        phys = collect_via_physical_car(
+            oval_track, tmp_path / "p", route_to_cloud=route, n_records=20,
+            camera_hw=(TEST_H, TEST_W), skill=1.0, seed=5,
+        )
+        sim = collect_via_simulator(
+            oval_track, tmp_path / "s", n_records=20,
+            camera_hw=(TEST_H, TEST_W), skill=1.0, seed=5,
+        )
+        # The web controller's two in-flight ticks record neutral
+        # commands at the start of the physical tub; the joystick path
+        # records live commands immediately.
+        phys_first = [f["user/throttle"] for f in phys.tub.iter_fields()][:2]
+        sim_first = [f["user/throttle"] for f in sim.tub.iter_fields()][:2]
+        assert phys_first == [0.0, 0.0]
+        assert any(t != 0.0 for t in sim_first)
+
+    def test_sample_path_round_trip(self, oval_track, tmp_path):
+        store = ObjectStore()
+        published = generate_sample_datasets(
+            store, [oval_track], tmp_path / "publish", n_records=120,
+            camera_hw=(TEST_H, TEST_W),
+        )
+        assert published[oval_track.name] == 120
+        report = collect_sample_dataset(
+            store, oval_track.name, tmp_path / "download",
+            route=autolearn_topology().route("laptop", "chi-uc"),
+        )
+        assert report.path == "sample"
+        assert report.records == 120
+        # Downloading is much faster than driving 120 records.
+        assert report.wall_seconds < 120 / 20.0
+
+    def test_invalid_record_count(self, oval_track, tmp_path):
+        with pytest.raises(ConfigurationError):
+            collect_via_simulator(oval_track, tmp_path / "x", n_records=0)

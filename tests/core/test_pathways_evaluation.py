@@ -1,0 +1,123 @@
+"""Learning pathways, assignments, and on-track evaluation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.evaluation import EvaluationReport, evaluate_model
+from repro.core.pathways import (
+    ASSIGNMENTS,
+    PATHWAYS,
+    LearningPathway,
+    assignments_for_level,
+    pathway,
+)
+from repro.sim.renderer import CameraParams
+
+from tests.conftest import TEST_H, TEST_W
+
+
+class TestPathways:
+    def test_three_published_pathways(self):
+        assert set(PATHWAYS) == {"regular", "classroom", "digital"}
+
+    def test_regular_needs_everything(self):
+        regular = pathway("regular")
+        assert regular.needs_car and regular.needs_testbed
+        assert regular.stages == ("physical", "cloud-gpu", "physical")
+
+    def test_digital_is_self_contained(self):
+        digital = pathway("digital")
+        assert not digital.needs_car and not digital.needs_testbed
+        assert digital.audience == "self-learner"
+
+    def test_classroom_has_no_car(self):
+        classroom = pathway("classroom")
+        assert not classroom.needs_car
+        assert classroom.collection == "sample"
+
+    def test_unknown_pathway(self):
+        with pytest.raises(ConfigurationError):
+            pathway("weekend")
+
+    def test_invalid_alternative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LearningPathway(
+                name="bad", collection="telepathy", training="local",
+                evaluation="simulator", audience="student",
+                needs_car=False, needs_testbed=False,
+            )
+
+
+class TestAssignments:
+    def test_catalog_covers_paper_extensions(self):
+        keys = {a.key for a in ASSIGNMENTS}
+        for expected in (
+            "new-track", "tubclean", "model-comparison", "race", "gps-path",
+            "vision", "edge-cloud-inference", "reinforcement-learning",
+            "digital-twin",
+        ):
+            assert expected in keys
+
+    def test_levels_partition(self):
+        total = sum(
+            len(assignments_for_level(level))
+            for level in ("beginner", "intermediate", "advanced")
+        )
+        assert total == len(ASSIGNMENTS)
+
+    def test_each_assignment_names_modules(self):
+        for assignment in ASSIGNMENTS:
+            assert assignment.modules, assignment.key
+            for module in assignment.modules:
+                assert module.startswith("repro.")
+
+    def test_unknown_level(self):
+        with pytest.raises(ConfigurationError):
+            assignments_for_level("impossible")
+
+
+class TestEvaluation:
+    def test_trained_model_evaluates(self, trained_linear, oval_track):
+        report = evaluate_model(
+            trained_linear, oval_track, ticks=300, seed=9,
+            camera=CameraParams(height=TEST_H, width=TEST_W),
+        )
+        assert isinstance(report, EvaluationReport)
+        assert report.ticks == 300
+        assert report.mean_speed > 0.2
+        assert report.sim_seconds == pytest.approx(300 / 20.0)
+
+    def test_combined_score_penalises_errors(self):
+        clean = EvaluationReport(
+            model_name="a", ticks=600, sim_seconds=30.0, laps=3,
+            mean_lap_time=9.0, lap_time_std=0.1, mean_speed=1.2,
+            errors=0, mean_abs_cte=0.05, distance=36.0,
+        )
+        crashy = EvaluationReport(
+            model_name="b", ticks=600, sim_seconds=30.0, laps=3,
+            mean_lap_time=9.0, lap_time_std=0.1, mean_speed=1.2,
+            errors=6, mean_abs_cte=0.05, distance=36.0,
+        )
+        assert clean.combined_score() > crashy.combined_score()
+        assert clean.errors_per_lap == 0.0
+        assert crashy.errors_per_lap == 2.0
+
+    def test_errors_per_lap_no_laps(self):
+        report = EvaluationReport(
+            model_name="x", ticks=10, sim_seconds=0.5, laps=0,
+            mean_lap_time=0.0, lap_time_std=0.0, mean_speed=0.1,
+            errors=1, mean_abs_cte=0.2, distance=0.1,
+        )
+        assert report.errors_per_lap == float("inf")
+
+    def test_invalid_ticks(self, trained_linear, oval_track):
+        with pytest.raises(ConfigurationError):
+            evaluate_model(trained_linear, oval_track, ticks=0)
+
+    def test_race_mode_evaluation(self, trained_linear, oval_track):
+        report = evaluate_model(
+            trained_linear, oval_track, ticks=200, seed=10,
+            camera=CameraParams(height=TEST_H, width=TEST_W),
+            mode="local_angle", user_throttle=0.4,
+        )
+        assert report.mean_speed > 0.0

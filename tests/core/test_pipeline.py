@@ -1,0 +1,104 @@
+"""The full AutoLearn pipeline (Fig. 1) per pathway."""
+
+import pytest
+
+from repro.core.pipeline import AutoLearnPipeline
+from repro.testbed.leases import LeaseState
+
+from tests.conftest import TEST_H, TEST_W
+
+FAST = dict(
+    n_records=400,
+    epochs=3,
+    camera_hw=(TEST_H, TEST_W),
+    model_scale=0.3,
+    eval_ticks=150,
+)
+
+
+@pytest.fixture(scope="module")
+def digital_report(tmp_path_factory):
+    pipe = AutoLearnPipeline(
+        "digital", tmp_path_factory.mktemp("digital"), seed=2, **FAST
+    )
+    return pipe.run(), pipe
+
+
+class TestDigitalPathway:
+    def test_all_stages_present(self, digital_report):
+        report, _ = digital_report
+        stages = [s.stage for s in report.stages]
+        assert stages == [
+            "setup", "collection", "cleaning", "training", "deployment",
+            "evaluation",
+        ]
+
+    def test_collection_used_simulator(self, digital_report):
+        report, _ = digital_report
+        assert report.stage("collection").alternative == "simulator"
+        assert report.stage("collection").details["records"] == 400
+
+    def test_training_local(self, digital_report):
+        report, _ = digital_report
+        training = report.stage("training")
+        assert training.alternative == "local"
+        assert "laptop_seconds" in training.details
+        assert training.details["best_val_loss"] < 0.2
+
+    def test_model_stored(self, digital_report):
+        report, pipe = digital_report
+        container = pipe.chameleon.object_store.container("models")
+        assert container.list() == ["digital-linear.npz"]
+
+    def test_evaluation_produced(self, digital_report):
+        report, _ = digital_report
+        assert report.evaluation is not None
+        assert report.evaluation.ticks == 150
+        assert report.total_sim_seconds > 0
+
+    def test_stage_lookup_error(self, digital_report):
+        report, _ = digital_report
+        with pytest.raises(KeyError):
+            report.stage("nonexistent")
+
+
+class TestClassroomPathway:
+    def test_sample_data_and_cloud_gpu(self, tmp_path):
+        pipe = AutoLearnPipeline("classroom", tmp_path, seed=3, **FAST)
+        report = pipe.run()
+        assert report.stage("collection").alternative == "sample"
+        training = report.stage("training")
+        assert training.alternative == "cloud-gpu"
+        assert training.details["gpu"] == "V100"
+        assert training.details["gpu_seconds"] > 0
+        # The lease was terminated after training (refund path).
+        leases = pipe.chameleon.leases.leases_for_project(
+            report.stage("setup").details["project"]
+        )
+        assert any(l.state is LeaseState.TERMINATED for l in leases)
+
+    def test_sample_datasets_published_once(self, tmp_path):
+        pipe = AutoLearnPipeline("classroom", tmp_path, seed=3, **FAST)
+        pipe.run()
+        container = pipe.chameleon.object_store.container("sample-datasets")
+        assert len(container.list()) == 1
+
+
+class TestRegularPathway:
+    def test_full_edge_to_cloud_loop(self, tmp_path):
+        pipe = AutoLearnPipeline("regular", tmp_path, seed=4, **FAST)
+        report = pipe.run()
+        setup = report.stage("setup")
+        assert "device" in setup.details
+        assert setup.details["container_deploy_s"] > 0
+        assert report.stage("collection").alternative == "physical"
+        # Model deployed to the car over the network.
+        deploy = report.stage("deployment")
+        assert deploy.details["scp_seconds"] > 0
+        assert report.evaluation is not None
+
+    def test_regular_costs_more_student_time(self, tmp_path, digital_report):
+        digital, _ = digital_report
+        pipe = AutoLearnPipeline("regular", tmp_path, seed=4, **FAST)
+        regular = pipe.run()
+        assert regular.total_sim_seconds > digital.total_sim_seconds

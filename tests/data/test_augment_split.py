@@ -1,0 +1,55 @@
+"""Flip augmentation inside the split pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataError
+from repro.data.datasets import TubDataset
+
+
+class TestFlipAugmentSplit:
+    def test_doubles_samples(self, tub_factory):
+        dataset = TubDataset(tub_factory(n_records=30))
+        plain = dataset.split(rng=0, val_fraction=0.2)
+        flipped = dataset.split(rng=0, val_fraction=0.2, flip_augment=True)
+        total_plain = len(plain.x_train) + len(plain.x_val)
+        total_flipped = len(flipped.x_train) + len(flipped.x_val)
+        assert total_flipped == 2 * total_plain
+
+    def test_angle_distribution_symmetric(self, tub_factory):
+        dataset = TubDataset(tub_factory(n_records=60, seed=3))
+        split = dataset.split(rng=0, val_fraction=0.2, flip_augment=True)
+        angles = np.concatenate([split.y_train[:, 0], split.y_val[:, 0]])
+        assert angles.mean() == pytest.approx(0.0, abs=1e-6)
+
+    def test_mirrored_images_present(self, tub_factory):
+        tub = tub_factory(n_records=10, seed=5)
+        dataset = TubDataset(tub)
+        images, angles, _ = dataset.load_arrays()
+        split = dataset.split(rng=0, val_fraction=0.2, flip_augment=True)
+        everything = np.concatenate([split.x_train, split.x_val])
+        original = images[0].astype(np.float32) / 255.0
+        mirrored = original[:, ::-1]
+        found_mirror = any(
+            np.allclose(sample, mirrored, atol=1e-6) for sample in everything
+        )
+        assert found_mirror
+
+    def test_incompatible_with_sequences(self, tub_factory):
+        dataset = TubDataset(tub_factory(n_records=20))
+        with pytest.raises(DataError):
+            dataset.split(sequence_length=3, flip_augment=True)
+
+    def test_throttle_unchanged_by_flip(self, tub_factory):
+        dataset = TubDataset(tub_factory(n_records=30, seed=7))
+        plain = dataset.split(rng=0, val_fraction=0.2)
+        flipped = dataset.split(rng=0, val_fraction=0.2, flip_augment=True)
+        plain_throttles = np.sort(
+            np.concatenate([plain.y_train[:, 1], plain.y_val[:, 1]])
+        )
+        flip_throttles = np.sort(
+            np.concatenate([flipped.y_train[:, 1], flipped.y_val[:, 1]])
+        )
+        # Every original throttle appears exactly twice.
+        assert np.allclose(flip_throttles[::2], plain_throttles)
+        assert np.allclose(flip_throttles[1::2], plain_throttles)

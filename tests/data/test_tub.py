@@ -1,0 +1,190 @@
+"""Tub storage: layout, round-trips, deletion, corruption detection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    CorruptCatalogError,
+    DataError,
+    RecordNotFoundError,
+    TubError,
+)
+from repro.data.catalog import Catalog
+from repro.data.records import DriveRecord
+from repro.data.tub import Tub
+
+from tests.conftest import make_records
+
+
+class TestLayout:
+    def test_on_disk_structure(self, tub_factory):
+        tub = tub_factory(n_records=5)
+        assert (tub.path / "manifest.json").exists()
+        assert (tub.path / "catalog_0.catalog").exists()
+        assert (tub.path / "catalog_0.catalog_manifest").exists()
+        assert len(list((tub.path / "images").glob("*.npy"))) == 5
+
+    def test_image_named_by_index(self, tub_factory):
+        tub = tub_factory(n_records=3)
+        fields = tub.read_fields(2)
+        assert fields["cam/image_array"] == "2_cam_image_array_.npy"
+
+    def test_catalog_rotation(self, tmp_path):
+        tub = Tub.create(tmp_path / "rot", max_catalog_len=10)
+        with tub.bulk():
+            for record in make_records(25):
+                tub.write_record(record)
+        names = sorted(p.name for p in tub.path.glob("*.catalog"))
+        assert names == ["catalog_0.catalog", "catalog_1.catalog", "catalog_2.catalog"]
+
+    def test_create_twice_rejected(self, tmp_path):
+        Tub.create(tmp_path / "t")
+        with pytest.raises(TubError):
+            Tub.create(tmp_path / "t")
+
+    def test_open_non_tub_rejected(self, tmp_path):
+        with pytest.raises(TubError):
+            Tub(tmp_path)
+
+
+class TestRoundTrip:
+    def test_record_fields_survive(self, tub_factory):
+        tub = tub_factory(n_records=10, seed=3)
+        originals = make_records(10, seed=3)
+        reopened = Tub(tub.path)
+        for i, original in enumerate(originals):
+            loaded = reopened.read_record(i)
+            assert loaded.angle == pytest.approx(original.angle, abs=1e-6)
+            assert loaded.throttle == pytest.approx(original.throttle, abs=1e-6)
+            assert loaded.mode == original.mode
+            assert np.array_equal(loaded.image, original.image)
+
+    def test_extras_survive(self, tmp_path):
+        tub = Tub.create(tmp_path / "x")
+        record = make_records(1)[0]
+        record.extras["gps/lat"] = 38.95
+        tub.write_record(record)
+        assert Tub(tub.path).read_record(0).extras["gps/lat"] == 38.95
+
+    def test_iteration_order(self, tub_factory):
+        tub = tub_factory(n_records=15)
+        indexes = [r.timestamp_ms for r in tub]
+        assert indexes == sorted(indexes)
+
+    def test_missing_record(self, tub_factory):
+        tub = tub_factory(n_records=3)
+        with pytest.raises(RecordNotFoundError):
+            tub.read_fields(99)
+
+
+class TestDeletion:
+    def test_mark_and_restore(self, tub_factory):
+        tub = tub_factory(n_records=10)
+        tub.mark_deleted([2, 3, 4])
+        assert tub.active_count == 7
+        assert 3 not in tub.indexes()
+        tub.restore([3])
+        assert tub.active_count == 8
+        assert 3 in tub.indexes()
+
+    def test_deletion_persists_in_manifest(self, tub_factory):
+        tub = tub_factory(n_records=10)
+        tub.mark_deleted(range(0, 5))
+        reopened = Tub(tub.path)
+        assert reopened.deleted_indexes == {0, 1, 2, 3, 4}
+
+    def test_mark_invalid_index_rejected(self, tub_factory):
+        tub = tub_factory(n_records=3)
+        with pytest.raises(RecordNotFoundError):
+            tub.mark_deleted([42])
+
+    def test_iter_skips_deleted(self, tub_factory):
+        tub = tub_factory(n_records=6)
+        tub.mark_deleted([0, 1])
+        assert len(list(tub)) == 4
+
+    def test_vacuum_removes_images(self, tub_factory):
+        tub = tub_factory(n_records=6)
+        tub.mark_deleted([1, 2])
+        removed = tub.vacuum()
+        assert removed == 2
+        assert not (tub.images_dir / "1_cam_image_array_.npy").exists()
+        with pytest.raises(TubError):
+            tub.load_image(1)
+        # Non-deleted images untouched.
+        assert tub.load_image(0).shape[2] == 3
+
+
+class TestCorruption:
+    def test_truncated_catalog_detected(self, tub_factory):
+        tub = tub_factory(n_records=5)
+        catalog = tub.path / "catalog_0.catalog"
+        data = catalog.read_bytes()
+        catalog.write_bytes(data[: len(data) - 10])
+        with pytest.raises(CorruptCatalogError):
+            Tub(tub.path)
+
+    def test_missing_sidecar_detected(self, tub_factory):
+        tub = tub_factory(n_records=5)
+        (tub.path / "catalog_0.catalog_manifest").unlink()
+        with pytest.raises(CorruptCatalogError):
+            Tub(tub.path)
+
+    def test_unparseable_sidecar(self, tub_factory):
+        tub = tub_factory(n_records=2)
+        (tub.path / "catalog_0.catalog_manifest").write_text("{broken")
+        with pytest.raises(CorruptCatalogError):
+            Tub(tub.path)
+
+    def test_catalog_index_mismatch(self, tmp_path):
+        cat = Catalog(tmp_path / "c.catalog", start_index=0)
+        cat.append({"user/angle": 0.1})
+        # Tamper with the stored index but keep the line length equal.
+        text = (tmp_path / "c.catalog").read_text().replace('"_index":0', '"_index":7')
+        (tmp_path / "c.catalog").write_text(text)
+        with pytest.raises(CorruptCatalogError):
+            cat.read(0)
+
+
+class TestBulk:
+    def test_bulk_defers_manifest(self, tmp_path):
+        tub = Tub.create(tmp_path / "b")
+        with tub.bulk():
+            for record in make_records(30):
+                tub.write_record(record)
+            # Inside the bulk block the tub-level manifest is stale.
+            manifest = json.loads((tub.path / "manifest.json").read_text())
+            assert manifest["catalogs"] == []
+        manifest = json.loads((tub.path / "manifest.json").read_text())
+        assert manifest["catalogs"] == ["catalog_0.catalog"]
+        assert len(Tub(tub.path)) == 30
+
+    def test_size_and_clone(self, tub_factory, tmp_path):
+        tub = tub_factory(n_records=4)
+        assert tub.size_bytes() > 4 * 40 * 56 * 3
+        clone = tub.clone_to(tmp_path / "cloned")
+        assert len(clone) == 4
+        with pytest.raises(TubError):
+            tub.clone_to(tmp_path / "cloned")
+
+
+class TestDriveRecordValidation:
+    def test_bad_image(self):
+        with pytest.raises(DataError):
+            DriveRecord(image=np.zeros((4, 4), dtype=np.uint8), angle=0, throttle=0)
+
+    def test_bad_dtype(self):
+        with pytest.raises(DataError):
+            DriveRecord(image=np.zeros((4, 4, 3), dtype=np.float32), angle=0, throttle=0)
+
+    def test_angle_out_of_range(self):
+        img = np.zeros((4, 4, 3), dtype=np.uint8)
+        with pytest.raises(DataError):
+            DriveRecord(image=img, angle=1.5, throttle=0)
+
+    def test_bad_mode(self):
+        img = np.zeros((4, 4, 3), dtype=np.uint8)
+        with pytest.raises(DataError):
+            DriveRecord(image=img, angle=0, throttle=0, mode="autopilot")

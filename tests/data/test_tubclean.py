@@ -1,0 +1,122 @@
+"""tubclean: manual review segments and automatic bad-span detection."""
+
+import numpy as np
+import pytest
+
+from repro.data.records import DriveRecord
+from repro.data.tub import Tub
+from repro.data.tubclean import TubCleaner
+
+
+def build_tub(tmp_path, spec):
+    """spec: list of (count, kwargs) runs of records."""
+    tub = Tub.create(tmp_path / "tub", metadata={"track_half_width": 0.35})
+    rng = np.random.default_rng(0)
+    index = 0
+    with tub.bulk():
+        for count, kwargs in spec:
+            for _ in range(count):
+                defaults = dict(
+                    angle=0.1, throttle=0.5, cte=0.02, speed=1.0, off_track=False
+                )
+                defaults.update(kwargs)
+                tub.write_record(
+                    DriveRecord(
+                        image=rng.integers(0, 255, (8, 10, 3), dtype=np.uint8),
+                        timestamp_ms=index * 50,
+                        **defaults,
+                    )
+                )
+                index += 1
+    return tub
+
+
+class TestAutomaticDetection:
+    def test_crash_span_padded(self, tmp_path):
+        tub = build_tub(tmp_path, [(50, {}), (4, {"off_track": True}), (50, {})])
+        spans = TubCleaner(tub, crash_margin=5).find_bad_spans()
+        crash = [s for s in spans if s.reason == "crash"]
+        assert len(crash) == 1
+        assert crash[0].start == 45  # 50 - margin
+        assert crash[0].stop == 59  # 54 + margin
+
+    def test_offside_detected(self, tmp_path):
+        tub = build_tub(tmp_path, [(30, {}), (6, {"cte": 0.34}), (30, {})])
+        spans = TubCleaner(tub).find_bad_spans(half_width=0.35)
+        offside = [s for s in spans if s.reason == "offside"]
+        assert len(offside) == 1
+        assert offside[0].start == 30
+        assert offside[0].stop == 36
+
+    def test_stall_requires_min_length(self, tmp_path):
+        tub = build_tub(
+            tmp_path,
+            [(20, {}), (5, {"speed": 0.0}), (20, {}), (30, {"speed": 0.0}), (10, {})],
+        )
+        spans = TubCleaner(tub, stall_min_steps=20).find_bad_spans()
+        stalls = [s for s in spans if s.reason == "stalled"]
+        assert len(stalls) == 1
+        assert stalls[0].start == 45
+
+    def test_clean_marks_records(self, tmp_path):
+        tub = build_tub(tmp_path, [(40, {}), (4, {"off_track": True}), (40, {})])
+        cleaner = TubCleaner(tub, crash_margin=3)
+        marked = cleaner.clean()
+        assert marked == 10  # 4 crash + 2*3 margin
+        assert tub.active_count == 74
+
+    def test_clean_idempotent(self, tmp_path):
+        tub = build_tub(tmp_path, [(40, {}), (4, {"off_track": True}), (40, {})])
+        cleaner = TubCleaner(tub, crash_margin=3)
+        first = cleaner.clean()
+        second = cleaner.clean()
+        assert first == 10
+        assert second == 0
+
+    def test_clean_on_clean_data_is_noop(self, tmp_path):
+        tub = build_tub(tmp_path, [(60, {})])
+        assert TubCleaner(tub).clean() == 0
+
+    def test_empty_tub(self, tmp_path):
+        tub = Tub.create(tmp_path / "empty", metadata={})
+        assert TubCleaner(tub).find_bad_spans() == []
+
+    def test_half_width_from_metadata(self, tmp_path):
+        tub = build_tub(tmp_path, [(30, {"cte": 0.33})])
+        # With metadata half width 0.35, cte 0.33 > 0.9*0.35 -> offside.
+        spans = TubCleaner(tub).find_bad_spans()
+        assert any(s.reason == "offside" for s in spans)
+
+
+class TestManualReview:
+    def test_segments_cover_all_records(self, tmp_path):
+        tub = build_tub(tmp_path, [(105, {})])
+        segments = TubCleaner(tub).review(segment_len=25)
+        assert len(segments) == 5
+        assert segments[0].start == 0
+        assert segments[-1].stop == 105
+
+    def test_segment_statistics(self, tmp_path):
+        tub = build_tub(tmp_path, [(50, {}), (50, {"off_track": True, "cte": 0.4})])
+        segments = TubCleaner(tub).review(segment_len=50)
+        assert segments[0].crash_count == 0
+        assert segments[1].crash_count == 50
+        assert segments[1].max_abs_cte > segments[0].max_abs_cte
+
+    def test_mark_segment(self, tmp_path):
+        tub = build_tub(tmp_path, [(60, {})])
+        cleaner = TubCleaner(tub)
+        segment = cleaner.review(segment_len=20)[1]
+        cleaner.mark_segment(segment)
+        assert tub.deleted_indexes == set(range(20, 40))
+
+    def test_mark_range_skips_missing(self, tmp_path):
+        tub = build_tub(tmp_path, [(30, {})])
+        cleaner = TubCleaner(tub)
+        cleaner.mark_range(25, 40)  # extends past the end
+        assert tub.deleted_indexes == set(range(25, 30))
+
+    def test_bad_segment_len(self, tmp_path):
+        tub = build_tub(tmp_path, [(10, {})])
+        with pytest.raises(ValueError):
+            TubCleaner(tub).review(segment_len=0)

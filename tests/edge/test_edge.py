@@ -1,0 +1,176 @@
+"""CHI@Edge: BYOD enrollment, policies, containers, console."""
+
+import pytest
+
+from repro.common.clock import EventScheduler
+from repro.common.errors import (
+    ContainerError,
+    DeviceNotEnrolledError,
+    EdgeError,
+    PolicyViolationError,
+)
+from repro.edge.byod import CHIEdge
+from repro.edge.containers import AUTOLEARN_IMAGE, ContainerState
+from repro.edge.devices import RASPBERRY_PI_3, RASPBERRY_PI_4, DeviceState
+from repro.testbed.identity import IdentityProvider
+
+
+@pytest.fixture()
+def env():
+    identity = IdentityProvider()
+    identity.register_user("prof", "uni", role="instructor")
+    identity.register_user("stu", "uni")
+    project = identity.create_project("AutoLearn", pi="prof")
+    identity.add_member(project.project_id, "stu")
+    scheduler = EventScheduler()
+    edge = CHIEdge(scheduler, identity)
+    session = identity.login("stu", project.project_id)
+    return edge, identity, project, session, scheduler
+
+
+class TestEnrollment:
+    def test_full_byod_sequence(self, env):
+        edge, _, _, session, scheduler = env
+        device = edge.register_device(session, "car-01")
+        assert device.state is DeviceState.REGISTERED
+        edge.flash_sd_image(device.device_id)
+        assert device.state is DeviceState.FLASHED
+        edge.boot_device(device.device_id)
+        assert device.state is DeviceState.CONNECTED
+        assert device.connected_at == scheduler.clock.now
+
+    def test_steps_must_follow_order(self, env):
+        edge, _, _, session, _ = env
+        device = edge.register_device(session, "car-02")
+        with pytest.raises(EdgeError):
+            edge.boot_device(device.device_id)  # must flash first
+        edge.flash_sd_image(device.device_id)
+        with pytest.raises(EdgeError):
+            edge.flash_sd_image(device.device_id)  # cannot flash twice
+
+    def test_enroll_shortcut(self, env):
+        edge, _, _, session, _ = env
+        device = edge.enroll(session, "car-03")
+        assert device.state is DeviceState.CONNECTED
+
+    def test_enrollment_charges_time(self, env):
+        edge, _, _, session, scheduler = env
+        t0 = scheduler.clock.now
+        edge.enroll(session, "car-04")
+        elapsed = scheduler.clock.now - t0
+        spec = RASPBERRY_PI_4
+        assert elapsed > spec.sd_flash_s + spec.boot_s
+
+    def test_pi3_slower_than_pi4(self, env):
+        edge, _, _, session, scheduler = env
+        t0 = scheduler.clock.now
+        edge.enroll(session, "pi4", RASPBERRY_PI_4)
+        pi4_time = scheduler.clock.now - t0
+        t1 = scheduler.clock.now
+        edge.enroll(session, "pi3", RASPBERRY_PI_3)
+        pi3_time = scheduler.clock.now - t1
+        assert pi3_time > pi4_time
+
+    def test_unknown_device(self, env):
+        edge, *_ = env
+        with pytest.raises(DeviceNotEnrolledError):
+            edge.get("dev-9999")
+
+
+class TestPolicies:
+    def test_owner_project_whitelisted_by_default(self, env):
+        edge, _, project, session, _ = env
+        device = edge.enroll(session, "car-01")
+        assert device.allows(project.project_id)
+
+    def test_other_project_denied_until_shared(self, env):
+        edge, identity, _, session, _ = env
+        device = edge.enroll(session, "car-01")
+        other = identity.create_project("Other", pi="prof")
+        other_session = identity.login("prof", other.project_id)
+        with pytest.raises(PolicyViolationError):
+            edge.allocate(other_session, device.device_id)
+        edge.share_with(device.device_id, other.project_id)
+        assert edge.allocate(other_session, device.device_id).state is DeviceState.RESERVED
+
+    def test_allocation_requires_connected(self, env):
+        edge, _, _, session, _ = env
+        device = edge.register_device(session, "car-01")
+        with pytest.raises(DeviceNotEnrolledError):
+            edge.allocate(session, device.device_id)
+
+    def test_release_returns_to_pool(self, env):
+        edge, _, _, session, _ = env
+        device = edge.enroll(session, "car-01")
+        edge.allocate(session, device.device_id)
+        edge.release(device.device_id)
+        assert device.state is DeviceState.CONNECTED
+        assert edge.devices(DeviceState.CONNECTED) == [device]
+
+
+class TestContainers:
+    def test_zero_to_ready_deploy(self, env):
+        edge, _, _, session, _ = env
+        device = edge.enroll(session, "car-01")
+        edge.allocate(session, device.device_id)
+        report = edge.launch_container(session, device.device_id)
+        assert report.container.state is ContainerState.RUNNING
+        # Pull of the ~1.8 GB image over Wi-Fi dominates.
+        assert report.total_s > 300.0
+
+    def test_deploy_requires_allocation(self, env):
+        edge, _, _, session, _ = env
+        device = edge.enroll(session, "car-01")
+        with pytest.raises(PolicyViolationError):
+            edge.launch_container(session, device.device_id)
+
+    def test_image_cache_makes_second_launch_fast(self, env):
+        edge, _, _, session, scheduler = env
+        device = edge.enroll(session, "car-01")
+        edge.allocate(session, device.device_id)
+        first = edge.launch_container(session, device.device_id)
+        second = edge.launch_container(session, device.device_id)
+        assert second.total_s < first.total_s / 10.0
+
+    def test_console_commands(self, env):
+        edge, _, _, session, _ = env
+        device = edge.enroll(session, "car-01")
+        edge.allocate(session, device.device_id)
+        report = edge.launch_container(session, device.device_id)
+        cid = report.container.container_id
+        assert "data" in edge.engine.console_exec(cid, "ls /car")
+        assert "donkey" in edge.engine.console_exec(cid, "donkey --version")
+
+    def test_console_rejects_editors(self, env):
+        # The paper's §3.5 limitation, reproduced verbatim.
+        edge, _, _, session, _ = env
+        device = edge.enroll(session, "car-01")
+        edge.allocate(session, device.device_id)
+        report = edge.launch_container(session, device.device_id)
+        for editor in ("vi", "vim", "nano", "emacs"):
+            with pytest.raises(ContainerError, match="text editing"):
+                edge.engine.console_exec(
+                    report.container.container_id, f"{editor} config.py"
+                )
+
+    def test_stopped_container_rejects_exec(self, env):
+        edge, _, _, session, _ = env
+        device = edge.enroll(session, "car-01")
+        edge.allocate(session, device.device_id)
+        report = edge.launch_container(session, device.device_id)
+        edge.engine.stop(report.container.container_id)
+        with pytest.raises(ContainerError):
+            edge.engine.console_exec(report.container.container_id, "ls")
+
+
+class TestDeviceModel:
+    def test_inference_latency_scales_with_model(self, env):
+        edge, _, _, session, _ = env
+        device = edge.enroll(session, "car-01")
+        small = device.inference_seconds(1e8)
+        large = device.inference_seconds(1e9)
+        assert large == pytest.approx(10 * small)
+
+    def test_autolearn_image_has_dependencies(self):
+        assert "donkeycar" in AUTOLEARN_IMAGE.software
+        assert "jupyter" in AUTOLEARN_IMAGE.software  # Basic Jupyter appliance

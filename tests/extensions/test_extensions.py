@@ -1,0 +1,199 @@
+"""Extension assignments: GPS following, classical vision, RL."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.drivers import PurePursuitDriver
+from repro.extensions.gps import GPSReceiver, GPSTrace, PathFollower, record_gps_path
+from repro.extensions.rl import CEMConfig, LinearPolicy, train_cem
+from repro.extensions.vision import (
+    LineFollowPilot,
+    StopGoPilot,
+    classify_signal_color,
+    detect_obstacle,
+    line_offset,
+    paint_signal_object,
+)
+
+
+class TestGPS:
+    def test_receiver_noise_bounded(self):
+        receiver = GPSReceiver(white_sigma=0.02, bias_walk_sigma=0.0, rng=0)
+        fixes = np.array([receiver.fix(1.0, 2.0) for _ in range(300)])
+        assert np.allclose(fixes.mean(axis=0), [1.0, 2.0], atol=0.01)
+        assert fixes.std(axis=0).max() < 0.05
+
+    def test_bias_random_walk_drifts(self):
+        receiver = GPSReceiver(white_sigma=0.0, bias_walk_sigma=0.01, rng=0)
+        fixes = np.array([receiver.fix(0.0, 0.0) for _ in range(500)])
+        assert np.abs(fixes[-50:]).mean() > np.abs(fixes[:50]).mean()
+
+    def test_record_path(self, session_factory):
+        session = session_factory(render=False)
+        driver = PurePursuitDriver(session)
+        trace = record_gps_path(session, driver, ticks=120)
+        assert trace.points.shape == (120, 2)
+        assert trace.dt == session.dt
+
+    def test_decimate(self):
+        trace = GPSTrace(np.random.default_rng(0).random((100, 2)), dt=0.05)
+        thin = trace.decimate(5)
+        assert len(thin.points) == 20
+        assert thin.dt == pytest.approx(0.25)
+        with pytest.raises(ConfigurationError):
+            trace.decimate(0)
+
+    def test_follower_tracks_recorded_path(self, session_factory):
+        record_session = session_factory(render=False, seed=2)
+        trace = record_gps_path(
+            record_session, PurePursuitDriver(record_session), ticks=400,
+            receiver=GPSReceiver(rng=5),
+        )
+        follow_session = session_factory(render=False, seed=3)
+        follower = PathFollower(trace, follow_session, GPSReceiver(rng=6))
+        obs = follow_session.reset()
+        errors = []
+        for i in range(400):
+            s, t = follower(obs.image, obs.cte, obs.speed)
+            obs = follow_session.step(s, t)
+            if i > 60:
+                errors.append(follower.cross_track_error())
+        assert np.mean(errors) < 0.08
+        assert follow_session.stats.crashes == 0
+
+    def test_cheap_receiver_degrades_following(self, session_factory):
+        def mean_error(white_sigma, seed):
+            rec = session_factory(render=False, seed=seed)
+            trace = record_gps_path(
+                rec, PurePursuitDriver(rec), ticks=300,
+                receiver=GPSReceiver(white_sigma=0.0, bias_walk_sigma=0.0),
+            )
+            fol = session_factory(render=False, seed=seed + 1)
+            follower = PathFollower(
+                trace, fol,
+                GPSReceiver(white_sigma=white_sigma, bias_walk_sigma=0.0, rng=9),
+            )
+            obs = fol.reset()
+            errs = []
+            for i in range(300):
+                s, t = follower(obs.image, obs.cte, obs.speed)
+                obs = fol.step(s, t)
+                if i > 60:
+                    errs.append(follower.cross_track_error())
+            return np.mean(errs)
+
+        assert mean_error(0.30, seed=11) > mean_error(0.005, seed=11)
+
+    def test_trace_validation(self):
+        with pytest.raises(ConfigurationError):
+            GPSTrace(np.zeros((1, 2)), dt=0.05)
+
+
+class TestVision:
+    @pytest.fixture()
+    def track_frame(self, session_factory):
+        return session_factory(seed=7).reset().image
+
+    def test_no_object_classifies_none(self, track_frame):
+        assert classify_signal_color(track_frame) == "none"
+
+    def test_red_and_green_detected(self, track_frame):
+        assert classify_signal_color(
+            paint_signal_object(track_frame, "red", rng=0)) == "red"
+        assert classify_signal_color(
+            paint_signal_object(track_frame, "green", rng=0)) == "green"
+
+    def test_orange_tape_not_mistaken_for_red(self, session_factory):
+        # Frames full of orange tape must stay 'none'.
+        session = session_factory(seed=8)
+        obs = session.reset()
+        for _ in range(20):
+            obs = session.step(0.0, 0.3)
+            assert classify_signal_color(obs.image) == "none"
+
+    def test_paint_validation(self, track_frame):
+        with pytest.raises(ConfigurationError):
+            paint_signal_object(track_frame, "blue")
+
+    def test_stop_go_pilot_brakes_on_red(self, track_frame):
+        class Cruise:
+            def run(self, image):
+                return 0.1, 0.7
+
+        pilot = StopGoPilot(Cruise())
+        _, throttle_clear = pilot.run(track_frame)
+        assert throttle_clear == 0.7
+        _, throttle_red = pilot.run(paint_signal_object(track_frame, "red", rng=0))
+        assert throttle_red < 0.0
+        assert pilot.stopped_ticks == 1
+        _, throttle_green = pilot.run(paint_signal_object(track_frame, "green", rng=0))
+        assert throttle_green == 0.7
+
+    def test_line_offset_signed(self, session_factory, oval_track):
+        session = session_factory(seed=9)
+        # Offset the car left of centre: the lane's tape pattern shifts.
+        left = session.reset(s=1.0, lateral_offset=0.15)
+        right = session.reset(s=1.0, lateral_offset=-0.15)
+        off_left = line_offset(left.image)
+        off_right = line_offset(right.image)
+        assert off_left is not None and off_right is not None
+        assert off_left != pytest.approx(off_right, abs=1e-3)
+
+    def test_line_follow_pilot_laps(self, session_factory):
+        session = session_factory(seed=10)
+        pilot = LineFollowPilot(gain=1.2, throttle=0.4)
+        obs = session.reset()
+        for _ in range(500):
+            s, t = pilot.run(obs.image)
+            obs = session.step(s, t)
+        assert session.stats.laps_completed >= 1
+        assert session.stats.crashes == 0
+
+    def test_obstacle_detection(self, track_frame):
+        blocked = paint_signal_object(track_frame, "red", size=20, rng=0)
+        assert detect_obstacle(blocked, track_frame)
+        assert not detect_obstacle(track_frame, track_frame)
+
+    def test_obstacle_shape_mismatch(self, track_frame):
+        with pytest.raises(ConfigurationError):
+            detect_obstacle(track_frame, track_frame[:-2])
+
+
+class TestRL:
+    def test_cem_improves_reward(self):
+        _, curve = train_cem(
+            config=CEMConfig(iterations=6, population=12, episode_steps=120),
+            seed=4,
+        )
+        assert len(curve) == 6
+        assert curve[-1] > curve[0]
+
+    def test_trained_policy_drives(self):
+        from repro.sim.server import SimulatorServer
+
+        policy, _ = train_cem(
+            config=CEMConfig(iterations=8, population=14, episode_steps=150),
+            seed=4,
+        )
+        server = SimulatorServer(render=False, seed=99, max_episode_steps=400)
+        server.reset()
+        total = 0.0
+        for _ in range(400):
+            features = policy.features(server)
+            _, reward, done, info = server.step(policy.act(features))
+            total += reward
+            if done:
+                break
+        assert total > 3.0  # progressed metres around the track
+        assert not info["crashed"]
+
+    def test_policy_weight_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearPolicy(np.zeros(2))
+
+    def test_cem_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CEMConfig(population=1)
+        with pytest.raises(ConfigurationError):
+            CEMConfig(elite_fraction=0.0)

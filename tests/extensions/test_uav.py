@@ -1,0 +1,120 @@
+"""UAV / precision agriculture future-work extension (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.extensions.uav import (
+    CropField,
+    Quadrotor,
+    UAVParams,
+    UAVState,
+    fly_survey,
+    lawnmower_waypoints,
+)
+
+
+class TestQuadrotor:
+    def test_reaches_waypoint(self):
+        uav = Quadrotor()
+        state = UAVState()
+        target = np.array([10.0, 5.0])
+        for _ in range(600):
+            state = uav.step(state, target, 0.1)
+        assert np.linalg.norm(state.position - target) < 0.6
+
+    def test_speed_limited(self):
+        params = UAVParams(max_speed=2.0)
+        uav = Quadrotor(params)
+        state = UAVState()
+        for _ in range(300):
+            state = uav.step(state, np.array([100.0, 0.0]), 0.1)
+            assert state.speed <= params.max_speed + 1e-6
+
+    def test_acceleration_limited(self):
+        params = UAVParams(max_accel=1.0)
+        uav = Quadrotor(params)
+        state = UAVState()
+        new = uav.step(state, np.array([100.0, 0.0]), 0.1)
+        assert new.speed <= params.max_accel * 0.1 + 1e-9
+
+    def test_brakes_near_target(self):
+        uav = Quadrotor()
+        state = UAVState()
+        target = np.array([6.0, 0.0])
+        speeds = []
+        for _ in range(400):
+            state = uav.step(state, target, 0.05)
+            speeds.append(state.speed)
+        assert max(speeds) > 1.0
+        assert speeds[-1] < 0.6  # slowed down at arrival
+
+    def test_invalid_params(self):
+        with pytest.raises(SimulationError):
+            UAVParams(max_speed=0.0)
+        with pytest.raises(SimulationError):
+            Quadrotor().step(UAVState(), np.zeros(2), 0.0)
+
+
+class TestLawnmower:
+    def test_covers_both_edges(self):
+        wp = lawnmower_waypoints(20.0, 10.0, swath=2.0)
+        assert wp[:, 0].min() == 0.0 and wp[:, 0].max() == 20.0
+        assert wp[:, 1].min() == 0.0 and wp[:, 1].max() == 10.0
+
+    def test_row_count_scales_with_swath(self):
+        coarse = lawnmower_waypoints(20.0, 10.0, swath=5.0)
+        fine = lawnmower_waypoints(20.0, 10.0, swath=1.0)
+        assert len(fine) > len(coarse)
+
+    def test_alternating_direction(self):
+        wp = lawnmower_waypoints(10.0, 4.0, swath=2.0)
+        # Rows alternate left->right, right->left.
+        assert wp[0][0] == 0.0 and wp[1][0] == 10.0
+        assert wp[2][0] == 10.0 and wp[3][0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lawnmower_waypoints(0.0, 10.0, 1.0)
+
+
+class TestCropField:
+    def test_stress_bounded(self):
+        fieldmap = CropField(30.0, 20.0, n_hotspots=5, rng=1)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 20, (200, 2))
+        stress = fieldmap.stress(pts)
+        assert (stress >= 0).all() and (stress <= 1).all()
+
+    def test_hotspots_are_hot(self):
+        fieldmap = CropField(30.0, 20.0, n_hotspots=3, rng=2)
+        at_hotspots = fieldmap.stress(fieldmap.hotspots)
+        background = fieldmap.stress(np.array([[1.0, 1.0]]))
+        assert at_hotspots.min() > background[0] + 0.3
+
+    def test_no_hotspots(self):
+        fieldmap = CropField(10.0, 10.0, n_hotspots=0)
+        assert fieldmap.stress(np.array([[5.0, 5.0]]))[0] < 0.3
+
+
+class TestSurvey:
+    def test_survey_finds_hotspots(self):
+        fieldmap = CropField(24.0, 16.0, n_hotspots=4, rng=3)
+        report = fly_survey(fieldmap, swath=2.0)
+        assert report.coverage_fraction > 0.5
+        assert report.recall >= 0.75  # finds most hotspots
+        assert report.flight_seconds > 0
+        assert report.distance > 24.0 * (16.0 / 2.0) * 0.8
+
+    def test_coarser_swath_flies_less_but_sees_less(self):
+        fieldmap = CropField(24.0, 16.0, n_hotspots=4, rng=3)
+        fine = fly_survey(fieldmap, swath=2.0)
+        coarse = fly_survey(fieldmap, swath=8.0)
+        assert coarse.distance < fine.distance
+        assert coarse.coverage_fraction < fine.coverage_fraction
+
+    def test_empty_field_no_detections(self):
+        fieldmap = CropField(12.0, 8.0, n_hotspots=0)
+        report = fly_survey(fieldmap, swath=2.0)
+        assert report.detections == []
+        assert report.recall == 1.0

@@ -1,0 +1,154 @@
+"""Integration: the full module loop across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.collection import collect_via_simulator
+from repro.core.evaluation import evaluate_model
+from repro.data.datasets import TubDataset
+from repro.data.tub import Tub
+from repro.data.tubclean import TubCleaner
+from repro.edge.byod import CHIEdge
+from repro.ml.models.factory import create_model
+from repro.ml.serialize import load_model_bytes, save_model_bytes
+from repro.ml.training import Trainer, estimate_flops_per_sample
+from repro.net.topology import autolearn_topology
+from repro.net.transfer import rsync_tub, scp_bytes
+from repro.sim.renderer import CameraParams
+from repro.sim.tracks import default_tape_oval
+from repro.testbed.chameleon import Chameleon
+from repro.testbed.compute import TrainingJob
+
+from tests.conftest import TEST_H, TEST_W
+
+
+class TestCollectCleanTrainEvaluate:
+    """The digital pathway, asserted stage by stage."""
+
+    def test_loop_produces_driving_model(self, tmp_path, oval_track):
+        report = collect_via_simulator(
+            oval_track, tmp_path / "tub", n_records=600, skill=0.9,
+            seed=17, camera_hw=(TEST_H, TEST_W),
+        )
+        TubCleaner(report.tub).clean(half_width=oval_track.half_width)
+
+        dataset = TubDataset(report.tub)
+        split = dataset.split(val_fraction=0.15, rng=3)
+        model = create_model(
+            "linear", input_shape=(TEST_H, TEST_W, 3), scale=0.4, seed=5
+        )
+        history = Trainer(batch_size=64, epochs=6, shuffle_seed=1).fit(model, split)
+        assert history.best_val_loss < 0.05
+
+        evaluation = evaluate_model(
+            model, oval_track, ticks=400, seed=23,
+            camera=CameraParams(height=TEST_H, width=TEST_W),
+        )
+        # The trained model actually drives: meaningful forward progress.
+        assert evaluation.distance > 5.0
+        assert evaluation.mean_speed > 0.3
+
+
+class TestCloudTrainingWorkflow:
+    """Reserve -> deploy -> rsync -> train -> store -> scp to the car."""
+
+    def test_full_testbed_workflow(self, tmp_path, driven_tub, oval_track):
+        chi = Chameleon()
+        project, _ = chi.onboard_class("prof", "uni", ["alice"])
+        session = chi.login("alice", project.project_id)
+        topo = autolearn_topology()
+
+        # rsync the tub from the car to the cloud node.
+        transfer = rsync_tub(
+            driven_tub, topo.route("car-pi", "chi-uc"), clock=chi.clock, rng=1
+        )
+        assert transfer.seconds > 0
+
+        lease = chi.reserve_gpu_node(session, "gpu_a100", duration_hours=6)
+        instance = chi.deploy_training_server(lease)
+
+        # Train for real (numpy) and account simulated GPU time.
+        dataset = TubDataset(driven_tub)
+        split = dataset.split(val_fraction=0.15, rng=2)
+        model = create_model(
+            "linear", input_shape=(TEST_H, TEST_W, 3), scale=0.4, seed=6
+        )
+        history = Trainer(batch_size=64, epochs=4, shuffle_seed=2).fit(model, split)
+        job = TrainingJob(
+            flops_per_sample=estimate_flops_per_sample(model),
+            n_samples=len(split.y_train),
+            epochs=history.epochs,
+        )
+        run = chi.provisioning.run_training_job(instance, job)
+        assert run.gpu_name == "A100"
+
+        # Store weights, then scp them down to the car.
+        payload = save_model_bytes(model)
+        chi.object_store.create_container("models").put("pilot.npz", payload)
+        stored = chi.object_store.container("models").get("pilot.npz")
+        down = scp_bytes(
+            stored.size, topo.route("chi-uc", "car-pi"), clock=chi.clock, rng=2
+        )
+        assert down.seconds > 0
+        clone = load_model_bytes(stored.data)
+        frame = np.zeros((TEST_H, TEST_W, 3), dtype=np.uint8)
+        assert clone.run(frame) == model.run(frame)
+
+        # Project accounting happened along the way.
+        assert project.charged_su > 0
+
+
+class TestEdgeEvaluationWorkflow:
+    """BYOD car + container + downloaded model driving on the track."""
+
+    def test_edge_deploy_and_drive(self, trained_linear, oval_track):
+        chi = Chameleon()
+        project, _ = chi.onboard_class("prof", "uni", ["kyle"])
+        session = chi.login("kyle", project.project_id)
+        edge = CHIEdge(chi.scheduler, chi.identity)
+
+        device = edge.enroll(session, "car-01")
+        edge.allocate(session, device.device_id)
+        report = edge.launch_container(session, device.device_id)
+        assert report.container.image.software >= {"donkeycar", "jupyter"}
+
+        evaluation = evaluate_model(
+            trained_linear, oval_track, ticks=300, seed=31,
+            camera=CameraParams(height=TEST_H, width=TEST_W),
+        )
+        assert evaluation.distance > 3.0
+
+        # The Pi can serve the model at the 20 Hz control rate.
+        per_frame = device.inference_seconds(trained_linear.flops_per_sample())
+        assert per_frame < 0.05
+
+
+class TestCleaningImprovesModels:
+    """E8's shape at unit scale: training on cleaned data helps."""
+
+    def test_cleaned_beats_dirty(self, tmp_path, oval_track):
+        report = collect_via_simulator(
+            oval_track, tmp_path / "dirty", n_records=700, skill=0.35,
+            seed=41, camera_hw=(TEST_H, TEST_W),
+        )
+        tub = report.tub
+        assert report.crashes > 0  # the sloppy student crashed
+
+        def train_and_eval(train_tub, seed):
+            dataset = TubDataset(train_tub)
+            split = dataset.split(val_fraction=0.15, rng=seed)
+            model = create_model(
+                "linear", input_shape=(TEST_H, TEST_W, 3), scale=0.4, seed=seed
+            )
+            Trainer(batch_size=64, epochs=5, shuffle_seed=seed).fit(model, split)
+            return evaluate_model(
+                model, oval_track, ticks=400, seed=seed + 100,
+                camera=CameraParams(height=TEST_H, width=TEST_W),
+            )
+
+        dirty_eval = train_and_eval(tub, seed=1)
+        marked = TubCleaner(tub).clean(half_width=oval_track.half_width)
+        assert marked > 0
+        clean_eval = train_and_eval(tub, seed=1)
+        # Shape: cleaning should not make the on-track error rate worse.
+        assert clean_eval.errors <= dirty_eval.errors + 1

@@ -1,0 +1,180 @@
+"""SVG plotting, notebook emulation, and the class leaderboard."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.core.evaluation import EvaluationReport
+from repro.core.leaderboard import CRITERIA, Leaderboard
+from repro.sim.plot import save_svg, track_svg, trajectory_svg
+from repro.testbed.jupyter import Notebook, NotebookError
+
+
+def make_report(laps=3, errors=2, speed=1.0, lap_time=10.0, cte=0.05):
+    return EvaluationReport(
+        model_name="m", ticks=600, sim_seconds=30.0, laps=laps,
+        mean_lap_time=lap_time, lap_time_std=0.2, mean_speed=speed,
+        errors=errors, mean_abs_cte=cte, distance=speed * 30.0,
+    )
+
+
+class TestSVG:
+    def test_track_svg_valid(self, oval_track):
+        svg = track_svg(oval_track)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<polyline") >= 3  # inner, outer, centreline
+        assert "#e87722" in svg  # orange tape
+
+    def test_waveshare_palette(self, waveshare):
+        assert "#d9d9d9" in track_svg(waveshare)
+
+    def test_trajectory_overlay(self, oval_track):
+        laps = oval_track.point_at(np.linspace(0, oval_track.length, 50))
+        svg = trajectory_svg(
+            oval_track,
+            {"expert": laps, "student": laps + 0.05},
+            crash_points=np.array([[1.0, -1.0]]),
+        )
+        assert svg.count("<polyline") >= 5
+        assert "<circle" in svg  # crash marker
+        assert "expert" in svg and "student" in svg  # legend
+
+    def test_bad_trajectory_rejected(self, oval_track):
+        with pytest.raises(SimulationError):
+            trajectory_svg(oval_track, {"bad": np.zeros((1, 2))})
+
+    def test_save_svg(self, tmp_path, oval_track):
+        path = save_svg(track_svg(oval_track), tmp_path / "track.svg")
+        assert path.exists()
+        with pytest.raises(SimulationError):
+            save_svg("not svg", tmp_path / "x.svg")
+
+
+class TestNotebook:
+    def build(self):
+        nb = Notebook("03-train-on-gpu")
+        nb.add_markdown("# Train a model\nReserve, deploy, train.")
+        nb.add_code("lease = reserve()", lambda ctx: ctx.setdefault("lease", "L1"))
+        nb.add_code("print(lease)", lambda ctx: ctx["lease"])
+        return nb
+
+    def test_run_all_shares_context(self):
+        nb = self.build()
+        results = nb.run_all()
+        assert [r.ok for r in results] == [True, True]
+        assert results[1].value == "L1"
+        assert nb.context["lease"] == "L1"
+
+    def test_execution_counts_increment(self):
+        nb = self.build()
+        nb.run_cell(1)
+        result = nb.run_cell(1)
+        assert result.execution_count == 2
+
+    def test_markdown_cells_not_executable(self):
+        nb = self.build()
+        with pytest.raises(ConfigurationError):
+            nb.run_cell(0)
+
+    def test_failure_modes(self):
+        nb = Notebook("broken")
+        nb.add_code("1/0", lambda ctx: 1 / 0)
+        result = nb.run_cell(0)
+        assert not result.ok
+        assert "ZeroDivisionError" in result.error
+        with pytest.raises(NotebookError):
+            nb.run_all()
+
+    def test_hub_integration_counts_executions(self):
+        from repro.artifacts.metrics import compute_outcomes
+        from repro.artifacts.trovi import TroviHub
+
+        hub = TroviHub()
+        artifact = hub.publish("A", "alicia", {"nb.ipynb": b"x"})
+        nb = self.build()
+        nb.attach_hub(hub, artifact.artifact_id, "student1")
+        nb.run_all()
+        outcome = compute_outcomes(hub, artifact.artifact_id)
+        assert outcome.executing_users == 1
+
+    def test_ipynb_export_is_valid_nbformat4(self):
+        nb = self.build()
+        nb.run_all()
+        doc = json.loads(nb.to_ipynb())
+        assert doc["nbformat"] == 4
+        assert len(doc["cells"]) == 3
+        assert doc["cells"][0]["cell_type"] == "markdown"
+        code = doc["cells"][2]
+        assert code["execution_count"] == 2
+        assert code["outputs"][0]["data"]["text/plain"] == ["'L1'"]
+
+    def test_name_normalised(self):
+        assert Notebook("x").name == "x.ipynb"
+        with pytest.raises(ConfigurationError):
+            Notebook("")
+
+
+class TestLeaderboard:
+    def test_ranking_speed_and_errors(self):
+        board = Leaderboard()
+        board.submit("alice", "inferred", "oval", make_report(speed=1.6, errors=1))
+        board.submit("bob", "linear", "oval", make_report(speed=0.9, errors=5))
+        assert board.winner().student == "alice"
+
+    def test_fewest_errors_criterion(self):
+        board = Leaderboard()
+        board.submit("alice", "inferred", "oval", make_report(speed=1.6, errors=4))
+        board.submit("bob", "categorical", "oval", make_report(speed=1.2, errors=0))
+        assert board.winner("fewest-errors").student == "bob"
+
+    def test_fastest_lap_handles_no_lap(self):
+        board = Leaderboard()
+        board.submit("alice", "m", "oval", make_report(laps=0, lap_time=0.0))
+        board.submit("bob", "m", "oval", make_report(laps=2, lap_time=9.0))
+        assert board.winner("fastest-lap").student == "bob"
+
+    def test_resubmission_replaces(self):
+        board = Leaderboard()
+        board.submit("alice", "v1", "oval", make_report(errors=9))
+        board.submit("alice", "v2", "oval", make_report(errors=0))
+        assert len(board) == 1
+        assert board.entries()[0].model_name == "v2"
+
+    def test_multi_track_standings_require_all_tracks(self):
+        board = Leaderboard()
+        board.submit("alice", "m", "oval", make_report(cte=0.03))
+        board.submit("alice", "m", "waveshare", make_report(cte=0.04))
+        board.submit("bob", "m", "oval", make_report(cte=0.02))
+        standings = board.multi_track_standings("accuracy")
+        assert [s for s, _ in standings] == ["alice"]  # bob skipped a track
+
+    def test_multi_track_winner(self):
+        board = Leaderboard()
+        for track in ("oval", "waveshare"):
+            board.submit("alice", "m", track, make_report(cte=0.02))
+            board.submit("bob", "m", track, make_report(cte=0.08))
+        standings = board.multi_track_standings("accuracy")
+        assert standings[0] == ("alice", 1.0)
+        assert standings[1][0] == "bob"
+
+    def test_table_renders(self):
+        board = Leaderboard("friday-race")
+        board.submit("alice", "inferred", "oval", make_report())
+        text = board.table()
+        assert "friday-race" in text and "alice" in text
+
+    def test_unknown_criterion(self):
+        board = Leaderboard()
+        board.submit("alice", "m", "oval", make_report())
+        with pytest.raises(ConfigurationError):
+            board.rank("style-points")
+        assert set(CRITERIA) == {
+            "speed-and-errors", "fastest-lap", "fewest-errors", "accuracy"
+        }
+
+    def test_empty_board(self):
+        with pytest.raises(ConfigurationError):
+            Leaderboard().winner()

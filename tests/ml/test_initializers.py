@@ -1,0 +1,52 @@
+"""Weight initializers: distributions and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.ml.initializers import glorot_uniform, he_normal, orthogonal, zeros
+
+
+class TestGlorot:
+    def test_limit_respected(self):
+        w = glorot_uniform((100, 50), rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= limit
+        assert w.dtype == np.float32
+
+    def test_conv_fans_include_receptive_field(self):
+        w = glorot_uniform((5, 5, 3, 8), rng=0)
+        limit = np.sqrt(6.0 / (25 * 3 + 25 * 8))
+        assert np.abs(w).max() <= limit
+
+    def test_deterministic(self):
+        assert np.array_equal(glorot_uniform((4, 4), rng=5), glorot_uniform((4, 4), rng=5))
+
+    def test_roughly_zero_mean(self):
+        w = glorot_uniform((200, 200), rng=1)
+        assert abs(w.mean()) < 0.01
+
+
+class TestHeNormal:
+    def test_std_scales_with_fan_in(self):
+        w = he_normal((1000, 10), rng=0)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+
+class TestOrthogonal:
+    def test_square_is_orthogonal(self):
+        q = orthogonal((16, 16), rng=0)
+        assert np.allclose(q @ q.T, np.eye(16), atol=1e-5)
+
+    def test_tall_has_orthonormal_columns(self):
+        q = orthogonal((20, 8), rng=0)
+        assert np.allclose(q.T @ q, np.eye(8), atol=1e-5)
+
+    def test_wide_has_orthonormal_rows(self):
+        q = orthogonal((8, 20), rng=0)
+        assert np.allclose(q @ q.T, np.eye(8), atol=1e-5)
+
+
+def test_zeros():
+    z = zeros((3, 2))
+    assert z.dtype == np.float32
+    assert not z.any()

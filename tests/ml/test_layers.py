@@ -1,0 +1,307 @@
+"""Layer forward/backward correctness, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ShapeError
+from repro.common.rng import ensure_rng
+from repro.ml.layers import (
+    LSTM,
+    Activation,
+    Conv2D,
+    Conv3D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    TimeDistributed,
+)
+
+
+def numerical_grad(f, x, eps=1e-3):
+    """Central-difference gradient of scalar f w.r.t. array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f()
+        flat[i] = orig - eps
+        lo = f()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, atol=2e-2):
+    """Compare analytic dL/dx against central differences (L = sum(out^2)/2)."""
+    out = layer.forward(x, training=False)
+    dx = layer.backward(out.copy())  # dL/dout = out for L = sum(out^2)/2
+
+    def loss():
+        return 0.5 * float((layer.forward(x, training=False) ** 2).sum())
+
+    numeric = numerical_grad(loss, x)
+    assert np.allclose(dx, numeric, atol=atol), (
+        f"max err {np.abs(dx - numeric).max():.4f}"
+    )
+
+
+def check_param_gradient(layer, x, atol=2e-2):
+    """Compare analytic parameter gradients against central differences."""
+    out = layer.forward(x, training=False)
+    layer.backward(out.copy())
+    analytic = [g.copy() for g in layer.grads]
+
+    for p_idx, param in enumerate(layer.params):
+        def loss():
+            return 0.5 * float((layer.forward(x, training=False) ** 2).sum())
+
+        numeric = numerical_grad(loss, param)
+        assert np.allclose(analytic[p_idx], numeric, atol=atol), (
+            f"param {p_idx}: max err "
+            f"{np.abs(analytic[p_idx] - numeric).max():.4f}"
+        )
+
+
+rng = ensure_rng(0)
+
+
+class TestDense:
+    def make(self):
+        layer = Dense(3)
+        layer.build((4,), ensure_rng(1))
+        return layer
+
+    def test_forward_matches_matmul(self):
+        layer = self.make()
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        assert np.allclose(layer.forward(x), x @ layer.w + layer.b, atol=1e-6)
+
+    def test_input_gradient(self):
+        layer = self.make()
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        check_input_gradient(layer, x)
+
+    def test_param_gradient(self):
+        layer = self.make()
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        check_param_gradient(layer, x)
+
+    def test_gradient_with_relu(self):
+        layer = Dense(3, activation="relu")
+        layer.build((4,), ensure_rng(2))
+        x = rng.standard_normal((3, 4)).astype(np.float32) + 0.5
+        check_input_gradient(layer, x)
+        check_param_gradient(layer, x)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            Dense(0)
+        layer = Dense(3)
+        with pytest.raises(ShapeError):
+            layer.build((4, 4), ensure_rng(0))
+
+    def test_use_before_build(self):
+        with pytest.raises(ShapeError):
+            Dense(3).forward(np.zeros((1, 4), dtype=np.float32))
+
+
+class TestConv2D:
+    def make(self, strides=1, k=3):
+        layer = Conv2D(2, k, strides)
+        layer.build((7, 8, 3), ensure_rng(3))
+        return layer
+
+    def test_output_shape(self):
+        assert self.make().output_shape((7, 8, 3)) == (5, 6, 2)
+        assert self.make(strides=2).output_shape((7, 8, 3)) == (3, 3, 2)
+
+    def test_forward_matches_naive(self):
+        layer = self.make()
+        x = rng.standard_normal((2, 7, 8, 3)).astype(np.float32)
+        out = layer.forward(x)
+        # Naive reference at one output location.
+        patch = x[0, 2:5, 3:6, :]
+        ref = (patch[..., None] * layer.k).sum(axis=(0, 1, 2)) + layer.b
+        assert np.allclose(out[0, 2, 3], ref, atol=1e-4)
+
+    def test_input_gradient_stride1(self):
+        layer = self.make()
+        x = rng.standard_normal((2, 7, 8, 3)).astype(np.float32)
+        check_input_gradient(layer, x)
+
+    def test_input_gradient_stride2(self):
+        layer = self.make(strides=2)
+        x = rng.standard_normal((2, 7, 8, 3)).astype(np.float32)
+        check_input_gradient(layer, x)
+
+    def test_param_gradient(self):
+        layer = self.make(strides=2)
+        x = rng.standard_normal((2, 7, 8, 3)).astype(np.float32)
+        check_param_gradient(layer, x)
+
+    def test_kernel_too_large(self):
+        layer = Conv2D(2, 9)
+        with pytest.raises(ShapeError):
+            layer.build((7, 8, 3), ensure_rng(0))
+            layer.output_shape((7, 8, 3))
+
+    def test_flops_positive(self):
+        assert self.make().flops((7, 8, 3)) > 0
+
+
+class TestConv3D:
+    def make(self):
+        layer = Conv3D(2, (2, 3, 3), (1, 2, 2))
+        layer.build((4, 7, 8, 3), ensure_rng(4))
+        return layer
+
+    def test_output_shape(self):
+        assert self.make().output_shape((4, 7, 8, 3)) == (3, 3, 3, 2)
+
+    def test_input_gradient(self):
+        layer = self.make()
+        x = rng.standard_normal((1, 4, 7, 8, 3)).astype(np.float32)
+        check_input_gradient(layer, x, atol=3e-2)
+
+    def test_param_gradient(self):
+        layer = self.make()
+        x = rng.standard_normal((1, 4, 7, 8, 3)).astype(np.float32)
+        check_param_gradient(layer, x, atol=3e-2)
+
+
+class TestMaxPool:
+    def test_forward(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out = layer.forward(x)
+        assert out.shape == (1, 2, 2, 1)
+        assert out[0, 0, 0, 0] == 5.0  # max of [[0,1],[4,5]]
+
+    def test_input_gradient(self):
+        layer = MaxPool2D(2)
+        x = rng.standard_normal((2, 6, 6, 2)).astype(np.float32)
+        check_input_gradient(layer, x)
+
+    def test_gradient_with_ties(self):
+        layer = MaxPool2D(2)
+        x = np.ones((1, 4, 4, 1), dtype=np.float32)
+        out = layer.forward(x)
+        dx = layer.backward(np.ones_like(out))
+        # Gradient mass must be conserved across ties.
+        assert dx.sum() == pytest.approx(out.size)
+
+
+class TestFlattenDropout:
+    def test_flatten_round_trip(self):
+        layer = Flatten()
+        x = rng.standard_normal((3, 4, 5, 2)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == (3, 40)
+        assert layer.backward(out).shape == x.shape
+
+    def test_dropout_identity_at_inference(self):
+        layer = Dropout(0.5, seed=0)
+        x = rng.standard_normal((4, 10)).astype(np.float32)
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_scales_at_training(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((200, 50), dtype=np.float32)
+        out = layer.forward(x, training=True)
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)  # inverted dropout scaling
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_backward_uses_same_mask(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((10, 10), dtype=np.float32)
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        assert np.array_equal(grad != 0, out != 0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ShapeError):
+            Dropout(1.0)
+
+
+class TestActivation:
+    @pytest.mark.parametrize("name", ["relu", "tanh", "sigmoid", "linear"])
+    def test_gradients(self, name):
+        layer = Activation(name)
+        x = rng.standard_normal((4, 6)).astype(np.float32)
+        check_input_gradient(layer, x)
+
+    def test_softmax_rows_sum_to_one(self):
+        layer = Activation("softmax")
+        out = layer.forward(rng.standard_normal((5, 7)).astype(np.float32))
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-6)
+        assert (out > 0).all()
+
+    def test_softmax_numerically_stable(self):
+        layer = Activation("softmax")
+        out = layer.forward(np.array([[1000.0, 1000.0, -1000.0]], dtype=np.float32))
+        assert np.isfinite(out).all()
+
+    def test_unknown_name(self):
+        with pytest.raises(ShapeError):
+            Activation("swish")
+
+
+class TestTimeDistributed:
+    def test_folds_time_into_batch(self):
+        inner = Dense(3)
+        layer = TimeDistributed(inner)
+        layer.build((5, 4), ensure_rng(5))
+        x = rng.standard_normal((2, 5, 4)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == (2, 5, 3)
+        # Equivalent to applying the inner layer per timestep.
+        ref = inner.forward(x.reshape(10, 4)).reshape(2, 5, 3)
+        assert np.allclose(out, ref, atol=1e-6)
+
+    def test_gradients(self):
+        layer = TimeDistributed(Dense(3))
+        layer.build((4, 5), ensure_rng(6))
+        x = rng.standard_normal((2, 4, 5)).astype(np.float32)
+        check_input_gradient(layer, x)
+        check_param_gradient(layer, x)
+
+
+class TestLSTM:
+    def make(self, return_sequences=False):
+        layer = LSTM(4, return_sequences=return_sequences)
+        layer.build((3, 5), ensure_rng(7))
+        return layer
+
+    def test_output_shapes(self):
+        assert self.make().output_shape((3, 5)) == (4,)
+        assert self.make(True).output_shape((3, 5)) == (3, 4)
+
+    def test_forward_bounded(self):
+        layer = self.make()
+        x = rng.standard_normal((2, 3, 5)).astype(np.float32)
+        out = layer.forward(x)
+        assert np.abs(out).max() < 1.0  # o * tanh(c) is in (-1, 1)
+
+    def test_input_gradient_last(self):
+        layer = self.make()
+        x = 0.5 * rng.standard_normal((2, 3, 5)).astype(np.float32)
+        check_input_gradient(layer, x, atol=3e-2)
+
+    def test_input_gradient_sequences(self):
+        layer = self.make(return_sequences=True)
+        x = 0.5 * rng.standard_normal((2, 3, 5)).astype(np.float32)
+        check_input_gradient(layer, x, atol=3e-2)
+
+    def test_param_gradient(self):
+        layer = self.make()
+        x = 0.5 * rng.standard_normal((1, 3, 5)).astype(np.float32)
+        check_param_gradient(layer, x, atol=3e-2)
+
+    def test_forget_bias_initialised_to_one(self):
+        layer = self.make()
+        assert np.allclose(layer.b[4:8], 1.0)
+        assert np.allclose(layer.b[:4], 0.0)

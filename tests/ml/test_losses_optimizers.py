@@ -1,0 +1,145 @@
+"""Loss functions and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MLError, ShapeError
+from repro.ml.losses import categorical_crossentropy, get_loss, huber, mae, mse
+from repro.ml.optimizers import SGD, Adam, RMSProp, get_optimizer
+
+
+def numgrad(fn, pred, eps=1e-5):
+    g = np.zeros_like(pred, dtype=np.float64)
+    flat = pred.reshape(-1)
+    gf = g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn()
+        flat[i] = orig - eps
+        lo = fn()
+        flat[i] = orig
+        gf[i] = (hi - lo) / (2 * eps)
+    return g
+
+
+class TestLosses:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.pred = rng.standard_normal((4, 3)).astype(np.float64)
+        self.target = rng.standard_normal((4, 3)).astype(np.float64)
+
+    def test_mse_value(self):
+        value, _ = mse(self.pred, self.target)
+        assert value == pytest.approx(np.mean((self.pred - self.target) ** 2))
+
+    def test_mse_gradient_numerical(self):
+        _, grad = mse(self.pred, self.target)
+        num = numgrad(lambda: mse(self.pred, self.target)[0], self.pred)
+        assert np.allclose(grad, num, atol=1e-5)
+
+    def test_mae_gradient_numerical(self):
+        _, grad = mae(self.pred, self.target)
+        num = numgrad(lambda: mae(self.pred, self.target)[0], self.pred)
+        assert np.allclose(grad, num, atol=1e-4)
+
+    def test_huber_quadratic_near_zero(self):
+        pred = np.array([[0.1]])
+        target = np.array([[0.0]])
+        value, _ = huber(pred, target)
+        assert value == pytest.approx(0.5 * 0.01)
+
+    def test_huber_linear_in_tails(self):
+        value, _ = huber(np.array([[10.0]]), np.array([[0.0]]), delta=1.0)
+        assert value == pytest.approx(1.0 * (10.0 - 0.5))
+
+    def test_huber_gradient_numerical(self):
+        _, grad = huber(self.pred, self.target)
+        num = numgrad(lambda: huber(self.pred, self.target)[0], self.pred)
+        assert np.allclose(grad, num, atol=1e-4)
+
+    def test_cce_perfect_prediction_near_zero(self):
+        onehot = np.eye(3)
+        value, _ = categorical_crossentropy(onehot, onehot)
+        assert value < 1e-5
+
+    def test_cce_fused_gradient(self):
+        probs = np.full((2, 3), 1 / 3.0)
+        target = np.array([[1, 0, 0], [0, 1, 0]], dtype=float)
+        _, grad = categorical_crossentropy(probs, target)
+        assert np.allclose(grad, (probs - target) / 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            mse(np.zeros((2, 3)), np.zeros((3, 2)))
+
+    def test_registry(self):
+        assert get_loss("mse") is mse
+        with pytest.raises(ShapeError):
+            get_loss("hinge")
+
+
+def rosenbrock_step_test(optimizer, steps=400, tol=1.0):
+    """Optimizers should descend a simple quadratic bowl."""
+    param = np.array([3.0, -2.0], dtype=np.float32)
+    for _ in range(steps):
+        grad = 2.0 * param  # d/dp ||p||^2
+        optimizer.step([param], [grad])
+    return float(np.abs(param).max())
+
+
+class TestOptimizers:
+    def test_sgd_descends(self):
+        assert rosenbrock_step_test(SGD(0.05)) < 0.01
+
+    def test_sgd_momentum_descends(self):
+        assert rosenbrock_step_test(SGD(0.02, momentum=0.9)) < 0.01
+
+    def test_adam_descends(self):
+        assert rosenbrock_step_test(Adam(0.05)) < 0.05
+
+    def test_rmsprop_descends(self):
+        assert rosenbrock_step_test(RMSProp(0.02)) < 0.05
+
+    def test_updates_in_place(self):
+        param = np.ones(3, dtype=np.float32)
+        ref = param
+        Adam(0.01).step([param], [np.ones(3, dtype=np.float32)])
+        assert ref is param  # no reallocation
+        assert not np.allclose(param, 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MLError):
+            SGD().step([np.zeros(3)], [np.zeros(4)])
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(MLError):
+            SGD().step([np.zeros(3)], [])
+
+    def test_adam_bias_correction_first_step(self):
+        param = np.zeros(1, dtype=np.float32)
+        Adam(learning_rate=0.1).step([param], [np.ones(1, dtype=np.float32)])
+        # With bias correction the first step is ~ -lr regardless of betas.
+        assert param[0] == pytest.approx(-0.1, rel=1e-3)
+
+    def test_registry(self):
+        assert isinstance(get_optimizer("adam", learning_rate=0.01), Adam)
+        with pytest.raises(MLError):
+            get_optimizer("lion")
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(MLError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(MLError):
+            SGD(momentum=1.0)
+        with pytest.raises(MLError):
+            Adam(beta1=1.0)
+        with pytest.raises(MLError):
+            RMSProp(rho=-0.1)
+
+    def test_iterations_counted(self):
+        opt = SGD(0.01)
+        param = np.zeros(1, dtype=np.float32)
+        for _ in range(5):
+            opt.step([param], [np.zeros(1, dtype=np.float32)])
+        assert opt.iterations == 5

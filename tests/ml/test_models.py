@@ -1,0 +1,180 @@
+"""The six DonkeyCar models: shapes, training, driving interface."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, ShapeError
+from repro.data.datasets import ArraySplit, N_STEERING_BINS, linear_bin
+from repro.ml.models.factory import MODEL_NAMES, create_model, register_model
+from repro.ml.optimizers import Adam
+from repro.ml.training import Trainer, estimate_flops_per_sample
+
+H, W = 32, 40
+
+
+def make_split(model, n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    seq = model.sequence_length
+    if seq:
+        x = rng.random((n, seq, H, W, 3), dtype=np.float32)
+    else:
+        x = rng.random((n, H, W, 3), dtype=np.float32)
+    angles = rng.uniform(-1, 1, n).astype(np.float32)
+    throttles = rng.uniform(0, 1, n).astype(np.float32)
+    if model.targets == "both" or model.targets == "memory":
+        y = np.column_stack([angles, throttles])
+    elif model.targets == "angle":
+        y = angles[:, None]
+    elif model.targets == "categorical":
+        y = np.column_stack([linear_bin(angles), throttles[:, None]]).astype(np.float32)
+    if model.targets == "memory":
+        hist = rng.uniform(-1, 1, (n, model.mem_length, 2)).astype(np.float32)
+        k = n - 12
+        return ArraySplit((x[:k], hist[:k]), y[:k], (x[k:], hist[k:]), y[k:])
+    k = n - 12
+    return ArraySplit(x[:k], y[:k], x[k:], y[k:])
+
+
+def model_for(name):
+    return create_model(name, input_shape=(H, W, 3), scale=0.25, seed=1)
+
+
+class TestFactory:
+    def test_six_paper_models(self):
+        assert set(MODEL_NAMES) == {"linear", "memory", "3d", "categorical",
+                                    "inferred", "rnn"}
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            create_model("transformer")
+
+    def test_register_custom(self):
+        from repro.ml.models.linear import LinearModel
+
+        register_model("custom-linear-test", LinearModel)
+        model = create_model("custom-linear-test", input_shape=(H, W, 3), scale=0.2)
+        assert model.name == "linear"
+        with pytest.raises(ConfigurationError):
+            register_model("custom-linear-test", LinearModel)
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+class TestAllModels:
+    def test_one_epoch_reduces_loss(self, name):
+        model = model_for(name)
+        split = make_split(model)
+        history = Trainer(Adam(0.002), batch_size=16, epochs=3, shuffle_seed=0).fit(
+            model, split
+        )
+        assert history.train_loss[-1] <= history.train_loss[0]
+
+    def test_predict_batch_ranges(self, name):
+        model = model_for(name)
+        split = make_split(model)
+        x = split.x_val
+        angles, throttles = model.predict_batch(x)
+        n = len(x[0]) if isinstance(x, tuple) else len(x)
+        assert angles.shape == (n,)
+        assert throttles.shape == (n,)
+        assert np.all(np.abs(angles) <= 1.0)
+        assert np.all(np.abs(throttles) <= 1.0)
+
+    def test_run_interface(self, name):
+        model = model_for(name)
+        frame = np.random.default_rng(0).integers(0, 255, (H, W, 3), dtype=np.uint8)
+        steering, throttle = model.run(frame)
+        assert -1.0 <= steering <= 1.0
+        assert -1.0 <= throttle <= 1.0
+
+    def test_run_rejects_wrong_frame_shape(self, name):
+        model = model_for(name)
+        with pytest.raises(ShapeError):
+            model.run(np.zeros((H + 1, W, 3), dtype=np.uint8))
+
+    def test_reset_state(self, name):
+        model = model_for(name)
+        frame = np.random.default_rng(1).integers(0, 255, (H, W, 3), dtype=np.uint8)
+        model.run(frame)
+        model.reset_state()
+        assert len(model._frame_buffer) == 0
+
+    def test_flops_positive(self, name):
+        model = model_for(name)
+        assert model.flops_per_sample() > 0
+        assert estimate_flops_per_sample(model) > model.flops_per_sample()
+
+
+class TestInferred:
+    def test_throttle_rule_fast_straight_slow_turns(self):
+        model = model_for("inferred")
+        straight = model.infer_throttle(np.array([0.0]))
+        turning = model.infer_throttle(np.array([1.0]))
+        assert straight[0] == pytest.approx(model.max_throttle)
+        assert turning[0] == pytest.approx(model.min_throttle)
+        assert straight[0] > turning[0]
+
+    def test_invalid_throttle_range(self):
+        with pytest.raises(ConfigurationError):
+            create_model(
+                "inferred", input_shape=(H, W, 3),
+                max_throttle=0.2, min_throttle=0.5,
+            )
+
+
+class TestCategorical:
+    def test_loss_shape_validation(self):
+        model = model_for("categorical")
+        pred = np.zeros((4, N_STEERING_BINS + 1), dtype=np.float32)
+        with pytest.raises(ShapeError):
+            model.compute_loss(pred, np.zeros((4, 3), dtype=np.float32))
+
+    def test_forward_probability_head(self):
+        model = model_for("categorical")
+        x = np.random.default_rng(0).random((4, H, W, 3), dtype=np.float32)
+        out = model.forward(x)
+        probs = out[:, :N_STEERING_BINS]
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+
+
+class TestMemory:
+    def test_requires_tuple_input(self):
+        model = model_for("memory")
+        with pytest.raises(ShapeError):
+            model.forward(np.zeros((2, H, W, 3), dtype=np.float32))
+
+    def test_history_shape_validated(self):
+        model = model_for("memory")
+        x = np.zeros((2, H, W, 3), dtype=np.float32)
+        bad_hist = np.zeros((2, model.mem_length + 1, 2), dtype=np.float32)
+        with pytest.raises(ShapeError):
+            model.forward((x, bad_hist))
+
+    def test_run_builds_control_buffer(self):
+        model = model_for("memory")
+        frame = np.zeros((H, W, 3), dtype=np.uint8)
+        model.run(frame)
+        model.run(frame)
+        assert len(model._control_buffer) == model.mem_length
+
+    def test_bad_mem_length(self):
+        with pytest.raises(ShapeError):
+            create_model("memory", input_shape=(H, W, 3), mem_length=0)
+
+
+class TestSequenceModels:
+    def test_3d_needs_min_sequence(self):
+        with pytest.raises(ValueError):
+            create_model("3d", input_shape=(H, W, 3), sequence_length=3)
+
+    def test_rnn_sequence_configurable(self):
+        model = create_model("rnn", input_shape=(H, W, 3), scale=0.25,
+                             sequence_length=4)
+        assert model.sequence_length == 4
+        x = np.zeros((2, 4, H, W, 3), dtype=np.float32)
+        assert model.forward(x).shape == (2, 2)
+
+    def test_run_fills_frame_buffer(self):
+        model = model_for("rnn")
+        frame = np.zeros((H, W, 3), dtype=np.uint8)
+        model.run(frame)
+        assert len(model._frame_buffer) == model.sequence_length

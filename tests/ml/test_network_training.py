@@ -1,0 +1,137 @@
+"""Sequential container and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MLError, ShapeError
+from repro.data.datasets import ArraySplit
+from repro.ml.layers import Dense
+from repro.ml.models.factory import create_model
+from repro.ml.network import Sequential
+from repro.ml.optimizers import Adam
+from repro.ml.training import EarlyStopping, History, Trainer
+
+
+def tiny_net(seed=0):
+    return Sequential(
+        [Dense(8, activation="relu"), Dense(1, activation="linear")],
+        input_shape=(3,),
+        seed=seed,
+    )
+
+
+def make_regression(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 3)).astype(np.float32)
+    y = (x @ np.array([[0.5], [-1.0], [0.25]])).astype(np.float32)
+    k = int(0.8 * n)
+    return ArraySplit(x[:k], y[:k], x[k:], y[k:])
+
+
+class TestSequential:
+    def test_shapes_propagate(self):
+        net = tiny_net()
+        assert net.output_shape == (1,)
+
+    def test_wrong_input_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            tiny_net().forward(np.zeros((2, 5), dtype=np.float32))
+
+    def test_deterministic_init(self):
+        a, b = tiny_net(seed=3), tiny_net(seed=3)
+        for pa, pb in zip(a.params, b.params):
+            assert np.array_equal(pa, pb)
+
+    def test_predict_batches_match_forward(self):
+        net = tiny_net()
+        x = np.random.default_rng(1).standard_normal((300, 3)).astype(np.float32)
+        assert np.allclose(net.predict(x, batch_size=64), net.forward(x), atol=1e-6)
+
+    def test_get_set_weights_roundtrip(self):
+        a, b = tiny_net(seed=1), tiny_net(seed=2)
+        b.set_weights(a.get_weights())
+        x = np.ones((2, 3), dtype=np.float32)
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_set_weights_validates(self):
+        net = tiny_net()
+        with pytest.raises(ShapeError):
+            net.set_weights([np.zeros((2, 2))])
+
+    def test_summary_and_flops(self):
+        net = tiny_net()
+        assert "Dense" in net.summary()
+        assert net.flops_per_sample() > 0
+        assert net.n_params == 3 * 8 + 8 + 8 + 1
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(ShapeError):
+            Sequential([], (3,))
+
+
+class TestTrainer:
+    def test_loss_decreases_on_learnable_problem(self):
+        model = create_model("linear", input_shape=(16, 16, 3), scale=0.2, seed=0)
+        rng = np.random.default_rng(0)
+        x = rng.random((80, 16, 16, 3), dtype=np.float32)
+        # A learnable target: mean red channel, scaled.
+        target = (x[..., 0].mean(axis=(1, 2)) * 2 - 1).astype(np.float32)
+        y = np.column_stack([target, np.full_like(target, 0.5)])
+        split = ArraySplit(x[:64], y[:64], x[64:], y[64:])
+        history = Trainer(Adam(0.003), batch_size=16, epochs=8, shuffle_seed=0).fit(
+            model, split
+        )
+        assert history.train_loss[-1] < history.train_loss[0] * 0.7
+
+    def test_history_tracks_best(self):
+        history = History()
+        assert history.improved(1.0)
+        history.epochs += 1
+        assert not history.improved(1.5)
+        history.epochs += 1
+        assert history.improved(0.5)
+        assert history.best_val_loss == 0.5
+        assert history.best_epoch == 2
+
+    def test_early_stopping_triggers(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.update(True)
+        assert not stopper.update(False)
+        assert stopper.update(False)
+
+    def test_early_stopping_resets_on_improvement(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(False)
+        stopper.update(True)
+        assert not stopper.update(False)
+
+    def test_trainer_early_stops(self):
+        model = create_model("linear", input_shape=(16, 16, 3), scale=0.2, seed=0)
+        rng = np.random.default_rng(0)
+        x = rng.random((40, 16, 16, 3), dtype=np.float32)
+        y = rng.uniform(-1, 1, (40, 2)).astype(np.float32)  # pure noise
+        split = ArraySplit(x[:32], y[:32], x[32:], y[32:])
+        trainer = Trainer(
+            Adam(0.01), batch_size=16, epochs=50,
+            early_stopping=EarlyStopping(patience=2), shuffle_seed=0,
+        )
+        history = trainer.fit(model, split)
+        assert history.stopped_early
+        assert history.epochs < 50
+
+    def test_restore_best_weights(self):
+        model = create_model("linear", input_shape=(16, 16, 3), scale=0.2, seed=0)
+        rng = np.random.default_rng(1)
+        x = rng.random((40, 16, 16, 3), dtype=np.float32)
+        y = rng.uniform(-1, 1, (40, 2)).astype(np.float32)
+        split = ArraySplit(x[:32], y[:32], x[32:], y[32:])
+        trainer = Trainer(Adam(0.05), batch_size=16, epochs=6, shuffle_seed=0)
+        history = trainer.fit(model, split)
+        final_val = trainer.evaluate(model, split.x_val, split.y_val)
+        assert final_val == pytest.approx(history.best_val_loss, rel=1e-5)
+
+    def test_invalid_config(self):
+        with pytest.raises(MLError):
+            Trainer(batch_size=0)
+        with pytest.raises(MLError):
+            Trainer(epochs=0)

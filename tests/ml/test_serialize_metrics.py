@@ -1,0 +1,104 @@
+"""Model serialization round-trips and evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SerializationError, ShapeError
+from repro.ml.metrics import (
+    categorical_accuracy,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    steering_accuracy,
+)
+from repro.ml.models.factory import MODEL_NAMES, create_model
+from repro.ml.serialize import (
+    load_model,
+    load_model_bytes,
+    save_model,
+    save_model_bytes,
+)
+
+H, W = 32, 40
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_round_trip_preserves_predictions(name):
+    model = create_model(name, input_shape=(H, W, 3), scale=0.25, seed=4)
+    clone = load_model_bytes(save_model_bytes(model))
+    assert clone.name == model.name
+    assert clone.input_shape == model.input_shape
+    rng = np.random.default_rng(0)
+    if name == "memory":
+        x = (
+            rng.random((3, H, W, 3), dtype=np.float32),
+            rng.uniform(-1, 1, (3, model.mem_length, 2)).astype(np.float32),
+        )
+    elif model.sequence_length:
+        x = rng.random((3, model.sequence_length, H, W, 3), dtype=np.float32)
+    else:
+        x = rng.random((3, H, W, 3), dtype=np.float32)
+    a_angle, a_throttle = model.predict_batch(x)
+    b_angle, b_throttle = clone.predict_batch(x)
+    assert np.allclose(a_angle, b_angle, atol=1e-6)
+    assert np.allclose(a_throttle, b_throttle, atol=1e-6)
+
+
+class TestSerializeEdgeCases:
+    def test_file_round_trip(self, tmp_path):
+        model = create_model("linear", input_shape=(H, W, 3), scale=0.25)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        clone = load_model(path)
+        assert clone.n_params == model.n_params
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_model(tmp_path / "absent.npz")
+
+    def test_garbage_payload(self):
+        with pytest.raises(SerializationError):
+            load_model_bytes(b"not a model")
+
+    def test_inferred_throttle_rule_survives(self):
+        model = create_model(
+            "inferred", input_shape=(H, W, 3), scale=0.25,
+            max_throttle=0.9, min_throttle=0.2,
+        )
+        clone = load_model_bytes(save_model_bytes(model))
+        assert clone.max_throttle == pytest.approx(0.9)
+        assert clone.min_throttle == pytest.approx(0.2)
+
+
+class TestMetrics:
+    def test_mse_mae(self):
+        pred = np.array([1.0, 2.0])
+        target = np.array([0.0, 4.0])
+        assert mean_squared_error(pred, target) == pytest.approx(2.5)
+        assert mean_absolute_error(pred, target) == pytest.approx(1.5)
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(np.full(3, 2.0), y) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        const = np.ones(3)
+        assert r2_score(const, const) == 1.0
+        assert r2_score(np.zeros(3), const) == 0.0
+
+    def test_steering_accuracy(self):
+        pred = np.array([0.0, 0.5, -0.5])
+        true = np.array([0.05, 0.8, -0.55])
+        assert steering_accuracy(pred, true, tolerance=0.1) == pytest.approx(2 / 3)
+
+    def test_steering_accuracy_validation(self):
+        with pytest.raises(ShapeError):
+            steering_accuracy(np.zeros(3), np.zeros(3), tolerance=0.0)
+        with pytest.raises(ShapeError):
+            steering_accuracy(np.zeros(3), np.zeros(4))
+
+    def test_categorical_accuracy(self):
+        pred = np.array([[0.7, 0.3], [0.2, 0.8]])
+        true = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert categorical_accuracy(pred, true) == pytest.approx(0.5)

@@ -1,0 +1,159 @@
+"""Links, topology routing, and transfer emulation."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import Clock
+from repro.common.errors import NetworkError, TransferError, UnreachableHostError
+from repro.net.links import (
+    CAMPUS_LAN,
+    FABRIC_MANAGED,
+    WAN_INTERNET,
+    WIFI_EDGE,
+    Link,
+    fabric_link,
+)
+from repro.net.topology import Topology, autolearn_topology
+from repro.net.transfer import SSHTunnel, rsync_tub, scp_bytes
+
+
+class TestLinks:
+    def test_deterministic_link_no_jitter(self):
+        samples = FABRIC_MANAGED.sample_latency(rng=0, n=100)
+        assert np.allclose(samples, FABRIC_MANAGED.base_latency_s)
+
+    def test_jittery_link_varies(self):
+        samples = WAN_INTERNET.sample_latency(rng=0, n=200)
+        assert samples.std() > 0
+        assert samples.min() > 0
+
+    def test_loss_adds_retransmit_tails(self):
+        lossy = Link("lossy", 0.01, 0.0, 1e9, loss_rate=0.3)
+        clean = Link("clean", 0.01, 0.0, 1e9, loss_rate=0.0)
+        assert lossy.sample_latency(rng=0, n=500).mean() > clean.sample_latency(
+            rng=0, n=500
+        ).mean()
+
+    def test_transfer_latency_bound_for_small_payloads(self):
+        tiny = WAN_INTERNET.transfer_time(10, rng=0)
+        assert tiny < 1.0
+
+    def test_transfer_bandwidth_bound_for_bulk(self):
+        bulk = 1_000_000_000  # 1 GB
+        t = WAN_INTERNET.transfer_time(bulk, rng=0)
+        assert t >= 8.0 * bulk / WAN_INTERNET.bandwidth_bps
+
+    def test_fabric_link_factory(self):
+        link = fabric_link(0.025)
+        assert link.base_latency_s == 0.025
+        assert link.jitter_scale == 0.0
+        with pytest.raises(NetworkError):
+            fabric_link(-0.1)
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            Link("bad", -1.0, 0.0, 1e6)
+        with pytest.raises(NetworkError):
+            Link("bad", 0.0, 0.0, 1e6, loss_rate=1.0)
+        with pytest.raises(NetworkError):
+            WAN_INTERNET.transfer_time(-5)
+
+
+class TestTopology:
+    def test_autolearn_hosts(self):
+        topo = autolearn_topology()
+        assert topo.hosts(kind="car") == ["car-pi"]
+        assert set(topo.hosts(kind="cloud")) == {"chi-tacc", "chi-uc"}
+
+    def test_route_car_to_cloud(self):
+        topo = autolearn_topology()
+        route = topo.route("car-pi", "chi-uc")
+        names = [l.name for l in route.links]
+        assert names == ["wifi-edge", "wan-internet"]
+        assert route.bottleneck_bps == WIFI_EDGE.bandwidth_bps
+
+    def test_intersite_route_uses_fabric(self):
+        topo = autolearn_topology()
+        route = topo.route("chi-uc", "chi-tacc")
+        assert [l.name for l in route.links] == ["fabric"]
+
+    def test_rtt_sums_hops(self):
+        topo = autolearn_topology()
+        route = topo.route("laptop", "chi-tacc")
+        floor = 2 * (CAMPUS_LAN.base_latency_s + WAN_INTERNET.base_latency_s)
+        assert route.base_rtt_s == pytest.approx(floor)
+
+    def test_unknown_host(self):
+        topo = autolearn_topology()
+        with pytest.raises(UnreachableHostError):
+            topo.route("car-pi", "mars")
+
+    def test_disconnected_hosts(self):
+        topo = Topology()
+        topo.add_host("a")
+        topo.add_host("b")
+        with pytest.raises(UnreachableHostError):
+            topo.route("a", "b")
+
+    def test_same_host_rejected(self):
+        topo = autolearn_topology()
+        with pytest.raises(UnreachableHostError):
+            topo.route("car-pi", "car-pi")
+
+    def test_connect_unknown_host(self):
+        topo = Topology()
+        topo.add_host("a")
+        with pytest.raises(UnreachableHostError):
+            topo.connect("a", "ghost", CAMPUS_LAN)
+
+
+class TestTransfers:
+    def test_rsync_tub_accounts_jpeg_compression(self, tub_factory):
+        tub = tub_factory(n_records=30)
+        route = autolearn_topology().route("car-pi", "chi-uc")
+        result = rsync_tub(tub, route, rng=0)
+        assert result.nbytes_wire < result.nbytes_logical
+        assert result.seconds > 0
+        assert result.files > 30
+
+    def test_rsync_raw_mode(self, tub_factory):
+        tub = tub_factory(n_records=10)
+        route = autolearn_topology().route("car-pi", "chi-uc")
+        raw = rsync_tub(tub, route, as_jpeg=False, rng=0)
+        assert raw.nbytes_wire == raw.nbytes_logical
+
+    def test_incremental_rsync_cheaper(self, tub_factory):
+        tub = tub_factory(n_records=30)
+        route = autolearn_topology().route("car-pi", "chi-uc")
+        full = rsync_tub(tub, route, rng=0)
+        incremental = rsync_tub(tub, route, already_synced_fraction=0.9, rng=0)
+        assert incremental.nbytes_wire < full.nbytes_wire / 5
+
+    def test_clock_advanced(self, tub_factory):
+        tub = tub_factory(n_records=10)
+        route = autolearn_topology().route("car-pi", "chi-uc")
+        clock = Clock()
+        result = rsync_tub(tub, route, clock=clock, rng=0)
+        assert clock.now == pytest.approx(result.seconds)
+
+    def test_scp_model_weights(self):
+        route = autolearn_topology().route("chi-uc", "car-pi")
+        result = scp_bytes(3_000_000, route, rng=0)
+        assert result.files == 1
+        assert result.throughput_bps > 0
+        with pytest.raises(TransferError):
+            scp_bytes(-1, route)
+
+    def test_bad_synced_fraction(self, tub_factory):
+        tub = tub_factory(n_records=5)
+        route = autolearn_topology().route("car-pi", "chi-uc")
+        with pytest.raises(TransferError):
+            rsync_tub(tub, route, already_synced_fraction=1.5)
+
+    def test_ssh_tunnel_counts_requests(self):
+        route = autolearn_topology().route("laptop", "car-pi")
+        tunnel = SSHTunnel(route, rng=0)
+        t1 = tunnel.request(2048)
+        t2 = tunnel.request(2048)
+        assert tunnel.requests == 2
+        assert t1 > 0 and t2 > 0

@@ -1,0 +1,112 @@
+"""Swift-like object store."""
+
+import pytest
+
+from repro.common.errors import (
+    NoSuchContainerError,
+    NoSuchObjectError,
+    ObjectStoreError,
+)
+from repro.objectstore.store import ObjectStore
+
+
+@pytest.fixture()
+def store():
+    return ObjectStore()
+
+
+class TestContainers:
+    def test_create_idempotent(self, store):
+        a = store.create_container("datasets")
+        b = store.create_container("datasets")
+        assert a is b
+
+    def test_invalid_names(self, store):
+        with pytest.raises(ObjectStoreError):
+            store.create_container("")
+        with pytest.raises(ObjectStoreError):
+            store.create_container("a/b")
+
+    def test_missing_container(self, store):
+        with pytest.raises(NoSuchContainerError):
+            store.container("ghost")
+
+    def test_delete_empty_only(self, store):
+        container = store.create_container("c")
+        container.put("x", b"1")
+        with pytest.raises(ObjectStoreError):
+            store.delete_container("c")
+        store.delete_container("c", force=True)
+        assert store.list_containers() == []
+
+
+class TestObjects:
+    def test_put_get_round_trip(self, store):
+        container = store.create_container("models")
+        container.put("m.npz", b"weights", metadata={"model": "linear"})
+        obj = container.get("m.npz")
+        assert obj.data == b"weights"
+        assert obj.metadata["model"] == "linear"
+        assert obj.size == 7
+
+    def test_etag_is_md5(self, store):
+        import hashlib
+
+        container = store.create_container("c")
+        obj = container.put("x", b"hello")
+        assert obj.etag == hashlib.md5(b"hello").hexdigest()
+
+    def test_overwrite_replaces(self, store):
+        container = store.create_container("c")
+        container.put("x", b"one")
+        container.put("x", b"two")
+        assert container.get("x").data == b"two"
+        assert len(container) == 1
+
+    def test_list_with_prefix(self, store):
+        container = store.create_container("c")
+        for name in ("sample-oval.tar", "sample-waveshare.tar", "model.npz"):
+            container.put(name, b"x")
+        assert container.list(prefix="sample-") == [
+            "sample-oval.tar",
+            "sample-waveshare.tar",
+        ]
+
+    def test_delete_object(self, store):
+        container = store.create_container("c")
+        container.put("x", b"1")
+        container.delete("x")
+        with pytest.raises(NoSuchObjectError):
+            container.get("x")
+        with pytest.raises(NoSuchObjectError):
+            container.delete("x")
+
+    def test_bytes_used(self, store):
+        container = store.create_container("c")
+        container.put("a", b"12345")
+        container.put("b", b"123")
+        assert container.bytes_used == 8
+
+    def test_empty_name_rejected(self, store):
+        with pytest.raises(ObjectStoreError):
+            store.create_container("c").put("", b"x")
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, store, tmp_path):
+        container = store.create_container("datasets")
+        container.put("a/b.tar", b"payload", metadata={"k": "v"})
+        store.create_container("models").put("m.npz", b"w")
+        store.save_to_dir(tmp_path)
+        loaded = ObjectStore.load_from_dir(tmp_path)
+        assert loaded.list_containers() == ["datasets", "models"]
+        obj = loaded.container("datasets").get("a/b.tar")
+        assert obj.data == b"payload"
+        assert obj.metadata == {"k": "v"}
+
+    def test_tampered_reload_detected(self, store, tmp_path):
+        store.create_container("c").put("x", b"data")
+        store.save_to_dir(tmp_path)
+        (tmp_path / "c" / "x").write_bytes(b"tampered!")
+        with pytest.raises(ObjectStoreError):
+            ObjectStore.load_from_dir(tmp_path)

@@ -1,0 +1,100 @@
+"""Property-based tests for data storage and the simulation substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import Clock, EventScheduler
+from repro.data.records import DriveRecord
+from repro.data.tub import Tub
+from repro.sim.dynamics import BicycleModel, CarState
+
+
+@st.composite
+def drive_records(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    return DriveRecord(
+        image=rng.integers(0, 255, (6, 8, 3), dtype=np.uint8),
+        angle=draw(st.floats(-1, 1, allow_nan=False)),
+        throttle=draw(st.floats(-1, 1, allow_nan=False)),
+        mode=draw(st.sampled_from(["user", "pilot", "local_angle"])),
+        cte=draw(st.floats(-2, 2, allow_nan=False)),
+        speed=draw(st.floats(0, 5, allow_nan=False)),
+        off_track=draw(st.booleans()),
+        timestamp_ms=draw(st.integers(0, 10**9)),
+    )
+
+
+class TestTubRoundTrip:
+    @given(records=st.lists(drive_records(), min_size=1, max_size=12))
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_any_record_survives_round_trip(self, tmp_path_factory, records):
+        root = tmp_path_factory.mktemp("proptub")
+        tub = Tub.create(root / "tub")
+        with tub.bulk():
+            for record in records:
+                tub.write_record(record)
+        reloaded = Tub(root / "tub")
+        assert len(reloaded) == len(records)
+        for i, original in enumerate(records):
+            loaded = reloaded.read_record(i)
+            assert loaded.angle == pytest.approx(original.angle)
+            assert loaded.throttle == pytest.approx(original.throttle)
+            assert loaded.mode == original.mode
+            assert loaded.off_track == original.off_track
+            assert np.array_equal(loaded.image, original.image)
+
+
+class TestDynamicsProperties:
+    @given(
+        steering=st.floats(-1, 1, allow_nan=False),
+        throttle=st.floats(-1, 1, allow_nan=False),
+        steps=st.integers(1, 200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_speed_bounded_and_heading_wrapped(self, steering, throttle, steps):
+        model = BicycleModel()
+        state = CarState()
+        for _ in range(steps):
+            state = model.step(state, steering, throttle, 0.05)
+        assert 0.0 <= state.speed <= model.params.max_speed * 1.05
+        assert -np.pi <= state.heading <= np.pi
+        assert np.isfinite([state.x, state.y]).all()
+
+    @given(throttle=st.floats(0.1, 1.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_straight_driving_stays_on_axis(self, throttle):
+        model = BicycleModel()
+        state = CarState()
+        for _ in range(100):
+            state = model.step(state, 0.0, throttle, 0.05)
+        assert abs(state.y) < 1e-9
+        assert state.x > 0
+
+
+class TestClockProperties:
+    @given(durations=st.lists(st.floats(0, 100, allow_nan=False), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_clock_monotone(self, durations):
+        clock = Clock()
+        last = 0.0
+        for duration in durations:
+            clock.advance(duration)
+            assert clock.now >= last
+            last = clock.now
+
+    @given(times=st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_scheduler_fires_everything_in_order(self, times):
+        scheduler = EventScheduler()
+        fired = []
+        for t in times:
+            scheduler.schedule_at(t, lambda t=t: fired.append(t))
+        scheduler.run_until(max(times))
+        assert len(fired) == len(times)
+        assert fired == sorted(fired)

@@ -1,0 +1,128 @@
+"""Property-based tests for the ML framework invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.datasets import linear_bin, linear_unbin
+from repro.ml.layers import Activation, Dense
+from repro.ml.losses import categorical_crossentropy, huber, mae, mse
+from repro.ml.network import Sequential
+from repro.ml.optimizers import Adam, SGD
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def batch(shape):
+    return arrays(np.float64, shape, elements=finite_floats)
+
+
+class TestLossProperties:
+    @given(pred=batch((4, 3)), target=batch((4, 3)))
+    @settings(max_examples=60, deadline=None)
+    def test_losses_nonnegative_and_zero_at_target(self, pred, target):
+        for loss in (mse, mae, huber):
+            value, grad = loss(pred, target)
+            assert value >= 0.0
+            assert np.isfinite(grad).all()
+            zero, zgrad = loss(target, target)
+            assert zero == 0.0
+            assert np.allclose(zgrad, 0.0)
+
+    @given(pred=batch((4, 3)), target=batch((4, 3)))
+    @settings(max_examples=60, deadline=None)
+    def test_mse_symmetry(self, pred, target):
+        a, _ = mse(pred, target)
+        b, _ = mse(target, pred)
+        assert a == b
+
+    @given(logits=batch((5, 4)), labels=st.lists(st.integers(0, 3), min_size=5, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_crossentropy_nonnegative_on_softmax(self, logits, labels):
+        act = Activation("softmax")
+        probs = act.forward(logits.astype(np.float32))
+        onehot = np.zeros((5, 4))
+        onehot[np.arange(5), labels] = 1.0
+        value, grad = categorical_crossentropy(probs, onehot)
+        assert value >= 0.0
+        # Fused gradient rows sum to zero (probability simplex tangent).
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+
+class TestBinning:
+    @given(values=st.lists(st.floats(-1, 1, allow_nan=False), min_size=1, max_size=32))
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_within_half_bin(self, values):
+        arr = np.asarray(values)
+        recovered = linear_unbin(linear_bin(arr))
+        assert np.abs(recovered - arr).max() <= 1.0 / 14 + 1e-9
+
+    @given(values=st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_always_one_hot(self, values):
+        bins = linear_bin(np.asarray(values))
+        assert ((bins == 0) | (bins == 1)).all()
+        assert np.allclose(bins.sum(axis=1), 1.0)
+
+
+class TestNetworkProperties:
+    @given(x=batch((6, 5)), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_forward_deterministic_at_inference(self, x, seed):
+        net = Sequential(
+            [Dense(7, activation="tanh"), Dense(2)], (5,), seed=seed
+        )
+        x32 = x.astype(np.float32)
+        assert np.array_equal(net.forward(x32), net.forward(x32))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_weight_round_trip_identity(self, seed):
+        net = Sequential([Dense(4), Dense(2)], (3,), seed=seed)
+        weights = net.get_weights()
+        net.set_weights(weights)
+        for original, current in zip(weights, net.params):
+            assert np.array_equal(original, current)
+
+    @given(x=batch((4, 3)))
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_descent_reduces_loss_one_step(self, x):
+        # A single small SGD step along the analytic gradient must not
+        # increase the loss on the same batch (convex head, tiny lr).
+        net = Sequential([Dense(1)], (3,), seed=0)
+        x32 = x.astype(np.float32)
+        y = np.ones((4, 1), dtype=np.float32)
+        pred = net.forward(x32)
+        before, grad = mse(pred, y)
+        net.backward(grad.astype(np.float32))
+        SGD(learning_rate=1e-4).step(net.params, net.grads)
+        after, _ = mse(net.forward(x32), y)
+        assert after <= before + 1e-9
+
+
+class TestOptimizerProperties:
+    @given(
+        grads=st.lists(st.floats(-5, 5, allow_nan=False), min_size=3, max_size=3),
+        lr=st.floats(1e-4, 0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_adam_step_bounded_by_lr(self, grads, lr):
+        # Adam's per-step displacement is bounded by ~lr (its signature
+        # trust-region property).
+        param = np.zeros(3, dtype=np.float32)
+        Adam(learning_rate=lr).step(
+            [param], [np.asarray(grads, dtype=np.float32)]
+        )
+        assert np.abs(param).max() <= lr * 1.01 + 1e-7
+
+    @given(lr=st.floats(1e-4, 0.1), steps=st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_sgd_zero_grad_is_identity(self, lr, steps):
+        param = np.full(4, 2.5, dtype=np.float32)
+        opt = SGD(lr, momentum=0.5)
+        for _ in range(steps):
+            opt.step([param], [np.zeros(4, dtype=np.float32)])
+        assert np.allclose(param, 2.5)

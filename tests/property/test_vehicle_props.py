@@ -1,0 +1,87 @@
+"""Property-based tests for actuator math and serialization invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import bytes_to_mbit, inches_to_m, m_to_inches, mbit_to_bytes
+from repro.ml.models.factory import create_model
+from repro.ml.serialize import load_model_bytes, save_model_bytes
+from repro.vehicle.parts import DriveMode, PWMSteering, PWMThrottle
+
+
+class TestPWMProperties:
+    @given(command=st.floats(-1, 1, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_steering_round_trip_within_quantisation(self, command):
+        pwm = PWMSteering()
+        recovered = pwm.run(command)
+        # One pulse step of error at most (pulse span ~85 per side).
+        assert abs(recovered - command) <= 1.0 / 60.0
+
+    @given(command=st.floats(-1, 1, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_throttle_round_trip_within_quantisation(self, command):
+        pwm = PWMThrottle()
+        assert abs(pwm.run(command) - command) <= 1.0 / 100.0
+
+    @given(command=st.floats(-3, 3, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_pulse_always_within_calibration(self, command):
+        pwm = PWMSteering(left_pulse=460, right_pulse=290)
+        pulse = pwm.to_pulse(command)
+        assert 290 <= pulse <= 460
+
+    @given(
+        a=st.floats(-1, 1, allow_nan=False),
+        b=st.floats(-1, 1, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_steering_monotone(self, a, b):
+        pwm = PWMSteering()
+        if a < b:
+            # More positive command = more rightward = smaller pulse.
+            assert pwm.to_pulse(a) >= pwm.to_pulse(b)
+
+
+class TestDriveModeProperties:
+    @given(
+        mode=st.sampled_from(["user", "pilot", "local_angle"]),
+        user=st.tuples(st.floats(-1, 1), st.floats(-1, 1)),
+        pilot=st.tuples(st.floats(-1, 1), st.floats(-1, 1)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_output_always_from_declared_source(self, mode, user, pilot):
+        angle, throttle = DriveMode().run(mode, user[0], user[1], pilot[0], pilot[1])
+        if mode == "user":
+            assert (angle, throttle) == user
+        elif mode == "pilot":
+            assert (angle, throttle) == pilot
+        else:
+            assert (angle, throttle) == (pilot[0], user[1])
+
+
+class TestUnitProperties:
+    @given(value=st.floats(0, 1e6, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_inch_metre_inverse(self, value):
+        assert m_to_inches(inches_to_m(value)) == pytest.approx(value, rel=1e-12)
+
+    @given(value=st.floats(0, 1e6, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_mbit_bytes_inverse(self, value):
+        assert bytes_to_mbit(mbit_to_bytes(value)) == pytest.approx(value, rel=1e-12)
+
+
+class TestSerializationProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_any_seeded_linear_model_round_trips(self, seed):
+        model = create_model("linear", input_shape=(16, 16, 3), scale=0.2,
+                             seed=seed)
+        clone = load_model_bytes(save_model_bytes(model))
+        x = np.random.default_rng(0).random((2, 16, 16, 3), dtype=np.float32)
+        a1, t1 = model.predict_batch(x)
+        a2, t2 = clone.predict_batch(x)
+        assert np.allclose(a1, a2) and np.allclose(t1, t2)

@@ -1,0 +1,123 @@
+"""Synthetic camera renderer."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.renderer import PALETTES, CameraParams, CameraRenderer, TrackField
+from repro.sim.tracks import default_tape_oval
+
+H, W = 40, 56
+
+
+@pytest.fixture(scope="module")
+def track():
+    return default_tape_oval()
+
+
+@pytest.fixture(scope="module")
+def renderer(track):
+    return CameraRenderer(track, CameraParams(height=H, width=W))
+
+
+class TestTrackField:
+    def test_query_matches_track_query(self, track):
+        field = TrackField(track)
+        x, y, _ = track.pose_at(2.0, 0.15)
+        dist, s, side = field.query(np.array([[x, y]]))
+        exact = track.query(np.array([[x, y]]))
+        assert dist[0] == pytest.approx(exact.distance[0], abs=0.01)
+        assert side[0] == exact.side[0]
+
+    def test_signed_cte(self, track):
+        field = TrackField(track)
+        x, y, _ = track.pose_at(1.0, -0.2)
+        assert field.signed_cte(np.array([[x, y]]))[0] == pytest.approx(-0.2, abs=0.02)
+
+    def test_spacing_validation(self, track):
+        with pytest.raises(SimulationError):
+            TrackField(track, spacing=0.0)
+
+
+class TestRender:
+    def test_shape_and_dtype(self, renderer, track):
+        x, y, h = track.start_pose()
+        frame = renderer.render(x, y, h, rng=0)
+        assert frame.shape == (H, W, 3)
+        assert frame.dtype == np.uint8
+
+    def test_deterministic_given_seed(self, renderer, track):
+        x, y, h = track.start_pose()
+        a = renderer.render(x, y, h, rng=42)
+        b = renderer.render(x, y, h, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_sky_at_top(self, renderer, track):
+        x, y, h = track.start_pose()
+        frame = renderer.render(x, y, h, rng=0)
+        sky = np.asarray(renderer.palette.sky)
+        assert np.abs(frame[0].astype(int) - sky).mean() < 20
+
+    def test_contains_tape_pixels_when_on_track(self, renderer, track):
+        x, y, h = track.start_pose()
+        frame = renderer.render(x, y, h, rng=0).astype(int)
+        tape = np.asarray(renderer.palette.tape)
+        dist = np.abs(frame - tape).sum(axis=2)
+        assert (dist < 90).sum() > 20  # a visible stripe of tape
+
+    def test_view_depends_on_pose(self, renderer, track):
+        x, y, h = track.start_pose()
+        a = renderer.render(x, y, h, rng=0)
+        b = renderer.render(x, y + 0.2, h + 0.4, rng=0)
+        assert not np.array_equal(a, b)
+
+    def test_brightness_scales(self, renderer, track):
+        x, y, h = track.start_pose()
+        dim = renderer.render(x, y, h, rng=0, brightness=0.5)
+        bright = renderer.render(x, y, h, rng=0, brightness=1.2)
+        assert dim.mean() < bright.mean()
+
+    def test_off_track_pose_mostly_floor(self, renderer, track):
+        frame = renderer.render(50.0, 50.0, 0.0, rng=0).astype(int)
+        floor = np.asarray(renderer.palette.floor)
+        lower = frame[H // 2 :]
+        assert np.abs(lower - floor).sum(axis=2).mean() < 60
+
+
+class TestTopdownAblation:
+    def test_topdown_mode(self, track):
+        r = CameraRenderer(track, CameraParams(height=H, width=W), mode="topdown")
+        x, y, h = track.start_pose()
+        frame = r.render(x, y, h, rng=0)
+        assert frame.shape == (H, W, 3)
+
+    def test_unknown_mode_rejected(self, track):
+        with pytest.raises(SimulationError):
+            CameraRenderer(track, mode="raytraced")
+
+    def test_modes_agree_on_tape_presence(self, track):
+        params = CameraParams(height=H, width=W, noise_sigma=0.0)
+        x, y, h = track.start_pose()
+        for mode in ("perspective", "topdown"):
+            r = CameraRenderer(track, params, mode=mode)
+            frame = r.render(x, y, h).astype(int)
+            tape = np.asarray(r.palette.tape)
+            assert (np.abs(frame - tape).sum(axis=2) < 60).any(), mode
+
+
+class TestCameraParams:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CameraParams(pitch_deg=0.0)
+        with pytest.raises(SimulationError):
+            CameraParams(hfov_deg=200.0)
+        with pytest.raises(SimulationError):
+            CameraParams(mount_height=-0.1)
+        with pytest.raises(SimulationError):
+            CameraParams(channels=1)
+
+    def test_waveshare_palette_selected(self):
+        from repro.sim.tracks import waveshare_track
+
+        r = CameraRenderer(waveshare_track(), CameraParams(height=H, width=W))
+        assert r.palette is PALETTES["white"]

@@ -1,0 +1,88 @@
+"""Gym-style simulator server."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.server import AVAILABLE_TRACKS, SimulatorServer, make_track
+
+
+class TestTrackRegistry:
+    def test_registry_contains_paper_tracks(self):
+        assert "default-tape-oval" in AVAILABLE_TRACKS
+        assert "waveshare" in AVAILABLE_TRACKS
+        assert len(AVAILABLE_TRACKS) >= 3  # "several different tracks"
+
+    def test_make_track(self):
+        track = make_track("default-tape-oval")
+        assert track.name == "default-tape-oval"
+
+    def test_unknown_track(self):
+        with pytest.raises(SimulationError):
+            make_track("nurburgring")
+
+
+class TestEpisodes:
+    def test_step_before_reset_rejected(self):
+        server = SimulatorServer(render=False)
+        with pytest.raises(SimulationError):
+            server.step((0.0, 0.5))
+
+    def test_reset_step_cycle(self):
+        server = SimulatorServer(render=False, seed=1)
+        obs = server.reset()
+        assert obs.time == 0.0
+        obs, reward, done, info = server.step((0.0, 0.5))
+        assert not done
+        assert "cte" in info and "speed" in info
+
+    def test_forward_progress_rewarded(self):
+        server = SimulatorServer(render=False, seed=1)
+        server.reset()
+        total = 0.0
+        for _ in range(40):
+            _, reward, done, _ = server.step((0.0, 0.6))
+            total += reward
+            if done:
+                break
+        assert total > 0.0
+
+    def test_crash_terminates_with_penalty(self):
+        server = SimulatorServer(render=False, seed=1)
+        server.reset()
+        done = False
+        for _ in range(400):
+            _, reward, done, info = server.step((1.0, 0.9))
+            if done:
+                break
+        assert done
+        assert info["crashed"]
+        assert reward < 0.0
+
+    def test_episode_length_cap(self):
+        server = SimulatorServer(render=False, max_episode_steps=10)
+        server.reset()
+        for i in range(10):
+            _, _, done, info = server.step((0.0, 0.2))
+        assert done
+        assert info["episode_steps"] == 10
+
+    def test_reset_clears_episode(self):
+        server = SimulatorServer(render=False, max_episode_steps=5)
+        server.reset()
+        for _ in range(5):
+            server.step((0.0, 0.2))
+        server.reset()
+        _, _, done, info = server.step((0.0, 0.2))
+        assert not done
+        assert info["episode_steps"] == 1
+
+    def test_observation_property(self):
+        server = SimulatorServer(render=False)
+        with pytest.raises(SimulationError):
+            _ = server.observation
+        server.reset()
+        assert server.observation.time == 0.0
+
+    def test_bad_config(self):
+        with pytest.raises(SimulationError):
+            SimulatorServer(max_episode_steps=0)

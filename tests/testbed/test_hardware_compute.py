@@ -1,0 +1,114 @@
+"""Hardware catalog and the GPU cost model (E2 shape)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, NoSuchResourceError
+from repro.testbed.compute import (
+    TrainingJob,
+    estimate_batch_time,
+    estimate_training_time,
+)
+from repro.testbed.hardware import GPU_SPECS, NODE_TYPES, gpu_spec, node_type
+
+
+class TestCatalog:
+    def test_paper_inventory_counts(self):
+        # "40 nodes with a single Nvidia RTX6000 GPU"
+        rtx = node_type("gpu_rtx_6000")
+        assert rtx.node_count == 40
+        assert rtx.gpu_count == 1
+        # "sets of 4 nodes each with 4x Nvidia V100, P100, or A100"
+        for name in ("gpu_v100", "gpu_p100", "gpu_a100"):
+            nt = node_type(name)
+            assert nt.node_count == 4
+            assert nt.gpu_count == 4
+            assert nt.interconnect == "InfiniBand"
+
+    def test_other_architectures_present(self):
+        # "Smaller numbers ... (Nvidia M40, K80, AMD MI100)"
+        for gpu in ("M40", "K80", "MI100"):
+            assert gpu in GPU_SPECS
+
+    def test_paper_training_matrix_gpus(self):
+        # §3.3: "A100, V100, v100NVLINK, RTX6000, and P100"
+        for gpu in ("A100", "V100", "V100-NVLINK", "RTX6000", "P100"):
+            assert gpu_spec(gpu).effective_flops > 0
+
+    def test_unknown_lookups(self):
+        with pytest.raises(NoSuchResourceError):
+            gpu_spec("H100")
+        with pytest.raises(NoSuchResourceError):
+            node_type("gpu_h100")
+
+    def test_cpu_nodes_have_no_gpu(self):
+        assert node_type("compute_skylake").gpu_spec() is None
+
+
+class TestCostModel:
+    def job(self, **kw):
+        defaults = dict(flops_per_sample=3e8, n_samples=8000, epochs=10)
+        defaults.update(kw)
+        return TrainingJob(**defaults)
+
+    def test_paper_ordering_single_gpu(self):
+        times = {
+            g: estimate_training_time(self.job(), GPU_SPECS[g])
+            for g in ("A100", "V100-NVLINK", "V100", "RTX6000", "P100")
+        }
+        ranked = sorted(times, key=times.get)
+        assert ranked == ["A100", "V100-NVLINK", "V100", "RTX6000", "P100"]
+
+    def test_legacy_gpus_slowest(self):
+        modern = estimate_training_time(self.job(), GPU_SPECS["A100"])
+        for old in ("K80", "M40"):
+            assert estimate_training_time(self.job(), GPU_SPECS[old]) > modern
+
+    def test_multi_gpu_speedup_sublinear(self):
+        v100 = GPU_SPECS["V100"]
+        one = estimate_training_time(self.job(), v100, gpu_count=1)
+        four = estimate_training_time(self.job(), v100, gpu_count=4)
+        assert four < one
+        assert four > one / 4.0  # sub-linear
+
+    def test_nvlink_scales_better(self):
+        plain = GPU_SPECS["V100"]
+        nvlink = GPU_SPECS["V100-NVLINK"]
+        ratio_plain = estimate_training_time(self.job(), plain, 4) / (
+            estimate_training_time(self.job(), plain, 1)
+        )
+        ratio_nvlink = estimate_training_time(self.job(), nvlink, 4) / (
+            estimate_training_time(self.job(), nvlink, 1)
+        )
+        assert ratio_nvlink < ratio_plain
+
+    def test_time_scales_with_work(self):
+        small = estimate_training_time(self.job(epochs=5), GPU_SPECS["V100"])
+        big = estimate_training_time(self.job(epochs=50), GPU_SPECS["V100"])
+        assert big > small
+
+    def test_roofline_vs_simple_ablation(self):
+        # A memory-heavy job diverges between the two cost modes.
+        heavy = self.job(bytes_per_sample=5e8)
+        v100 = GPU_SPECS["V100"]
+        simple = estimate_batch_time(heavy, v100, mode="simple")
+        roofline = estimate_batch_time(heavy, v100, mode="roofline")
+        assert roofline > simple
+
+    def test_roofline_memory_bound_gpu_order_can_flip(self):
+        # RTX6000 beats P100 on compute but loses on pure memory traffic.
+        heavy = self.job(flops_per_sample=1e6, bytes_per_sample=5e8)
+        rtx = estimate_batch_time(heavy, GPU_SPECS["RTX6000"], mode="roofline")
+        p100 = estimate_batch_time(heavy, GPU_SPECS["P100"], mode="roofline")
+        assert p100 < rtx
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainingJob(flops_per_sample=0, n_samples=1, epochs=1)
+        with pytest.raises(ConfigurationError):
+            estimate_batch_time(self.job(), GPU_SPECS["V100"], mode="vibes")
+        with pytest.raises(ConfigurationError):
+            estimate_batch_time(self.job(), GPU_SPECS["V100"], gpu_count=0)
+
+    def test_total_flops(self):
+        job = self.job(flops_per_sample=100.0, n_samples=10, epochs=3)
+        assert job.total_flops == 3000.0

@@ -1,0 +1,169 @@
+"""Federated identity, projects, and the lease manager."""
+
+import pytest
+
+from repro.common.clock import EventScheduler
+from repro.common.errors import (
+    AuthenticationError,
+    LeaseError,
+    QuotaExceededError,
+    ReservationConflictError,
+)
+from repro.testbed.identity import IdentityProvider
+from repro.testbed.leases import LeaseManager, LeaseState
+
+
+@pytest.fixture()
+def identity():
+    provider = IdentityProvider()
+    provider.register_user("keahey", "uchicago", role="instructor")
+    provider.register_user("alice", "missouri")
+    return provider
+
+
+@pytest.fixture()
+def env(identity):
+    scheduler = EventScheduler()
+    leases = LeaseManager(scheduler, identity)
+    project = identity.create_project("AutoLearn", pi="keahey", allocation_su=100.0)
+    identity.add_member(project.project_id, "alice")
+    session = identity.login("alice", project.project_id)
+    return scheduler, leases, project, session
+
+
+class TestIdentity:
+    def test_duplicate_user(self, identity):
+        with pytest.raises(AuthenticationError):
+            identity.register_user("alice", "elsewhere")
+
+    def test_project_membership_required_for_login(self, identity):
+        project = identity.create_project("P", pi="keahey")
+        with pytest.raises(AuthenticationError):
+            identity.login("alice", project.project_id)
+
+    def test_login_and_authenticate(self, identity):
+        project = identity.create_project("P", pi="keahey")
+        session = identity.login("keahey", project.project_id)
+        assert identity.authenticate(session.token).username == "keahey"
+
+    def test_logout_invalidates(self, identity):
+        project = identity.create_project("P", pi="keahey")
+        session = identity.login("keahey", project.project_id)
+        identity.logout(session.token)
+        with pytest.raises(AuthenticationError):
+            identity.authenticate(session.token)
+
+    def test_unknown_pi(self, identity):
+        with pytest.raises(AuthenticationError):
+            identity.create_project("P", pi="nobody")
+
+    def test_allocation_charging(self, identity):
+        project = identity.create_project("P", pi="keahey", allocation_su=10.0)
+        project.charge(4.0)
+        assert project.remaining_su == 6.0
+        with pytest.raises(QuotaExceededError):
+            project.charge(7.0)
+
+
+class TestLeases:
+    def test_on_demand_lease_active_immediately(self, env):
+        _, leases, _, session = env
+        lease = leases.create_lease(session, "gpu_rtx_6000", duration_s=3600)
+        assert lease.state is LeaseState.ACTIVE
+        assert len(lease.node_ids) == 1
+
+    def test_su_charged(self, env):
+        _, leases, project, session = env
+        leases.create_lease(session, "gpu_v100", node_count=2, duration_s=2 * 3600)
+        assert project.charged_su == pytest.approx(4.0)  # 2 nodes x 2 h
+
+    def test_allocation_exhaustion(self, env):
+        _, leases, _, session = env
+        with pytest.raises(QuotaExceededError):
+            leases.create_lease(
+                session, "gpu_rtx_6000", node_count=10, duration_s=100 * 3600
+            )
+
+    def test_advance_reservation_pending_then_active(self, env):
+        scheduler, leases, _, session = env
+        lease = leases.create_lease(
+            session, "gpu_a100", start=1000.0, duration_s=3600
+        )
+        assert lease.state is LeaseState.PENDING
+        scheduler.run_until(1000.0)
+        assert lease.state is LeaseState.ACTIVE
+        scheduler.run_until(1000.0 + 3600.0)
+        assert lease.state is LeaseState.EXPIRED
+
+    def test_conflicting_reservation_rejected(self, env):
+        _, leases, _, session = env
+        # gpu_a100 has exactly 4 nodes; grab all of them.
+        leases.create_lease(session, "gpu_a100", node_count=4, duration_s=3600)
+        with pytest.raises(ReservationConflictError):
+            leases.create_lease(session, "gpu_a100", node_count=1, duration_s=60)
+
+    def test_non_overlapping_windows_coexist(self, env):
+        _, leases, _, session = env
+        leases.create_lease(
+            session, "gpu_a100", node_count=4, start=0.0, duration_s=1000
+        )
+        lease2 = leases.create_lease(
+            session, "gpu_a100", node_count=4, start=2000.0, duration_s=1000
+        )
+        assert lease2.state is LeaseState.PENDING
+
+    def test_classroom_scenario_reserves_ahead(self, env):
+        # "guarantee resource availability at a specific time slot for a
+        # class" — the instructor reserves next week; walk-ins still get
+        # the other nodes today.
+        _, leases, _, session = env
+        week = 7 * 24 * 3600.0
+        leases.create_lease(
+            session, "gpu_v100", node_count=3, start=week, duration_s=7200
+        )
+        today = leases.create_lease(session, "gpu_v100", node_count=4, duration_s=3600)
+        assert today.state is LeaseState.ACTIVE
+
+    def test_terminate_refunds_unused(self, env):
+        scheduler, leases, project, session = env
+        lease = leases.create_lease(session, "gpu_v100", duration_s=4 * 3600)
+        charged = project.charged_su
+        scheduler.run_until(3600.0)  # use 1 of 4 hours
+        leases.terminate(lease.lease_id)
+        assert lease.state is LeaseState.TERMINATED
+        assert project.charged_su == pytest.approx(charged - 3.0)
+
+    def test_terminate_twice_rejected(self, env):
+        _, leases, _, session = env
+        lease = leases.create_lease(session, "gpu_v100", duration_s=3600)
+        leases.terminate(lease.lease_id)
+        with pytest.raises(LeaseError):
+            leases.terminate(lease.lease_id)
+
+    def test_expired_lease_frees_nodes(self, env):
+        scheduler, leases, _, session = env
+        leases.create_lease(session, "gpu_a100", node_count=4, duration_s=1000)
+        scheduler.run_until(1001.0)
+        again = leases.create_lease(session, "gpu_a100", node_count=4, duration_s=100)
+        assert again.state is LeaseState.ACTIVE
+
+    def test_lease_in_past_rejected(self, env):
+        scheduler, leases, _, session = env
+        scheduler.run_until(500.0)
+        with pytest.raises(LeaseError):
+            leases.create_lease(session, "gpu_v100", start=100.0)
+
+    def test_invalid_token_rejected(self, env, identity):
+        _, leases, _, _ = env
+        from repro.testbed.identity import Session
+
+        fake = Session(token="tok-9999", username="alice", project_id="proj-0001",
+                       issued_at=0.0)
+        with pytest.raises(AuthenticationError):
+            leases.create_lease(fake, "gpu_v100")
+
+    def test_leases_for_project(self, env):
+        _, leases, project, session = env
+        leases.create_lease(session, "gpu_v100", duration_s=100)
+        leases.create_lease(session, "gpu_p100", duration_s=100)
+        assert len(leases.leases_for_project(project.project_id)) == 2

@@ -1,0 +1,143 @@
+"""Bare-metal provisioning, software installs, and training jobs."""
+
+import pytest
+
+from repro.common.errors import ProvisioningError
+from repro.testbed.chameleon import Chameleon
+from repro.testbed.compute import TrainingJob
+from repro.testbed.images import CC_UBUNTU20, CC_UBUNTU20_CUDA
+from repro.testbed.leases import LeaseState
+from repro.testbed.provisioning import BARE_METAL_DEPLOY_S, InstanceState
+
+
+@pytest.fixture()
+def chi():
+    testbed = Chameleon()
+    project, _ = testbed.onboard_class("prof", "uni", ["stu"])
+    session = testbed.login("stu", project.project_id)
+    return testbed, session
+
+
+class TestDeploy:
+    def test_deploy_takes_bare_metal_time(self, chi):
+        testbed, session = chi
+        lease = testbed.reserve_gpu_node(session, "gpu_v100")
+        t0 = testbed.clock.now
+        instance = testbed.provisioning.deploy(lease, CC_UBUNTU20_CUDA)
+        assert instance.state is InstanceState.ACTIVE
+        assert testbed.clock.now - t0 == pytest.approx(BARE_METAL_DEPLOY_S)
+
+    def test_deploy_requires_active_lease(self, chi):
+        testbed, session = chi
+        lease = testbed.leases.create_lease(
+            session, "gpu_v100", start=testbed.clock.now + 5000, duration_s=3600
+        )
+        with pytest.raises(ProvisioningError):
+            testbed.provisioning.deploy(lease, CC_UBUNTU20_CUDA)
+
+    def test_gpu_image_rejected_on_cpu_node(self, chi):
+        testbed, session = chi
+        lease = testbed.leases.create_lease(session, "compute_skylake")
+        with pytest.raises(ProvisioningError):
+            testbed.provisioning.deploy(lease, CC_UBUNTU20_CUDA)
+
+    def test_node_exhaustion_within_lease(self, chi):
+        testbed, session = chi
+        lease = testbed.reserve_gpu_node(session, "gpu_v100")
+        testbed.provisioning.deploy(lease, CC_UBUNTU20)
+        with pytest.raises(ProvisioningError):
+            testbed.provisioning.deploy(lease, CC_UBUNTU20)
+
+    def test_delete_frees_node(self, chi):
+        testbed, session = chi
+        lease = testbed.reserve_gpu_node(session, "gpu_v100")
+        instance = testbed.provisioning.deploy(lease, CC_UBUNTU20)
+        testbed.provisioning.delete(instance.instance_id)
+        assert instance.state is InstanceState.DELETED
+        again = testbed.provisioning.deploy(lease, CC_UBUNTU20)
+        assert again.node_id == instance.node_id
+
+
+class TestSoftware:
+    def test_install_advances_time(self, chi):
+        testbed, session = chi
+        lease = testbed.reserve_gpu_node(session)
+        instance = testbed.provisioning.deploy(lease, CC_UBUNTU20_CUDA)
+        t0 = testbed.clock.now
+        spent = testbed.provisioning.install(instance, "donkeycar", "tensorflow")
+        assert spent > 0
+        assert testbed.clock.now - t0 == pytest.approx(spent)
+        assert instance.has_software("donkeycar")
+
+    def test_preinstalled_software_free(self, chi):
+        testbed, session = chi
+        lease = testbed.reserve_gpu_node(session)
+        instance = testbed.provisioning.deploy(lease, CC_UBUNTU20_CUDA)
+        assert instance.has_software("cuda")
+        assert testbed.provisioning.install(instance, "cuda") == 0.0
+
+    def test_install_idempotent(self, chi):
+        testbed, session = chi
+        lease = testbed.reserve_gpu_node(session)
+        instance = testbed.provisioning.deploy(lease, CC_UBUNTU20_CUDA)
+        first = testbed.provisioning.install(instance, "donkeycar")
+        second = testbed.provisioning.install(instance, "donkeycar")
+        assert first > 0 and second == 0.0
+
+
+class TestTrainingJobs:
+    def job(self):
+        return TrainingJob(flops_per_sample=3e8, n_samples=2000, epochs=5)
+
+    def test_training_requires_software(self, chi):
+        testbed, session = chi
+        lease = testbed.reserve_gpu_node(session)
+        instance = testbed.provisioning.deploy(lease, CC_UBUNTU20_CUDA)
+        with pytest.raises(ProvisioningError, match="tensorflow"):
+            testbed.provisioning.run_training_job(instance, self.job())
+
+    def test_training_advances_clock(self, chi):
+        testbed, session = chi
+        lease = testbed.reserve_gpu_node(session)
+        instance = testbed.deploy_training_server(lease)
+        t0 = testbed.clock.now
+        run = testbed.provisioning.run_training_job(instance, self.job())
+        assert run.simulated_seconds > 0
+        assert testbed.clock.now - t0 == pytest.approx(run.simulated_seconds)
+        assert run.gpu_name == "V100"
+        assert run.gpu_count == 4
+
+    def test_training_outliving_lease_rejected(self, chi):
+        testbed, session = chi
+        lease = testbed.reserve_gpu_node(session, duration_hours=0.3)
+        instance = testbed.deploy_training_server(lease)
+        huge = TrainingJob(flops_per_sample=3e12, n_samples=50000, epochs=100)
+        with pytest.raises(ProvisioningError, match="outlive"):
+            testbed.provisioning.run_training_job(instance, huge)
+
+    def test_lease_expires_during_simulated_training_window(self, chi):
+        testbed, session = chi
+        lease = testbed.reserve_gpu_node(session, duration_hours=4)
+        instance = testbed.deploy_training_server(lease)
+        testbed.provisioning.run_training_job(instance, self.job())
+        # Lease still active after a short job.
+        assert testbed.leases.get(lease.lease_id).state is LeaseState.ACTIVE
+
+
+class TestChameleonFacade:
+    def test_onboard_class(self):
+        testbed = Chameleon()
+        project, users = testbed.onboard_class("prof", "uni", ["s1", "s2"])
+        assert users["prof"].role == "instructor"
+        assert {"prof", "s1", "s2"} <= project.members
+
+    def test_full_notebook_flow(self, chi):
+        testbed, session = chi
+        lease = testbed.reserve_gpu_node(session, "gpu_a100", duration_hours=6)
+        instance = testbed.deploy_training_server(lease)
+        for package in ("donkeycar", "tensorflow", "cudnn", "jupyter", "rsync"):
+            assert instance.has_software(package)
+        run = testbed.provisioning.run_training_job(
+            instance, TrainingJob(flops_per_sample=3e8, n_samples=5000, epochs=8)
+        )
+        assert run.gpu_name == "A100"

@@ -1,0 +1,74 @@
+"""Digital twin comparison (E9)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sim.dynamics import PIRACER_PARAMS
+from repro.sim.renderer import CameraParams
+from repro.twin.digital_twin import TwinReport, perturbed_reality, run_twin_comparison
+
+from tests.conftest import TEST_H, TEST_W
+
+
+class TestPerturbedReality:
+    def test_zero_severity_is_nominal(self):
+        params = perturbed_reality(severity=0.0)
+        assert params.max_speed == PIRACER_PARAMS.max_speed
+        assert params.throttle_tau == PIRACER_PARAMS.throttle_tau
+
+    def test_reality_is_slower_and_laggier(self):
+        params = perturbed_reality(severity=1.0)
+        assert params.max_speed < PIRACER_PARAMS.max_speed
+        assert params.max_accel < PIRACER_PARAMS.max_accel
+        assert params.throttle_tau > PIRACER_PARAMS.throttle_tau
+        assert params.steering_tau > PIRACER_PARAMS.steering_tau
+
+    def test_severity_scales_offsets(self):
+        mild = perturbed_reality(severity=0.5)
+        harsh = perturbed_reality(severity=2.0)
+        assert harsh.max_speed < mild.max_speed
+
+    def test_deterministic_given_seed(self):
+        assert perturbed_reality(seed=3) == perturbed_reality(seed=3)
+
+    def test_negative_severity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            perturbed_reality(severity=-1.0)
+
+
+class TestTwinComparison:
+    @pytest.fixture(scope="class")
+    def report(self, trained_linear, oval_track):
+        return run_twin_comparison(
+            trained_linear, oval_track, ticks=400, severity=1.0, seed=2,
+            camera=CameraParams(height=TEST_H, width=TEST_W),
+        )
+
+    def test_report_fields(self, report):
+        assert isinstance(report, TwinReport)
+        assert report.sim_mean_speed > 0
+        assert report.real_mean_speed > 0
+        assert report.cte_profile_rmse >= 0
+        assert report.speed_profile_rmse >= 0
+
+    def test_reality_is_slower(self, report):
+        # The heavier, laggier real car covers less ground.
+        assert report.real_mean_speed <= report.sim_mean_speed + 0.05
+
+    def test_twin_gap_positive_under_perturbation(self, report):
+        assert report.twin_gap > 0.0
+
+    def test_zero_severity_shrinks_gap(self, trained_linear, oval_track):
+        same = run_twin_comparison(
+            trained_linear, oval_track, ticks=400, severity=0.0, seed=2,
+            camera=CameraParams(height=TEST_H, width=TEST_W),
+        )
+        harsh = run_twin_comparison(
+            trained_linear, oval_track, ticks=400, severity=2.0, seed=2,
+            camera=CameraParams(height=TEST_H, width=TEST_W),
+        )
+        assert same.speed_profile_rmse < harsh.speed_profile_rmse
+
+    def test_validation(self, trained_linear, oval_track):
+        with pytest.raises(ConfigurationError):
+            run_twin_comparison(trained_linear, oval_track, ticks=0)

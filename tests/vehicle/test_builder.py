@@ -1,0 +1,84 @@
+"""Prewired recording and autopilot vehicles."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.data.tub import Tub
+from repro.vehicle.builder import build_autopilot_vehicle, build_recording_vehicle
+
+
+def constant_driver(img, cte, speed):
+    return 0.0, 0.5
+
+
+class TestRecordingVehicle:
+    def test_records_expected_count(self, session_factory, tmp_path):
+        session = session_factory(render=False)
+        tub = Tub.create(tmp_path / "rec")
+        v = build_recording_vehicle(session, constant_driver, tub)
+        v.start(max_loop_count=40)
+        assert len(Tub(tub.path)) == 40
+
+    def test_records_carry_telemetry(self, session_factory, tmp_path):
+        session = session_factory(render=False)
+        tub = Tub.create(tmp_path / "tel")
+        build_recording_vehicle(session, constant_driver, tub).start(max_loop_count=30)
+        speeds = [f["sim/speed"] for f in Tub(tub.path).iter_fields()]
+        assert speeds[-1] > 0.0  # the car actually moved
+
+    def test_web_controller_option(self, session_factory, tmp_path):
+        session = session_factory(render=False)
+        tub = Tub.create(tmp_path / "web")
+        v = build_recording_vehicle(
+            session, constant_driver, tub, controller="web"
+        )
+        v.start(max_loop_count=10)
+        assert len(Tub(tub.path)) == 10
+
+    def test_constant_throttle_race_setup(self, session_factory, tmp_path):
+        session = session_factory(render=False)
+        tub = Tub.create(tmp_path / "race")
+        v = build_recording_vehicle(
+            session, constant_driver, tub, constant_throttle=0.33
+        )
+        v.start(max_loop_count=10)
+        throttles = {f["user/throttle"] for f in Tub(tub.path).iter_fields()}
+        assert throttles == {0.33}
+
+    def test_unknown_controller(self, session_factory, tmp_path):
+        with pytest.raises(ConfigurationError):
+            build_recording_vehicle(
+                session_factory(render=False),
+                constant_driver,
+                Tub.create(tmp_path / "x"),
+                controller="thoughts",
+            )
+
+
+class TestAutopilotVehicle:
+    def test_pilot_drives(self, session_factory, trained_linear):
+        session = session_factory(seed=21)
+        v = build_autopilot_vehicle(session, trained_linear)
+        v.start(max_loop_count=60)
+        assert session.stats.steps == 60
+        assert session.stats.mean_speed > 0.1
+
+    def test_local_angle_uses_user_throttle(self, session_factory, trained_linear):
+        session = session_factory(seed=22)
+        v = build_autopilot_vehicle(
+            session, trained_linear, mode="local_angle", user_throttle=0.0
+        )
+        v.start(max_loop_count=40)
+        # Zero user throttle in race mode: the car never accelerates.
+        assert session.stats.mean_speed == pytest.approx(0.0, abs=0.02)
+
+    def test_evaluation_recording(self, session_factory, trained_linear, tmp_path):
+        session = session_factory(seed=23)
+        tub = Tub.create(tmp_path / "eval")
+        v = build_autopilot_vehicle(session, trained_linear, tub=tub)
+        v.start(max_loop_count=25)
+        records = Tub(tub.path)
+        assert len(records) == 25
+        modes = {f["user/mode"] for f in records.iter_fields()}
+        assert modes == {"pilot"}

@@ -1,0 +1,153 @@
+"""Standard parts: actuators, controllers, drive mode, tub writer."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PartError
+from repro.data.tub import Tub
+from repro.vehicle.parts import (
+    DriveMode,
+    JoystickController,
+    PWMSteering,
+    PWMThrottle,
+    SimPlant,
+    TubWriterPart,
+    WebController,
+)
+
+
+class TestPWMSteering:
+    def test_center(self):
+        pwm = PWMSteering(left_pulse=460, right_pulse=290)
+        assert pwm.to_pulse(0.0) == 375
+        assert pwm.run(0.0) == pytest.approx(0.0, abs=0.02)
+
+    def test_full_lock(self):
+        pwm = PWMSteering(left_pulse=460, right_pulse=290)
+        assert pwm.to_pulse(-1.0) == 460  # -1 = full left
+        assert pwm.to_pulse(1.0) == 290
+
+    def test_round_trip_accuracy(self):
+        pwm = PWMSteering()
+        for cmd in np.linspace(-1, 1, 21):
+            assert pwm.run(cmd) == pytest.approx(cmd, abs=0.02)
+
+    def test_asymmetric_calibration(self):
+        # A miscalibrated servo (the calibration exercise): same command
+        # magnitude produces different wheel angles per side.
+        pwm = PWMSteering(left_pulse=480, right_pulse=330, center_pulse=370)
+        left = pwm.to_pulse(-1.0) - pwm.center_pulse
+        right = pwm.center_pulse - pwm.to_pulse(1.0)
+        assert left != right
+
+    def test_none_maps_to_zero(self):
+        assert PWMSteering().run(None) == 0.0
+
+    def test_equal_pulses_rejected(self):
+        with pytest.raises(PartError):
+            PWMSteering(left_pulse=300, right_pulse=300)
+
+
+class TestPWMThrottle:
+    def test_zero_and_extremes(self):
+        pwm = PWMThrottle(max_pulse=500, zero_pulse=370, min_pulse=220)
+        assert pwm.to_pulse(0.0) == 370
+        assert pwm.to_pulse(1.0) == 500
+        assert pwm.to_pulse(-1.0) == 220
+
+    def test_round_trip(self):
+        pwm = PWMThrottle()
+        for cmd in np.linspace(-1, 1, 11):
+            assert pwm.run(cmd) == pytest.approx(cmd, abs=0.02)
+
+    def test_bad_ordering(self):
+        with pytest.raises(PartError):
+            PWMThrottle(max_pulse=300, zero_pulse=370, min_pulse=220)
+
+
+class TestControllers:
+    def frame(self):
+        return np.zeros((8, 10, 3), dtype=np.uint8)
+
+    def test_joystick_no_latency(self):
+        ctrl = JoystickController(lambda img, cte, speed: (0.4, 0.6))
+        steering, throttle, mode, rec = ctrl.run(self.frame(), 0.0, 0.0)
+        assert steering == 0.4
+        assert throttle == 0.6
+        assert mode == "user"
+        assert rec is True
+
+    def test_web_controller_latency(self):
+        ctrl = WebController(lambda img, cte, speed: (0.5, 0.5))
+        # First two ticks deliver the neutral command (in-flight).
+        for _ in range(WebController.latency_ticks):
+            steering, throttle, _, _ = ctrl.run(self.frame(), 0.0, 0.0)
+            assert steering == 0.0
+        steering, _, _, _ = ctrl.run(self.frame(), 0.0, 0.0)
+        assert steering == 0.5
+
+    def test_constant_throttle_mode(self):
+        ctrl = JoystickController(
+            lambda img, cte, speed: (0.3, 0.9), constant_throttle=0.4
+        )
+        _, throttle, _, _ = ctrl.run(self.frame(), 0.0, 0.0)
+        assert throttle == 0.4
+
+    def test_none_image_neutral(self):
+        ctrl = JoystickController(lambda img, cte, speed: (1.0, 1.0))
+        steering, throttle, _, _ = ctrl.run(None, None, None)
+        assert (steering, throttle) == (0.0, 0.0)
+
+
+class TestDriveMode:
+    def test_user(self):
+        assert DriveMode().run("user", 0.1, 0.2, 0.9, 0.9) == (0.1, 0.2)
+
+    def test_pilot(self):
+        assert DriveMode().run("pilot", 0.1, 0.2, 0.9, 0.8) == (0.9, 0.8)
+
+    def test_local_angle_race_mode(self):
+        # Pilot steers, user throttle (the race configuration).
+        assert DriveMode().run("local_angle", 0.1, 0.2, 0.9, 0.8) == (0.9, 0.2)
+
+    def test_none_mode_defaults_to_user(self):
+        assert DriveMode().run(None, 0.1, 0.2, 0.9, 0.8) == (0.1, 0.2)
+
+    def test_unknown_mode(self):
+        with pytest.raises(PartError):
+            DriveMode().run("ludicrous", 0, 0, 0, 0)
+
+
+class TestSimPlantAndTubWriter:
+    def test_plant_emits_telemetry(self, session_factory):
+        plant = SimPlant(session_factory(render=False))
+        image, cte, speed, off = plant.run(0.0, 0.5)
+        assert image.ndim == 3
+        assert isinstance(cte, float)
+        assert speed >= 0.0
+        assert off in (False, True)
+
+    def test_plant_none_commands_are_neutral(self, session_factory):
+        plant = SimPlant(session_factory(render=False))
+        _, _, speed, _ = plant.run(None, None)
+        assert speed == 0.0
+
+    def test_tub_writer_respects_recording_flag(self, tmp_path):
+        tub = Tub.create(tmp_path / "w")
+        writer = TubWriterPart(tub)
+        frame = np.zeros((8, 10, 3), dtype=np.uint8)
+        writer.run(frame, 0.1, 0.5, "user", True, 0.0, 1.0, False)
+        writer.run(frame, 0.1, 0.5, "user", False, 0.0, 1.0, False)
+        writer.run(None, 0.1, 0.5, "user", True, 0.0, 1.0, False)
+        writer.shutdown()
+        assert len(Tub(tub.path)) == 1
+
+    def test_tub_writer_clips_commands(self, tmp_path):
+        tub = Tub.create(tmp_path / "c")
+        writer = TubWriterPart(tub)
+        frame = np.zeros((8, 10, 3), dtype=np.uint8)
+        writer.run(frame, 5.0, -5.0, "user", True, 0.0, 1.0, False)
+        writer.shutdown()
+        record = Tub(tub.path).read_record(0)
+        assert record.angle == 1.0
+        assert record.throttle == -1.0

@@ -1,0 +1,152 @@
+"""Vehicle loop, memory, and channel wiring."""
+
+import pytest
+
+from repro.common.errors import PartError
+from repro.vehicle.memory import Memory
+from repro.vehicle.vehicle import Vehicle
+
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+
+    def run(self):
+        self.value += 1
+        return self.value
+
+
+class Doubler:
+    def run(self, x):
+        return None if x is None else 2 * x
+
+
+class TestMemory:
+    def test_single_key_scalar(self):
+        mem = Memory()
+        mem.put(["a"], 5)
+        assert mem.get(["a"]) == [5]
+
+    def test_multi_key(self):
+        mem = Memory()
+        mem.put(["a", "b"], [1, 2])
+        assert mem.get(["b", "a"]) == [2, 1]
+
+    def test_missing_reads_none(self):
+        assert Memory().get(["ghost"]) == [None]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(PartError):
+            Memory().put(["a", "b"], [1])
+
+    def test_mapping_interface(self):
+        mem = Memory()
+        mem["x"] = 1
+        assert "x" in mem
+        assert mem["x"] == 1
+        assert mem.keys() == ["x"]
+
+
+class TestVehicleLoop:
+    def test_pipeline_order(self):
+        v = Vehicle()
+        v.add(Counter(), outputs=["count"])
+        v.add(Doubler(), inputs=["count"], outputs=["doubled"])
+        v.run_once()
+        assert v.mem.get(["count", "doubled"]) == [1, 2]
+
+    def test_start_runs_n_ticks(self):
+        v = Vehicle()
+        counter = Counter()
+        v.add(counter, outputs=["count"])
+        executed = v.start(rate_hz=20, max_loop_count=7)
+        assert executed == 7
+        assert counter.value == 7
+        assert v.clock.now == pytest.approx(7 / 20)
+
+    def test_stop_channel_ends_drive(self):
+        class Stopper:
+            def __init__(self):
+                self.ticks = 0
+
+            def run(self):
+                self.ticks += 1
+                return self.ticks >= 3
+
+        v = Vehicle()
+        stopper = Stopper()
+        v.add(stopper, outputs=["vehicle/stop"])
+        executed = v.start(max_loop_count=100)
+        assert executed == 3
+
+    def test_run_condition_gates_part(self):
+        v = Vehicle()
+        counter = Counter()
+        v.mem.put(["enabled"], False)
+        v.add(counter, outputs=["count"], run_condition="enabled")
+        v.run_once()
+        assert counter.value == 0
+        v.mem.put(["enabled"], True)
+        v.run_once()
+        assert counter.value == 1
+
+    def test_output_arity_mismatch(self):
+        class OneValue:
+            def run(self):
+                return 1
+
+        v = Vehicle()
+        v.add(OneValue(), outputs=["a", "b"])
+        with pytest.raises(PartError):
+            v.run_once()
+
+    def test_part_exception_wrapped(self):
+        class Broken:
+            def run(self):
+                raise RuntimeError("boom")
+
+        v = Vehicle()
+        v.add(Broken())
+        with pytest.raises(PartError, match="Broken"):
+            v.run_once()
+
+    def test_part_without_run_rejected(self):
+        with pytest.raises(PartError):
+            Vehicle().add(object())
+
+    def test_shutdown_called(self):
+        class WithShutdown:
+            closed = False
+
+            def run(self):
+                return None
+
+            def shutdown(self):
+                self.closed = True
+
+        v = Vehicle()
+        part = WithShutdown()
+        v.add(part)
+        v.start(max_loop_count=1)
+        assert part.closed
+
+    def test_run_threaded_preferred(self):
+        class Threaded:
+            def run(self):  # pragma: no cover - must not be called
+                raise AssertionError("run() called instead of run_threaded()")
+
+            def run_threaded(self):
+                return 42
+
+        v = Vehicle()
+        v.add(Threaded(), outputs=["x"])
+        v.run_once()
+        assert v.mem["x"] == 42
+
+    def test_invalid_start_args(self):
+        v = Vehicle()
+        v.add(Counter(), outputs=["c"])
+        with pytest.raises(PartError):
+            v.start(rate_hz=0)
+        with pytest.raises(PartError):
+            v.start(max_loop_count=0)
