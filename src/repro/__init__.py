@@ -17,6 +17,7 @@ Quick tour::
 """
 
 from repro import (
+    analysis,
     artifacts,
     common,
     core,
@@ -36,6 +37,7 @@ from repro import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "artifacts",
     "common",
     "core",

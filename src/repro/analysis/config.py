@@ -1,0 +1,131 @@
+"""Configuration for ``reprolint``, loaded from ``[tool.reprolint]``.
+
+Example ``pyproject.toml``::
+
+    [tool.reprolint]
+    include = ["src/repro"]        # default lint roots for the CLI
+    disable = ["RL302"]            # rules switched off everywhere
+    exclude = ["**/generated/**"]  # paths never linted
+
+    [tool.reprolint.rules.RL001]
+    exclude = ["benchmarks/*"]     # per-rule path exemptions
+    severity = "warning"
+
+    [tool.reprolint.layering]      # override the import-layer DAG
+    sim = ["common", "data"]
+
+Path globs match against the file's POSIX path; a pattern without a
+leading ``*`` also matches as a suffix, so ``benchmarks/*`` exempts
+``/any/prefix/benchmarks/foo.py``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["RuleConfig", "LintConfig", "match_path"]
+
+
+def match_path(path: Path | str, patterns: tuple[str, ...] | list[str]) -> bool:
+    """True if ``path`` matches any glob (full-path or suffix match)."""
+    posix = Path(path).as_posix()
+    for pattern in patterns:
+        if fnmatch.fnmatch(posix, pattern) or fnmatch.fnmatch(posix, "*/" + pattern):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Per-rule overrides from ``[tool.reprolint.rules.<id>]``."""
+
+    enabled: bool = True
+    severity: str | None = None
+    exclude: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """The resolved ``[tool.reprolint]`` section."""
+
+    include: tuple[str, ...] = ("src/repro",)
+    disable: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    rules: dict[str, RuleConfig] = field(default_factory=dict)
+    layering: dict[str, tuple[str, ...]] | None = None
+
+    @classmethod
+    def from_pyproject(cls, path: Path | str) -> "LintConfig":
+        """Load config from a ``pyproject.toml`` (missing section -> defaults)."""
+        raw = Path(path).read_bytes()
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigurationError(f"unparseable pyproject at {path}: {exc}") from exc
+        section = data.get("tool", {}).get("reprolint", {})
+        return cls.from_dict(section)
+
+    @classmethod
+    def from_dict(cls, section: dict) -> "LintConfig":
+        """Build a config from an already-parsed ``[tool.reprolint]`` table."""
+        rules: dict[str, RuleConfig] = {}
+        for rule_id, table in section.get("rules", {}).items():
+            if not isinstance(table, dict):
+                raise ConfigurationError(
+                    f"[tool.reprolint.rules.{rule_id}] must be a table"
+                )
+            severity = table.get("severity")
+            if severity not in (None, "error", "warning"):
+                raise ConfigurationError(
+                    f"rule {rule_id}: severity must be 'error' or 'warning', "
+                    f"got {severity!r}"
+                )
+            rules[rule_id] = RuleConfig(
+                enabled=bool(table.get("enabled", True)),
+                severity=severity,
+                exclude=tuple(table.get("exclude", ())),
+            )
+        layering = section.get("layering")
+        if layering is not None:
+            layering = {
+                package: tuple(allowed) for package, allowed in layering.items()
+            }
+        return cls(
+            include=tuple(section.get("include", ("src/repro",))),
+            disable=tuple(section.get("disable", ())),
+            exclude=tuple(section.get("exclude", ())),
+            rules=rules,
+            layering=layering,
+        )
+
+    def rule_config(self, rule) -> RuleConfig:
+        """The override table for ``rule`` (matched by ID or name)."""
+        for key, override in self.rules.items():
+            if rule.matches(key):
+                return override
+        return RuleConfig()
+
+    def rule_applies(self, rule, path: Path | str) -> bool:
+        """True if ``rule`` is enabled for the file at ``path``."""
+        if any(rule.matches(spec) for spec in self.disable):
+            return False
+        override = self.rule_config(rule)
+        if not override.enabled:
+            return False
+        if match_path(path, rule.default_exclude + override.exclude):
+            return False
+        return True
+
+    def severity_for(self, rule):
+        """Effective severity for ``rule`` after config overrides."""
+        from repro.analysis.findings import Severity
+
+        override = self.rule_config(rule)
+        if override.severity is not None:
+            return Severity(override.severity)
+        return rule.severity

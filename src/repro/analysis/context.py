@@ -1,0 +1,178 @@
+"""Parsed-module context and the project-wide class-hierarchy index.
+
+The runner parses every file once into a :class:`ModuleContext` (AST,
+source lines, suppression pragmas, dotted module name) and folds all of
+them into a :class:`ProjectIndex` before any pass runs.  Passes that
+need whole-program knowledge — the error-hierarchy pass resolving
+whether a raised class descends from ``ReproError`` — query the index
+instead of re-walking other files.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ModuleContext", "ProjectIndex", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(r"reprolint:\s*disable=([A-Za-z0-9_,\-]+)")
+
+
+def parse_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule specs suppressed on that line.
+
+    Pragmas are comments of the form ``# reprolint: disable=RL001`` (or
+    the symbolic rule name, or ``all``); several rules may be listed
+    comma-separated.  Only genuine comments count — the pattern inside a
+    string literal is ignored, which is why this tokenises instead of
+    regex-scanning raw lines.
+    """
+    pragmas: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if match is None:
+                continue
+            specs = frozenset(
+                spec.strip() for spec in match.group(1).split(",") if spec.strip()
+            )
+            if specs:
+                line = tok.start[0]
+                pragmas[line] = pragmas.get(line, frozenset()) | specs
+    except tokenize.TokenError:
+        pass  # unterminated constructs: the parser reports these, not us
+    return pragmas
+
+
+@dataclass
+class ModuleContext:
+    """Everything a pass needs to know about one parsed file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    module: str  # dotted name, e.g. "repro.sim.tracks" ("" if unknown)
+    pragmas: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """Top-level package under ``repro`` ("" for root modules).
+
+        ``repro.sim.tracks`` -> ``sim``; ``repro/sim/__init__.py`` (whose
+        module is ``repro.sim``) -> ``sim``; root modules like
+        ``repro.cli`` -> ``""`` (the top layer, exempt from layering).
+        """
+        parts = self.module.split(".")
+        if parts[0] != "repro":
+            return ""
+        if len(parts) > 2 or (len(parts) == 2 and self.path.name == "__init__.py"):
+            return parts[1]
+        return ""
+
+    @classmethod
+    def from_path(cls, path: Path) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            module=_dotted_module(path),
+            pragmas=parse_pragmas(source),
+        )
+
+    def suppressed(self, line: int, rule) -> bool:
+        """True if a pragma on ``line`` disables ``rule`` there."""
+        specs = self.pragmas.get(line)
+        if not specs:
+            return False
+        return any(rule.matches(spec) for spec in specs)
+
+
+def _dotted_module(path: Path) -> str:
+    """Best-effort dotted module name from a filesystem path.
+
+    Walks up from the file looking for the ``repro`` package root; files
+    outside any ``repro`` tree (test fixtures in temp dirs) get just
+    their stem, which disables the package-aware rules for them.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in range(len(parts) - 1, -1, -1):
+        if parts[anchor] == "repro":
+            return ".".join(parts[anchor:])
+    return parts[-1] if parts else ""
+
+
+class ProjectIndex:
+    """Class hierarchy and module inventory across every linted file.
+
+    ``classes`` maps a bare class name to the set of bare base-class
+    names seen anywhere in the project (a class defined twice merges its
+    bases — acceptable for a lint pass; the repo keeps class names
+    unique).  :meth:`is_repro_error` answers whether a class *provably*
+    descends from ``ReproError`` through project-defined classes.
+    """
+
+    def __init__(self) -> None:
+        self.classes: dict[str, set[str]] = {}
+        self.modules: set[str] = set()
+        self._repro_cache: dict[str, bool] = {}
+
+    def add_module(self, ctx: ModuleContext) -> None:
+        if ctx.module:
+            self.modules.add(ctx.module)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = self.classes.setdefault(node.name, set())
+            for base in node.bases:
+                name = _base_name(base)
+                if name is not None:
+                    bases.add(name)
+        self._repro_cache.clear()
+
+    def is_defined(self, name: str) -> bool:
+        """True if a class of this name is defined somewhere in the project."""
+        return name in self.classes
+
+    def is_repro_error(self, name: str, _seen: frozenset[str] = frozenset()) -> bool:
+        """True if ``name`` transitively subclasses ``ReproError``."""
+        if name == "ReproError":
+            return True
+        if name in self._repro_cache:
+            return self._repro_cache[name]
+        if name in _seen or name not in self.classes:
+            return False
+        result = any(
+            self.is_repro_error(base, _seen | {name})
+            for base in self.classes[name]
+        )
+        self._repro_cache[name] = result
+        return result
+
+    @staticmethod
+    def is_builtin_exception(name: str) -> bool:
+        """True if ``name`` is a builtin exception class (always allowed)."""
+        obj = getattr(builtins, name, None)
+        return isinstance(obj, type) and issubclass(obj, BaseException)
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """Bare class name of a base expression (``errors.TubError`` -> ``TubError``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # Generic[...] bases
+        return _base_name(node.value)
+    return None

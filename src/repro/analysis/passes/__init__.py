@@ -1,0 +1,35 @@
+"""The built-in lint passes.
+
+Importing this package registers every pass with
+:mod:`repro.analysis.base`; :func:`repro.analysis.base.all_passes`
+triggers that import lazily so pass modules may themselves import the
+base machinery without a cycle.
+"""
+
+from repro.analysis.passes.defaults import RL401, MutableDefaultPass
+from repro.analysis.passes.errors import RL201, RL202, RL203, ErrorHierarchyPass
+from repro.analysis.passes.exports import RL301, RL302, RL303, ExportsPass
+from repro.analysis.passes.layering import DEFAULT_LAYERS, RL501, LayeringPass
+from repro.analysis.passes.rng import RL101, RL102, RngPass
+from repro.analysis.passes.wall_clock import RL001, WallClockPass
+
+__all__ = [
+    "WallClockPass",
+    "RngPass",
+    "ErrorHierarchyPass",
+    "ExportsPass",
+    "MutableDefaultPass",
+    "LayeringPass",
+    "DEFAULT_LAYERS",
+    "RL001",
+    "RL101",
+    "RL102",
+    "RL201",
+    "RL202",
+    "RL203",
+    "RL301",
+    "RL302",
+    "RL303",
+    "RL401",
+    "RL501",
+]

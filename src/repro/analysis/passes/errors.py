@@ -1,0 +1,119 @@
+"""RL201/RL202/RL203 — error-hierarchy conformance.
+
+``common/errors.py`` requires every subsystem to raise ``ReproError``
+subclasses so callers can catch library failures without swallowing
+programming errors.  Three rules guard that contract:
+
+* **RL201** — bare ``except:`` clauses (catch ``KeyboardInterrupt`` and
+  ``SystemExit`` too; never acceptable).
+* **RL202** — ``except Exception``/``BaseException`` handlers that do
+  not re-raise.  Broad catches are legitimate only at boundaries that
+  wrap the failure in a ``ReproError`` (so they must contain a
+  ``raise``) or that carry an explicit
+  ``# reprolint: disable=broad-except`` pragma with a justification.
+* **RL203** — ``raise`` of a project-defined class that does not
+  provably descend from ``ReproError``, resolved through the
+  project-wide class-hierarchy index built from every linted AST.
+  Builtin exceptions (``ValueError`` for programming errors) stay
+  allowed; unknown third-party classes are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import LintPass, register
+from repro.analysis.findings import Rule
+
+__all__ = ["ErrorHierarchyPass", "RL201", "RL202", "RL203"]
+
+RL201 = Rule(
+    id="RL201",
+    name="bare-except",
+    description="Bare 'except:' swallows KeyboardInterrupt/SystemExit.",
+)
+
+RL202 = Rule(
+    id="RL202",
+    name="broad-except",
+    description=(
+        "'except Exception' must re-raise (usually wrapped in a ReproError) "
+        "or carry a justified '# reprolint: disable=broad-except' pragma."
+    ),
+)
+
+RL203 = Rule(
+    id="RL203",
+    name="non-repro-raise",
+    description=(
+        "Raised project-defined exception classes must subclass ReproError "
+        "(resolved via the project-wide class-hierarchy index)."
+    ),
+)
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _exception_names(node: ast.expr | None) -> list[tuple[str, ast.expr]]:
+    """Bare class names named in an except clause (handles tuples)."""
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        return [pair for elt in node.elts for pair in _exception_names(elt)]
+    if isinstance(node, ast.Name):
+        return [(node.id, node)]
+    if isinstance(node, ast.Attribute):
+        return [(node.attr, node)]
+    return []
+
+
+@register
+class ErrorHierarchyPass(LintPass):
+    """Enforce the ReproError contract at every raise and except site."""
+
+    rules = (RL201, RL202, RL203)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(RL201, node, "bare 'except:' clause")
+        else:
+            broad = [
+                name for name, _ in _exception_names(node.type) if name in _BROAD
+            ]
+            if broad and not self._reraises(node):
+                self.report(
+                    RL202,
+                    node,
+                    f"'except {broad[0]}' without re-raise; narrow the type, "
+                    "wrap in a ReproError, or justify with a pragma",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        """True if the handler body contains a raise (not in a nested def)."""
+        for stmt in handler.body:
+            for child in ast.walk(stmt):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break
+                if isinstance(child, ast.Raise):
+                    return True
+        return False
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name: str | None = None
+        if isinstance(exc, ast.Name):
+            name = exc.id
+        elif isinstance(exc, ast.Attribute):
+            name = exc.attr
+        if name is not None and self.index.is_defined(name):
+            if not self.index.is_repro_error(name):
+                self.report(
+                    RL203,
+                    node,
+                    f"raise of '{name}', which does not subclass ReproError",
+                )
+        self.generic_visit(node)

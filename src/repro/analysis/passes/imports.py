@@ -1,0 +1,74 @@
+"""Import-alias tracking shared by the wall-clock and RNG passes.
+
+Both passes need to answer the same question: "what canonical dotted
+path does this expression refer to, given the module's imports?" —
+``tm.perf_counter()`` after ``import time as tm`` must resolve to
+``time.perf_counter``, and ``default_rng(0)`` after ``from numpy.random
+import default_rng`` to ``numpy.random.default_rng``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportTracker", "dotted_name"]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Source-level dotted path of a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ImportTracker:
+    """Resolves local names to canonical module paths for ``watched`` roots.
+
+    Only imports whose target starts with one of the watched root
+    modules are tracked, so an unrelated local variable named ``time``
+    or ``random`` never triggers a false positive.
+    """
+
+    def __init__(self, watched: tuple[str, ...]) -> None:
+        self.watched = watched
+        self._aliases: dict[str, str] = {}  # local name -> canonical path
+
+    def _is_watched(self, target: str) -> bool:
+        return any(
+            target == root or target.startswith(root + ".") for root in self.watched
+        )
+
+    def collect(self, tree: ast.Module) -> None:
+        """Record every relevant import binding in the module."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if not self._is_watched(alias.name):
+                        continue
+                    if alias.asname is not None:
+                        self._aliases[alias.asname] = alias.name
+                    else:
+                        # "import numpy.random" binds the root name only.
+                        root = alias.name.split(".")[0]
+                        self._aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    target = f"{node.module}.{alias.name}"
+                    if self._is_watched(target):
+                        self._aliases[alias.asname or alias.name] = target
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of ``node``, or ``None`` if untracked."""
+        source = dotted_name(node)
+        if source is None:
+            return None
+        head, _, rest = source.partition(".")
+        canonical = self._aliases.get(head)
+        if canonical is None:
+            return None
+        return f"{canonical}.{rest}" if rest else canonical

@@ -1,0 +1,166 @@
+"""RL101/RL102 — RNG discipline.
+
+All randomness flows through :mod:`repro.common.rng`: components accept
+a ``seed``/``rng`` argument and normalise it with ``ensure_rng`` (or
+derive child streams with ``spawn``).  Direct stream construction
+anywhere else — ``np.random.default_rng``, legacy ``np.random.seed``,
+the stdlib ``random`` module — forks an unmanaged stream and is the
+classic way reproducibility silently erodes.
+
+* **RL101** — any ``numpy.random`` access (except the ``Generator`` /
+  ``BitGenerator`` / ``SeedSequence`` types used in annotations and
+  ``isinstance`` checks) or any stdlib ``random`` usage outside
+  ``common/rng.py``.
+* **RL102** — a public callable declares a ``seed`` or ``rng`` parameter
+  but never reads it: the caller's carefully-plumbed seed is silently
+  dropped.  Interface stubs (docstring/``pass``/``raise``-only bodies)
+  and ``abstractmethod``/``overload`` definitions are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import LintPass, register
+from repro.analysis.findings import Rule, Severity
+from repro.analysis.passes.imports import ImportTracker
+
+__all__ = ["RngPass", "RL101", "RL102"]
+
+RL101 = Rule(
+    id="RL101",
+    name="rng-outside-common",
+    description=(
+        "Direct numpy.random / stdlib random usage outside common/rng.py; "
+        "obtain streams via repro.common.rng.ensure_rng/spawn."
+    ),
+    default_exclude=("common/rng.py",),
+)
+
+RL102 = Rule(
+    id="RL102",
+    name="seed-ignored",
+    description=(
+        "A public callable declares a seed/rng parameter but never uses it, "
+        "silently dropping the caller's determinism contract."
+    ),
+    severity=Severity.WARNING,
+)
+
+# numpy.random attributes that are types, not stream constructors —
+# legitimate in annotations and isinstance() checks everywhere.
+_ALLOWED_NUMPY_ATTRS = frozenset({"Generator", "BitGenerator", "SeedSequence"})
+_SEED_PARAMS = frozenset({"seed", "rng"})
+
+
+@register
+class RngPass(LintPass):
+    """Flag unmanaged RNG construction and ignored seed parameters."""
+
+    rules = (RL101, RL102)
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._tracker = ImportTracker(watched=("numpy", "random"))
+        self._tracker.collect(node)
+        self._class_stack: list[str] = []
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------ RL101
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module == "random":
+            self.report(RL101, node, "import from stdlib 'random' module")
+        if node.level == 0 and node.module and (
+            node.module == "numpy.random" or node.module.startswith("numpy.random.")
+        ):
+            for alias in node.names:
+                if alias.name not in _ALLOWED_NUMPY_ATTRS:
+                    self.report(
+                        RL101,
+                        node,
+                        f"import of 'numpy.random.{alias.name}' "
+                        "(use repro.common.rng.ensure_rng)",
+                    )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        resolved = self._tracker.resolve(node)
+        if resolved is not None:
+            if resolved.startswith("numpy.random."):
+                tail = resolved.split(".", 2)[2]
+                if tail.split(".")[0] not in _ALLOWED_NUMPY_ATTRS:
+                    self.report(
+                        RL101,
+                        node,
+                        f"direct '{resolved}' (use repro.common.rng.ensure_rng)",
+                    )
+                return
+            if resolved.startswith("random."):
+                self.report(
+                    RL101,
+                    node,
+                    f"stdlib '{resolved}' (use repro.common.rng.ensure_rng)",
+                )
+                return
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------ RL102
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_seed_params(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_seed_params(node)
+        self.generic_visit(node)
+
+    def _check_seed_params(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if not self._is_public(node) or self._is_stub(node):
+            return
+        declared = {
+            arg.arg
+            for arg in (
+                node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+            )
+            if arg.arg in _SEED_PARAMS
+        }
+        if not declared:
+            return
+        used = {
+            child.id
+            for child in ast.walk(node)
+            if isinstance(child, ast.Name)
+            and isinstance(child.ctx, ast.Load)
+            and child.id in declared
+        }
+        for param in sorted(declared - used):
+            self.report(
+                RL102,
+                node,
+                f"'{node.name}' declares '{param}' but never uses it "
+                "(plumb it through ensure_rng/spawn or a callee)",
+            )
+
+    def _is_public(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        if any(name.startswith("_") for name in self._class_stack):
+            return False
+        if node.name == "__init__":
+            return True
+        return not node.name.startswith("_")
+
+    @staticmethod
+    def _is_stub(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        for deco in node.decorator_list:
+            spelled = ast.unparse(deco)
+            if "abstractmethod" in spelled or "overload" in spelled:
+                return True
+        return all(
+            isinstance(stmt, (ast.Pass, ast.Raise))
+            or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant))
+            for stmt in node.body
+        )

@@ -1,0 +1,87 @@
+"""RL001 — the wall-clock ban.
+
+``common/clock.py`` promises that no component in :mod:`repro` reads the
+real wall clock: all timing flows through the simulated
+:class:`~repro.common.clock.Clock`.  This pass bans every spelling of a
+wall-clock read — ``time.time``/``perf_counter``/``monotonic``/...,
+``datetime.datetime.now``/``utcnow``/``today``, ``date.today`` — plus
+``time.sleep`` (which blocks on real time).  Benchmarks are exempt by
+default: measuring real elapsed time is their whole point.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import LintPass, register
+from repro.analysis.findings import Rule
+from repro.analysis.passes.imports import ImportTracker
+
+__all__ = ["WallClockPass", "RL001"]
+
+RL001 = Rule(
+    id="RL001",
+    name="wall-clock",
+    description=(
+        "No component reads the real wall clock; use repro.common.clock.Clock. "
+        "Banned: time.time/perf_counter/monotonic/process_time/sleep and "
+        "datetime now/utcnow/today."
+    ),
+    default_exclude=("benchmarks/*",),
+)
+
+_BANNED = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.sleep",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockPass(LintPass):
+    """Flag every reference that resolves to a banned wall-clock callable."""
+
+    rules = (RL001,)
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._tracker = ImportTracker(watched=("time", "datetime"))
+        self._tracker.collect(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in ("time", "datetime") and node.level == 0:
+            for alias in node.names:
+                target = f"{node.module}.{alias.name}"
+                if target in _BANNED:
+                    self.report(
+                        RL001, node, f"import of wall-clock function '{target}'"
+                    )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        resolved = self._tracker.resolve(node)
+        if resolved in _BANNED:
+            self.report(RL001, node, f"wall-clock read via '{resolved}'")
+            return  # inner chain cannot also be banned
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        # "from time import perf_counter; perf_counter()" — a bare name
+        # bound straight to a banned callable.
+        if isinstance(node.ctx, ast.Load):
+            resolved = self._tracker.resolve(node)
+            if resolved in _BANNED:
+                self.report(RL001, node, f"wall-clock read via '{resolved}'")

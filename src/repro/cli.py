@@ -9,6 +9,7 @@ steps — mirroring the ``donkey`` CLI the paper's students use:
 * ``autolearn train`` — train one of the six models on a tub.
 * ``autolearn evaluate`` — drive a trained model and report qualities.
 * ``autolearn pipeline`` — run a full pathway end to end.
+* ``autolearn lint`` — run the reprolint invariant checker.
 """
 
 from __future__ import annotations
@@ -64,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--records", type=int, default=1200)
     p.add_argument("--epochs", type=int, default=6)
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "lint", help="run reprolint, the AST-based invariant checker"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p)
     return parser
 
 
@@ -72,7 +80,7 @@ def _camera_hw(spec: str) -> tuple[int, int]:
     return h, w
 
 
-def cmd_tracks(_args) -> int:
+def _cmd_tracks(_args) -> int:
     from repro.sim.server import AVAILABLE_TRACKS, make_track
 
     print(f"{'name':20s} {'length(m)':>10s} {'width(m)':>9s} {'min radius':>11s}")
@@ -83,7 +91,7 @@ def cmd_tracks(_args) -> int:
     return 0
 
 
-def cmd_collect(args) -> int:
+def _cmd_collect(args) -> int:
     from repro.core.collection import collect_via_simulator
     from repro.sim.server import make_track
 
@@ -98,7 +106,7 @@ def cmd_collect(args) -> int:
     return 0
 
 
-def cmd_clean(args) -> int:
+def _cmd_clean(args) -> int:
     from repro.data.tub import Tub
     from repro.data.tubclean import TubCleaner
 
@@ -115,7 +123,7 @@ def cmd_clean(args) -> int:
     return 0
 
 
-def cmd_train(args) -> int:
+def _cmd_train(args) -> int:
     from repro.data.datasets import TubDataset
     from repro.data.tub import Tub
     from repro.ml import EarlyStopping, Trainer, create_model, save_model
@@ -145,7 +153,7 @@ def cmd_train(args) -> int:
     return 0
 
 
-def cmd_evaluate(args) -> int:
+def _cmd_evaluate(args) -> int:
     from repro.core.evaluation import evaluate_model
     from repro.ml import load_model
     from repro.sim.renderer import CameraParams
@@ -166,7 +174,7 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
-def cmd_pipeline(args) -> int:
+def _cmd_pipeline(args) -> int:
     from repro.core.pipeline import AutoLearnPipeline
 
     pipe = AutoLearnPipeline(
@@ -183,13 +191,20 @@ def cmd_pipeline(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 _COMMANDS = {
-    "tracks": cmd_tracks,
-    "collect": cmd_collect,
-    "clean": cmd_clean,
-    "train": cmd_train,
-    "evaluate": cmd_evaluate,
-    "pipeline": cmd_pipeline,
+    "tracks": _cmd_tracks,
+    "collect": _cmd_collect,
+    "clean": _cmd_clean,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "pipeline": _cmd_pipeline,
+    "lint": _cmd_lint,
 }
 
 

@@ -17,7 +17,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ObjectStoreError
 from repro.core.collection import (
     CollectionReport,
     collect_sample_dataset,
@@ -174,7 +174,8 @@ class AutoLearnPipeline:
                 store.container("sample-datasets").get(
                     f"sample-{self.track.name}.tar"
                 )
-            except Exception:
+            except ObjectStoreError:
+                # Sample tarball not published yet: generate and publish it.
                 generate_sample_datasets(
                     store,
                     [self.track],

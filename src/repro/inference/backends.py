@@ -48,7 +48,7 @@ class EdgeBackend:
         self.device = device
         self.flops_per_frame = float(flops_per_frame)
 
-    def request_latency(self, rng: np.random.Generator) -> float:
+    def request_latency(self, rng: np.random.Generator) -> float:  # reprolint: disable=seed-ignored  (on-device latency is deterministic; rng kept for backend-interface parity)
         """Seconds from frame capture to command, on-device."""
         return (
             self.device.inference_seconds(self.flops_per_frame)

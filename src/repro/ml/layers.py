@@ -45,7 +45,7 @@ class Layer:
         self.built = False
 
     # Subclasses override these three.
-    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:  # reprolint: disable=seed-ignored  (parameterless base layer; weighted subclasses draw from rng)
         """Allocate parameters for the (batchless) ``input_shape``."""
         self.built = True
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import io
 import json
+import zipfile
 from pathlib import Path
 from typing import Any
 
@@ -59,7 +60,8 @@ def load_model_bytes(data: bytes) -> DonkeyModel:
     try:
         payload = np.load(io.BytesIO(data), allow_pickle=False)
         spec = json.loads(bytes(payload["architecture"]).decode("utf-8"))
-    except Exception as exc:
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError) as exc:
+        # Everything np.load/json emit for truncated or corrupt payloads.
         raise SerializationError(f"unreadable model payload: {exc}") from exc
     if spec.get("format_version") != _FORMAT_VERSION:
         raise SerializationError(

@@ -118,7 +118,7 @@ class Notebook:
             self.hub.execute_cell(self.artifact_id, self.user, cell_index=index)
         try:
             value = cell.action(self.context)
-        except Exception as exc:  # the classroom reality: cells fail
+        except Exception as exc:  # reprolint: disable=broad-except  (cells run arbitrary student code; any failure becomes the cell's error output)
             cell.outputs = [f"{type(exc).__name__}: {exc}"]
             return CellResult(
                 index=index, ok=False, error=cell.outputs[0],

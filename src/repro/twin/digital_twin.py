@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
 from repro.ml.models.base import DonkeyModel
 from repro.sim.dynamics import CarParams, PIRACER_PARAMS
 from repro.sim.renderer import CameraParams
@@ -77,7 +78,7 @@ def perturbed_reality(
     """
     if severity < 0:
         raise ConfigurationError(f"severity must be >= 0, got {severity}")
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     sign = rng.choice([-1.0, 1.0])
     return replace(
         base,

@@ -76,9 +76,11 @@ class Vehicle:
             runner = getattr(entry.part, "run_threaded", None) or entry.part.run
             try:
                 result = runner(*args)
+            except PartError:
+                raise
             except Exception as exc:
-                if isinstance(exc, PartError):
-                    raise
+                # Parts run arbitrary user code; wrap whatever escapes so
+                # the loop surfaces a ReproError with loop context.
                 raise PartError(
                     f"part {entry.name} failed on loop {self.loop_count}: {exc}"
                 ) from exc

@@ -1,0 +1,31 @@
+"""Helpers for the reprolint test suite."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import LintConfig, lint_source
+
+
+@pytest.fixture
+def lint():
+    """Lint a dedented source snippet; returns the finding list."""
+
+    def _lint(source, filename="snippet.py", config=None, extra=None):
+        return lint_source(
+            textwrap.dedent(source),
+            filename=filename,
+            config=config or LintConfig(),
+            extra_sources={
+                name: textwrap.dedent(text) for name, text in (extra or {}).items()
+            },
+        )
+
+    return _lint
+
+
+def rule_ids(findings):
+    """The rule IDs of ``findings``, in report order."""
+    return [finding.rule_id for finding in findings]

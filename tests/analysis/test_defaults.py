@@ -1,0 +1,72 @@
+"""RL401: mutable default arguments."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+
+def test_list_literal_default_flagged(lint):
+    findings = lint(
+        """
+        def collect(records=[]):
+            return records
+        """
+    )
+    flagged = [f for f in findings if f.rule_id == "RL401"]
+    assert flagged and "'records'" in flagged[0].message
+    assert flagged[0].line == 2
+
+
+def test_dict_call_default_flagged(lint):
+    findings = lint(
+        """
+        def configure(options=dict()):
+            return options
+        """
+    )
+    assert "RL401" in rule_ids(findings)
+
+
+def test_kwonly_default_flagged(lint):
+    findings = lint(
+        """
+        def configure(*, tags={"a"}):
+            return tags
+        """
+    )
+    assert "RL401" in rule_ids(findings)
+
+
+def test_lambda_default_flagged(lint):
+    findings = lint("f = lambda xs=[]: xs\n")
+    assert "RL401" in rule_ids(findings)
+
+
+def test_comprehension_default_flagged(lint):
+    findings = lint(
+        """
+        def squares(values=[i * i for i in range(3)]):
+            return values
+        """
+    )
+    assert "RL401" in rule_ids(findings)
+
+
+def test_none_and_immutable_defaults_pass(lint):
+    findings = lint(
+        """
+        def configure(options=None, shape=(3, 4), name="x", scale=1.0):
+            return options or {}
+        """
+    )
+    assert "RL401" not in rule_ids(findings)
+
+
+def test_pragma_suppresses_mutable_default(lint):
+    findings = lint(
+        """
+        def collect(records=[]):  # reprolint: disable=mutable-default
+            return records
+        """
+    )
+    assert "RL401" not in rule_ids(findings)

@@ -1,0 +1,167 @@
+"""RL201/RL202/RL203: error-hierarchy conformance."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+# A stand-in for common/errors.py, folded into the project index to test
+# cross-file hierarchy resolution.
+ERRORS_MODULE = """
+class ReproError(Exception):
+    pass
+
+class DataError(ReproError):
+    pass
+
+class TubError(DataError):
+    pass
+"""
+
+
+def test_bare_except_flagged(lint):
+    findings = lint(
+        """
+        def load():
+            try:
+                return open("x")
+            except:
+                return None
+        """
+    )
+    flagged = [f for f in findings if f.rule_id == "RL201"]
+    assert flagged and flagged[0].line == 5
+
+
+def test_broad_except_without_reraise_flagged(lint):
+    findings = lint(
+        """
+        def load():
+            try:
+                return open("x")
+            except Exception:
+                return None
+        """
+    )
+    assert "RL202" in rule_ids(findings)
+
+
+def test_broad_except_with_reraise_allowed(lint):
+    findings = lint(
+        """
+        class WrapError(ReproError):
+            pass
+
+        def load():
+            try:
+                return open("x")
+            except Exception as exc:
+                raise WrapError(str(exc)) from exc
+        """,
+        extra={"errors.py": ERRORS_MODULE},
+    )
+    assert "RL202" not in rule_ids(findings)
+
+
+def test_broad_except_pragma_allowed(lint):
+    findings = lint(
+        """
+        def load():
+            try:
+                return open("x")
+            except Exception:  # reprolint: disable=broad-except
+                return None
+        """
+    )
+    assert "RL202" not in rule_ids(findings)
+
+
+def test_broad_except_in_tuple_flagged(lint):
+    findings = lint(
+        """
+        def load():
+            try:
+                return open("x")
+            except (ValueError, Exception):
+                return None
+        """
+    )
+    assert "RL202" in rule_ids(findings)
+
+
+def test_narrow_except_allowed(lint):
+    findings = lint(
+        """
+        def load():
+            try:
+                return open("x")
+            except OSError:
+                return None
+        """
+    )
+    assert rule_ids(findings).count("RL202") == 0
+    assert rule_ids(findings).count("RL201") == 0
+
+
+def test_raise_of_non_repro_class_flagged(lint):
+    findings = lint(
+        """
+        class HomegrownError(RuntimeError):
+            pass
+
+        def fail():
+            raise HomegrownError("oops")
+        """
+    )
+    flagged = [f for f in findings if f.rule_id == "RL203"]
+    assert flagged and flagged[0].line == 6
+    assert "HomegrownError" in flagged[0].message
+
+
+def test_raise_of_repro_subclass_allowed_cross_file(lint):
+    # TubError is defined in another module; the project-wide index must
+    # resolve its lineage through DataError -> ReproError.
+    findings = lint(
+        """
+        from errors import TubError
+
+        def fail():
+            raise TubError("bad tub")
+        """,
+        extra={"errors.py": ERRORS_MODULE},
+    )
+    assert "RL203" not in rule_ids(findings)
+
+
+def test_raise_builtin_allowed(lint):
+    findings = lint(
+        """
+        def fail(count):
+            raise ValueError(f"bad count {count}")
+        """
+    )
+    assert "RL203" not in rule_ids(findings)
+
+
+def test_raise_unknown_third_party_skipped(lint):
+    findings = lint(
+        """
+        import somelib
+
+        def fail():
+            raise somelib.SomeError("?")
+        """
+    )
+    assert "RL203" not in rule_ids(findings)
+
+
+def test_reraise_statement_allowed(lint):
+    findings = lint(
+        """
+        def fail():
+            try:
+                work()
+            except OSError:
+                raise
+        """
+    )
+    assert "RL203" not in rule_ids(findings)

@@ -1,0 +1,135 @@
+"""RL301/RL302/RL303: __all__ consistency."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+
+def test_stale_export_flagged(lint):
+    findings = lint(
+        """
+        __all__ = ["present", "vanished"]
+
+        def present():
+            return 1
+        """
+    )
+    flagged = [f for f in findings if f.rule_id == "RL301"]
+    assert flagged and "vanished" in flagged[0].message
+    assert flagged[0].line == 2  # the __all__ element's own line
+
+
+def test_duplicate_export_flagged(lint):
+    findings = lint(
+        """
+        __all__ = ["f", "f"]
+
+        def f():
+            return 1
+        """
+    )
+    assert any(
+        f.rule_id == "RL301" and "duplicate" in f.message for f in findings
+    )
+
+
+def test_public_def_missing_from_all_flagged(lint):
+    findings = lint(
+        """
+        __all__ = ["listed"]
+
+        def listed():
+            return 1
+
+        def forgotten():
+            return 2
+        """
+    )
+    flagged = [f for f in findings if f.rule_id == "RL302"]
+    assert flagged and "forgotten" in flagged[0].message
+
+
+def test_private_def_not_required(lint):
+    findings = lint(
+        """
+        __all__ = ["listed"]
+
+        def listed():
+            return 1
+
+        def _internal():
+            return 2
+        """
+    )
+    assert "RL302" not in rule_ids(findings)
+
+
+def test_reexported_import_satisfies_all(lint):
+    findings = lint(
+        """
+        from os.path import join
+
+        __all__ = ["join"]
+        """
+    )
+    assert "RL301" not in rule_ids(findings)
+
+
+def test_module_without_all_flagged(lint):
+    findings = lint(
+        """
+        def api():
+            return 1
+        """
+    )
+    assert "RL303" in rule_ids(findings)
+
+
+def test_module_of_private_helpers_needs_no_all(lint):
+    findings = lint(
+        """
+        def _helper():
+            return 1
+        """
+    )
+    assert "RL303" not in rule_ids(findings)
+
+
+def test_dunder_main_exempt_from_missing_all(lint):
+    findings = lint(
+        """
+        def main():
+            return 0
+        """,
+        filename="src/repro/analysis/__main__.py",
+    )
+    assert "RL303" not in rule_ids(findings)
+
+
+def test_dynamic_all_skipped(lint):
+    findings = lint(
+        """
+        _NAMES = ["a", "b"]
+        __all__ = _NAMES
+
+        def a():
+            return 1
+        """
+    )
+    assert "RL301" not in rule_ids(findings)
+    assert "RL302" not in rule_ids(findings)
+
+
+def test_conditional_definition_counts(lint):
+    findings = lint(
+        """
+        __all__ = ["fast_path"]
+
+        try:
+            from accelerator import fast_path
+        except ImportError:
+            def fast_path():
+                return None
+        """
+    )
+    assert "RL301" not in rule_ids(findings)

@@ -1,0 +1,103 @@
+"""RL501: cross-module layering."""
+
+from __future__ import annotations
+
+from repro.analysis import LintConfig
+
+from tests.analysis.conftest import rule_ids
+
+
+def test_common_may_not_import_ml(lint):
+    findings = lint(
+        "from repro.ml.layers import Dense\n",
+        filename="src/repro/common/widget.py",
+    )
+    flagged = [f for f in findings if f.rule_id == "RL501"]
+    assert flagged and "'common'" in flagged[0].message
+    assert "repro.ml" in flagged[0].message
+
+
+def test_common_may_not_import_sim_via_plain_import(lint):
+    findings = lint(
+        "import repro.sim.tracks\n",
+        filename="src/repro/common/widget.py",
+    )
+    assert "RL501" in rule_ids(findings)
+
+
+def test_from_repro_import_package_checked(lint):
+    findings = lint(
+        "from repro import testbed\n",
+        filename="src/repro/common/widget.py",
+    )
+    assert "RL501" in rule_ids(findings)
+
+
+def test_allowed_edge_to_testbed_passes(lint):
+    findings = lint(
+        "from repro.testbed.leases import Lease\n",
+        filename="src/repro/edge/widget.py",
+    )
+    assert "RL501" not in rule_ids(findings)
+
+
+def test_intra_package_import_passes(lint):
+    findings = lint(
+        "from repro.common.errors import ReproError\n",
+        filename="src/repro/common/widget.py",
+    )
+    assert "RL501" not in rule_ids(findings)
+
+
+def test_root_modules_exempt(lint):
+    findings = lint(
+        "from repro.core.pipeline import AutoLearnPipeline\n",
+        filename="src/repro/cli.py",
+    )
+    assert "RL501" not in rule_ids(findings)
+
+
+def test_files_outside_repro_tree_exempt(lint):
+    findings = lint("from repro.ml.layers import Dense\n", filename="script.py")
+    assert "RL501" not in rule_ids(findings)
+
+
+def test_unknown_package_flagged(lint):
+    findings = lint(
+        "X = 1\n",
+        filename="src/repro/newpkg/widget.py",
+    )
+    assert any(
+        f.rule_id == "RL501" and "layering map" in f.message for f in findings
+    )
+
+
+def test_layering_override_from_config(lint):
+    config = LintConfig(layering={"common": ("ml",)})
+    findings = lint(
+        "from repro.ml.layers import Dense\n",
+        filename="src/repro/common/widget.py",
+        config=config,
+    )
+    assert "RL501" not in rule_ids(findings)
+
+
+def test_function_local_import_still_checked(lint):
+    findings = lint(
+        """
+        def late():
+            from repro.testbed.leases import Lease
+
+            return Lease
+        """,
+        filename="src/repro/common/widget.py",
+    )
+    assert "RL501" in rule_ids(findings)
+
+
+def test_relative_import_resolved(lint):
+    findings = lint(
+        "from . import links\n",
+        filename="src/repro/net/topology.py",
+    )
+    assert "RL501" not in rule_ids(findings)

@@ -1,0 +1,134 @@
+"""Pragma parsing and [tool.reprolint] configuration loading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import LintConfig, RuleConfig, Severity, lint_source
+from repro.analysis.context import parse_pragmas
+from repro.analysis.passes.wall_clock import RL001
+from repro.common.errors import ConfigurationError
+
+from tests.analysis.conftest import rule_ids
+
+VIOLATION = "import time\nstamp = time.time()\n"
+
+
+# ------------------------------------------------------------- pragmas
+
+
+def test_parse_pragmas_basic():
+    pragmas = parse_pragmas("x = 1  # reprolint: disable=RL001\n")
+    assert pragmas == {1: frozenset({"RL001"})}
+
+
+def test_parse_pragmas_multiple_rules():
+    pragmas = parse_pragmas("x = 1  # reprolint: disable=RL001,broad-except\n")
+    assert pragmas[1] == frozenset({"RL001", "broad-except"})
+
+
+def test_pragma_inside_string_ignored():
+    pragmas = parse_pragmas('x = "# reprolint: disable=RL001"\n')
+    assert pragmas == {}
+
+
+def test_disable_all_pragma():
+    findings = lint_source("import time\nstamp = time.time()  # reprolint: disable=all\n")
+    assert findings == []
+
+
+def test_pragma_on_other_line_does_not_suppress():
+    findings = lint_source(
+        "# reprolint: disable=RL001\nimport time\nstamp = time.time()\n"
+    )
+    assert "RL001" in rule_ids(findings)
+
+
+# -------------------------------------------------------------- config
+
+
+def test_global_disable_by_id():
+    config = LintConfig(disable=("RL001",))
+    assert lint_source(VIOLATION, config=config) == []
+
+
+def test_global_disable_by_name():
+    config = LintConfig(disable=("wall-clock",))
+    assert lint_source(VIOLATION, config=config) == []
+
+
+def test_per_rule_disable():
+    config = LintConfig(rules={"RL001": RuleConfig(enabled=False)})
+    assert lint_source(VIOLATION, config=config) == []
+
+
+def test_per_rule_path_exclude():
+    config = LintConfig(rules={"RL001": RuleConfig(exclude=("legacy/*",))})
+    assert lint_source(VIOLATION, filename="legacy/old.py", config=config) == []
+    assert lint_source(VIOLATION, filename="fresh/new.py", config=config) != []
+
+
+def test_per_rule_severity_override():
+    config = LintConfig(rules={"RL001": RuleConfig(severity="warning")})
+    findings = lint_source(VIOLATION, config=config)
+    assert findings and findings[0].severity is Severity.WARNING
+    assert config.severity_for(RL001) is Severity.WARNING
+
+
+def test_from_pyproject(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        """
+        [tool.reprolint]
+        include = ["src/repro", "tools"]
+        disable = ["RL302"]
+        exclude = ["**/generated/**"]
+
+        [tool.reprolint.rules.RL001]
+        exclude = ["benchmarks/*"]
+        severity = "warning"
+
+        [tool.reprolint.layering]
+        common = []
+        ml = ["common"]
+        """
+    )
+    config = LintConfig.from_pyproject(pyproject)
+    assert config.include == ("src/repro", "tools")
+    assert config.disable == ("RL302",)
+    assert config.exclude == ("**/generated/**",)
+    assert config.rules["RL001"].severity == "warning"
+    assert config.rules["RL001"].exclude == ("benchmarks/*",)
+    assert config.layering == {"common": (), "ml": ("common",)}
+
+
+def test_from_pyproject_missing_section_gives_defaults(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text('[project]\nname = "x"\n')
+    config = LintConfig.from_pyproject(pyproject)
+    assert config == LintConfig()
+
+
+def test_from_pyproject_bad_severity_rejected(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        "[tool.reprolint.rules.RL001]\nseverity = \"fatal\"\n"
+    )
+    with pytest.raises(ConfigurationError):
+        LintConfig.from_pyproject(pyproject)
+
+
+def test_from_pyproject_bad_toml_rejected(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.reprolint\n")
+    with pytest.raises(ConfigurationError):
+        LintConfig.from_pyproject(pyproject)
+
+
+def test_repo_pyproject_parses():
+    # The checked-in config must stay loadable.
+    from pathlib import Path
+
+    repo_pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    config = LintConfig.from_pyproject(repo_pyproject)
+    assert "src/repro" in config.include

@@ -1,0 +1,177 @@
+"""RL101/RL102: RNG discipline."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+
+def test_default_rng_flagged(lint):
+    findings = lint(
+        """
+        import numpy as np
+
+        def sample(seed):
+            return np.random.default_rng(seed).normal()
+        """
+    )
+    flagged = [f for f in findings if f.rule_id == "RL101"]
+    assert flagged and flagged[0].line == 5
+    assert "numpy.random.default_rng" in flagged[0].message
+
+
+def test_legacy_global_seed_flagged(lint):
+    findings = lint("import numpy as np\nnp.random.seed(0)\n")
+    assert "RL101" in rule_ids(findings)
+
+
+def test_from_numpy_random_import_flagged(lint):
+    findings = lint("from numpy.random import default_rng\n")
+    assert "RL101" in rule_ids(findings)
+
+
+def test_stdlib_random_flagged(lint):
+    findings = lint(
+        """
+        import random
+
+        def roll():
+            return random.randint(1, 6)
+        """
+    )
+    assert "RL101" in rule_ids(findings)
+
+
+def test_from_stdlib_random_flagged(lint):
+    findings = lint("from random import choice\n")
+    assert "RL101" in rule_ids(findings)
+
+
+def test_generator_type_annotation_allowed(lint):
+    findings = lint(
+        """
+        import numpy as np
+
+        def sample(rng: np.random.Generator) -> float:
+            return float(rng.normal())
+        """
+    )
+    assert "RL101" not in rule_ids(findings)
+
+
+def test_isinstance_check_allowed(lint):
+    findings = lint(
+        """
+        import numpy as np
+
+        def is_rng(value) -> bool:
+            return isinstance(value, (np.random.Generator, np.random.SeedSequence))
+        """
+    )
+    assert "RL101" not in rule_ids(findings)
+
+
+def test_common_rng_module_exempt(lint):
+    findings = lint(
+        """
+        import numpy as np
+
+        def ensure_rng(seed):
+            return np.random.default_rng(seed)
+        """,
+        filename="src/repro/common/rng.py",
+    )
+    assert "RL101" not in rule_ids(findings)
+
+
+def test_pragma_suppresses_rng(lint):
+    findings = lint(
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(0)  # reprolint: disable=rng-outside-common
+        """
+    )
+    assert "RL101" not in rule_ids(findings)
+
+
+# ------------------------------------------------------------- RL102
+
+
+def test_ignored_seed_flagged(lint):
+    findings = lint(
+        """
+        def simulate(track, seed=0):
+            return track
+        """
+    )
+    flagged = [f for f in findings if f.rule_id == "RL102"]
+    assert flagged and "'seed'" in flagged[0].message
+
+
+def test_ignored_rng_param_flagged(lint):
+    findings = lint(
+        """
+        class Sampler:
+            def draw(self, rng):
+                return 4  # chosen by fair dice roll
+        """
+    )
+    assert "RL102" in rule_ids(findings)
+
+
+def test_used_seed_passes(lint):
+    findings = lint(
+        """
+        from repro.common.rng import ensure_rng
+
+        def simulate(track, seed=0):
+            rng = ensure_rng(seed)
+            return rng.normal()
+        """
+    )
+    assert "RL102" not in rule_ids(findings)
+
+
+def test_forwarded_seed_passes(lint):
+    findings = lint(
+        """
+        def simulate(track, seed=0):
+            return make_session(track, seed=seed)
+        """
+    )
+    assert "RL102" not in rule_ids(findings)
+
+
+def test_private_function_exempt(lint):
+    findings = lint(
+        """
+        def _helper(seed):
+            return 1
+        """
+    )
+    assert "RL102" not in rule_ids(findings)
+
+
+def test_interface_stub_exempt(lint):
+    findings = lint(
+        """
+        class Backend:
+            def request_latency(self, rng):
+                raise NotImplementedError
+        """
+    )
+    assert "RL102" not in rule_ids(findings)
+
+
+def test_abstractmethod_exempt(lint):
+    findings = lint(
+        """
+        import abc
+
+        class Backend(abc.ABC):
+            @abc.abstractmethod
+            def request_latency(self, rng):
+                return 0.0
+        """
+    )
+    assert "RL102" not in rule_ids(findings)

@@ -1,0 +1,137 @@
+"""RL001: the wall-clock ban."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+
+def test_time_time_flagged(lint):
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+    assert "RL001" in rule_ids(findings)
+    flagged = [f for f in findings if f.rule_id == "RL001"]
+    assert flagged[0].line == 5
+    assert "time.time" in flagged[0].message
+
+
+def test_aliased_import_resolved(lint):
+    findings = lint(
+        """
+        import time as tm
+
+        def stamp():
+            return tm.perf_counter()
+        """
+    )
+    assert any(
+        f.rule_id == "RL001" and "time.perf_counter" in f.message for f in findings
+    )
+
+
+def test_from_import_flagged_at_import_and_use(lint):
+    findings = lint(
+        """
+        from time import perf_counter
+
+        def stamp():
+            return perf_counter()
+        """
+    )
+    lines = [f.line for f in findings if f.rule_id == "RL001"]
+    assert 2 in lines  # the import itself
+    assert 5 in lines  # the call site
+
+
+def test_datetime_now_flagged(lint):
+    findings = lint(
+        """
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """
+    )
+    assert "RL001" in rule_ids(findings)
+
+
+def test_from_datetime_import_datetime_now(lint):
+    findings = lint(
+        """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.utcnow()
+        """
+    )
+    assert "RL001" in rule_ids(findings)
+
+
+def test_sleep_flagged(lint):
+    findings = lint("import time\ntime.sleep(1)\n")
+    assert "RL001" in rule_ids(findings)
+
+
+def test_clean_simulated_clock_passes(lint):
+    findings = lint(
+        """
+        from repro.common.clock import Clock
+
+        def stamp(clock: Clock) -> float:
+            return clock.now
+        """
+    )
+    assert "RL001" not in rule_ids(findings)
+
+
+def test_unrelated_time_variable_not_flagged(lint):
+    # A local variable named "time" must not trigger without an import.
+    findings = lint(
+        """
+        def run(time):
+            return time.time()
+        """
+    )
+    assert "RL001" not in rule_ids(findings)
+
+
+def test_pragma_suppresses(lint):
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # reprolint: disable=RL001
+        """
+    )
+    assert "RL001" not in rule_ids(findings)
+
+
+def test_pragma_by_name_suppresses(lint):
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # reprolint: disable=wall-clock
+        """
+    )
+    assert "RL001" not in rule_ids(findings)
+
+
+def test_benchmarks_exempt_by_default(lint):
+    findings = lint(
+        """
+        import time
+
+        def bench():
+            return time.time()
+        """,
+        filename="benchmarks/test_speed.py",
+    )
+    assert "RL001" not in rule_ids(findings)
