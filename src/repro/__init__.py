@@ -28,6 +28,7 @@ from repro import (
     ml,
     net,
     objectstore,
+    serve,
     sim,
     testbed,
     twin,
@@ -48,6 +49,7 @@ __all__ = [
     "ml",
     "net",
     "objectstore",
+    "serve",
     "sim",
     "testbed",
     "twin",

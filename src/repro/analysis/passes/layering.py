@@ -40,6 +40,15 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
     "testbed": ("common", "objectstore"),
     "edge": ("common", "testbed"),
     "inference": ("common", "edge", "ml", "net", "testbed"),
+    "serve": (
+        "common",
+        "edge",
+        "inference",
+        "ml",
+        "net",
+        "objectstore",
+        "testbed",
+    ),
     "vehicle": ("common", "data", "ml", "sim"),
     "extensions": ("common", "sim"),
     "core": (

@@ -9,6 +9,7 @@ steps — mirroring the ``donkey`` CLI the paper's students use:
 * ``autolearn train`` — train one of the six models on a tub.
 * ``autolearn evaluate`` — drive a trained model and report qualities.
 * ``autolearn pipeline`` — run a full pathway end to end.
+* ``autolearn serve`` — run a fleet inference-serving experiment.
 * ``autolearn lint`` — run the reprolint invariant checker.
 """
 
@@ -64,6 +65,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workdir", default="./autolearn-run")
     p.add_argument("--records", type=int, default=1200)
     p.add_argument("--epochs", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "serve", help="run a deterministic fleet inference-serving experiment"
+    )
+    p.add_argument("--vehicles", type=int, default=256,
+                   help="closed-loop fleet size (20 Hz control loops)")
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="open-loop Poisson rate in Hz (overrides --vehicles)")
+    p.add_argument("--replicas", type=int, default=4)
+    p.add_argument("--batch", default="adaptive",
+                   choices=["single", "size", "wait", "adaptive"])
+    p.add_argument("--router", default="least-outstanding",
+                   choices=["round-robin", "least-outstanding", "latency-ewma"])
+    p.add_argument("--queue-capacity", type=int, default=256)
+    p.add_argument("--queue-policy", default="drop",
+                   choices=["drop", "shed", "backpressure"])
+    p.add_argument("--max-batch", type=int, default=32)
+    p.add_argument("--max-wait-ms", type=float, default=8.0)
+    p.add_argument("--deadline-ms", type=float, default=100.0)
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="simulated seconds of offered load")
+    p.add_argument("--gpu", default="V100",
+                   help="testbed GPU spec the replicas are pinned to")
+    p.add_argument("--model", default="none",
+                   choices=["none", "linear", "memory", "3d", "categorical",
+                            "inferred", "rnn"],
+                   help="run real batched forward passes ('none' = "
+                        "latency-only simulation)")
+    p.add_argument("--model-flops", type=float, default=1e8,
+                   help="forward-pass FLOPs per frame for the cost model")
+    p.add_argument("--autoscale", action="store_true",
+                   help="enable the reactive autoscaler")
+    p.add_argument("--max-replicas", type=int, default=8)
+    p.add_argument("--provision-delay", type=float, default=5.0,
+                   help="autoscale provisioning delay in seconds")
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
@@ -191,6 +228,66 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import (
+        AutoscalePolicy,
+        Autoscaler,
+        BatchLatencyModel,
+        InferenceService,
+        PoissonWorkload,
+        VehicleFleetWorkload,
+    )
+    from repro.testbed.hardware import GPU_SPECS
+
+    if args.gpu not in GPU_SPECS:
+        print(f"unknown GPU {args.gpu!r}; choose from {sorted(GPU_SPECS)}")
+        return 2
+    latency_model = BatchLatencyModel.from_gpu(
+        GPU_SPECS[args.gpu], flops_per_frame=args.model_flops
+    )
+    model = None
+    frame_shape = None
+    if args.model != "none":
+        from repro.ml import create_model
+
+        frame_shape = (48, 64, 3)
+        model = create_model(
+            args.model, input_shape=frame_shape, scale=0.25, seed=args.seed
+        )
+    service = InferenceService(
+        latency_model,
+        model=model,
+        n_replicas=args.replicas,
+        router=args.router,
+        batch_policy=args.batch,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        queue_capacity=args.queue_capacity,
+        queue_policy=args.queue_policy,
+        seed=args.seed,
+    )
+    deadline_s = args.deadline_ms / 1e3
+    if args.rate > 0:
+        workload = PoissonWorkload(
+            args.rate, deadline_s=deadline_s, seed=args.seed,
+            frame_shape=frame_shape,
+        )
+    else:
+        workload = VehicleFleetWorkload(
+            args.vehicles, deadline_ticks=max(1, round(deadline_s / 0.05)),
+            seed=args.seed, frame_shape=frame_shape,
+        )
+    autoscaler = None
+    if args.autoscale:
+        autoscaler = Autoscaler(service, AutoscalePolicy(
+            min_replicas=args.replicas, max_replicas=args.max_replicas,
+            p95_target_s=deadline_s, provision_delay_s=args.provision_delay,
+        ))
+    summary = service.run(workload, args.duration, autoscaler=autoscaler)
+    print(summary.to_text(), end="")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.cli import run_lint_command
 
@@ -204,6 +301,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "pipeline": _cmd_pipeline,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

@@ -50,6 +50,9 @@ __all__ = [
     "SimulationError",
     "TrackError",
     "OffTrackError",
+    # serve
+    "ServeError",
+    "ReplicaStateError",
 ]
 
 
@@ -215,3 +218,15 @@ class TrackError(SimulationError):
 
 class OffTrackError(SimulationError):
     """The car left the drivable surface (crash) during a strict run."""
+
+
+# --------------------------------------------------------------- serve
+
+
+class ServeError(ReproError):
+    """Base class for the fleet inference-serving subsystem."""
+
+
+class ReplicaStateError(ServeError):
+    """Invalid replica lifecycle transition (e.g. dispatching a batch to a
+    replica that is still provisioning or already retired)."""

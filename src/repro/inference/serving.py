@@ -38,6 +38,8 @@ class ServingStats:
     stale_ticks: int = 0
     latency_sum: float = 0.0
     latency_max: float = 0.0
+    ticks: int = 0
+    dt: float = 0.0
 
     @property
     def mean_latency(self) -> float:
@@ -45,9 +47,31 @@ class ServingStats:
         return self.latency_sum / self.responses if self.responses else 0.0
 
     @property
-    def control_rate_hz(self) -> float:
-        """Achieved fresh-command rate relative to requests issued."""
+    def fresh_response_ratio(self) -> float:
+        """Responses delivered per request issued (a ratio in [0, 1])."""
         return self.responses / max(self.requests, 1)
+
+    @property
+    def control_rate_hz(self) -> float:
+        """Deprecated alias for :attr:`fresh_response_ratio`.
+
+        Historically misnamed: despite the ``_hz`` suffix it has always
+        been the dimensionless responses/requests ratio.  Use
+        :attr:`fresh_response_ratio` (same value) or
+        :attr:`fresh_command_hz` (a true rate) instead.
+        """
+        return self.fresh_response_ratio
+
+    @property
+    def fresh_command_hz(self) -> float:
+        """Fresh commands per second of drive time (a true rate in Hz).
+
+        Requires tick accounting (``ticks`` and ``dt``); 0.0 when the
+        drive has not ticked yet.
+        """
+        if not self.ticks or self.dt <= 0:
+            return 0.0
+        return self.responses / (self.ticks * self.dt)
 
 
 class RemotePilot:
@@ -80,7 +104,7 @@ class RemotePilot:
         self.dt = float(dt)
         self.rng = ensure_rng(rng)
         self.safe_command = (float(safe_command[0]), float(safe_command[1]))
-        self.stats = ServingStats()
+        self.stats = ServingStats(dt=self.dt)
         self._now = 0.0
         self._pending: list[tuple[float, tuple[float, float]]] = []
         self._last_command = self.safe_command
@@ -89,6 +113,7 @@ class RemotePilot:
     def run(self, image: np.ndarray | None) -> tuple[float, float]:
         """One vehicle-loop tick."""
         self._now += self.dt
+        self.stats.ticks += 1
         if image is None:
             return self._last_command
 

@@ -151,6 +151,36 @@ class DonkeyModel:
         """(angles, throttles) for a batch of model-layout inputs."""
         raise NotImplementedError
 
+    def predict_frames(self, frames: np.ndarray) -> np.ndarray:
+        """Serving surface: ``(B, H, W, 3)`` frames -> ``(B, 2)`` commands.
+
+        One vectorised forward pass regardless of model family — the
+        micro-batching server stacks independent per-vehicle frames, so
+        sequence models see each frame tiled into a flat window and the
+        memory model a zero control history (the same cold-start
+        convention :meth:`run` uses before its buffers fill).  Accepts
+        uint8 (converted) or float frames.
+        """
+        frames = np.asarray(frames)
+        if frames.ndim != 4 or frames.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"frames must be (B,) + {self.input_shape}, got {frames.shape}"
+            )
+        if frames.dtype == np.uint8:
+            x = images_to_float(frames)
+        else:
+            x = np.asarray(frames, dtype=np.float32)
+        angle, throttle = self.predict_batch(self._serving_batch(x))
+        return np.stack(
+            [np.asarray(angle), np.asarray(throttle)], axis=1
+        ).astype(np.float32)
+
+    def _serving_batch(self, x: np.ndarray):
+        """Adapt float frames ``(B, H, W, 3)`` to this model's input layout."""
+        if self.sequence_length > 0:
+            return np.repeat(x[:, None], self.sequence_length, axis=1)
+        return x
+
     # ------------------------------------------------- driving surface
 
     def reset_state(self) -> None:

@@ -114,6 +114,11 @@ class MemoryModel(DonkeyModel):
         out = np.concatenate(outs)
         return np.clip(out[:, 0], -1, 1), np.clip(out[:, 1], -1, 1)
 
+    def _serving_batch(self, x: np.ndarray):
+        """Serving layout: pair each frame with a zero control history."""
+        history = np.zeros((len(x), self.mem_length, 2), dtype=np.float32)
+        return (x, history)
+
     def reset_state(self) -> None:
         super().reset_state()
         self._control_buffer.clear()

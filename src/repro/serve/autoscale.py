@@ -1,0 +1,129 @@
+"""Reactive autoscaling: queue-depth and tail-latency driven.
+
+The control loop samples the fleet every ``interval_s`` of simulated
+time and compares two signals against the policy: mean queue depth per
+routable replica, and the sliding-window p95 latency from the
+:class:`~repro.serve.slo.SloTracker`.  Crossing the high watermarks
+adds a replica — which only becomes routable after the provisioning
+delay (``BARE_METAL_DEPLOY_S`` for bare-metal testbed nodes, far less
+for a warm container), so the policy must be read against that lag.
+Sustained quiet drains the newest replica away.
+
+A cooldown suppresses flapping: after any scaling action the loop
+holds still for ``cooldown_s`` regardless of the signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.testbed.provisioning import BARE_METAL_DEPLOY_S
+
+__all__ = ["AutoscalePolicy", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Watermarks and timing for the reactive scaling loop."""
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    interval_s: float = 1.0
+    queue_high: float = 8.0
+    queue_low: float = 0.5
+    p95_target_s: float = 0.1
+    provision_delay_s: float = BARE_METAL_DEPLOY_S
+    cooldown_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1 or self.max_replicas < self.min_replicas:
+            raise ConfigurationError(
+                f"need 1 <= min_replicas <= max_replicas, got "
+                f"{self.min_replicas}..{self.max_replicas}"
+            )
+        if self.interval_s <= 0 or self.provision_delay_s < 0:
+            raise ConfigurationError("interval_s must be > 0, delay >= 0")
+        if self.queue_low < 0 or self.queue_high <= self.queue_low:
+            raise ConfigurationError(
+                f"need 0 <= queue_low < queue_high, got "
+                f"{self.queue_low}..{self.queue_high}"
+            )
+        if self.p95_target_s <= 0 or self.cooldown_s < 0:
+            raise ConfigurationError("p95_target_s must be > 0, cooldown >= 0")
+
+
+class Autoscaler:
+    """Periodic scale-up/down controller over an ``InferenceService``."""
+
+    def __init__(self, service, policy: AutoscalePolicy | None = None) -> None:
+        self.service = service
+        self.policy = policy or AutoscalePolicy()
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._cooldown_until = 0.0
+        self._until_s = 0.0
+
+    def start(self, until_s: float) -> None:
+        """Begin ticking; no further ticks are scheduled past ``until_s``."""
+        self._until_s = float(until_s)
+        self._schedule_tick()
+
+    def _schedule_tick(self) -> None:
+        scheduler = self.service.scheduler
+        if scheduler.clock.now + self.policy.interval_s >= self._until_s:
+            return
+        scheduler.schedule_in(
+            self.policy.interval_s, self._tick, label="autoscale.tick"
+        )
+
+    def _tick(self) -> None:
+        now = self.service.scheduler.clock.now
+        self._schedule_tick()
+        if now < self._cooldown_until:
+            return
+        routable = self.service.routable_replicas()
+        pending = self.service.provisioning_count()
+        if not routable and not pending:
+            return
+        depth = (
+            sum(len(replica.queue) for replica in routable) / len(routable)
+            if routable
+            else 0.0
+        )
+        p95 = self.service.slo.snapshot(now).window_p95_s
+        policy = self.policy
+        fleet = len(routable) + pending
+        overloaded = depth > policy.queue_high or p95 > policy.p95_target_s
+        if overloaded and routable and fleet < policy.max_replicas:
+            replica = self.service.add_replica(delay_s=policy.provision_delay_s)
+            self.scale_ups += 1
+            self._cooldown_until = now + policy.cooldown_s
+            if self.service.log is not None:
+                self.service.log.append(
+                    now,
+                    "serve.scale.up",
+                    replica.replica_id,
+                    "autoscaler",
+                    mean_queue_depth=depth,
+                    window_p95_s=p95,
+                    fleet=fleet + 1,
+                )
+            return
+        quiet = depth < policy.queue_low and p95 <= policy.p95_target_s
+        if quiet and pending == 0 and len(routable) > policy.min_replicas:
+            replica = self.service.retire_replica()
+            if replica is None:
+                return
+            self.scale_downs += 1
+            self._cooldown_until = now + policy.cooldown_s
+            if self.service.log is not None:
+                self.service.log.append(
+                    now,
+                    "serve.scale.down",
+                    replica.replica_id,
+                    "autoscaler",
+                    mean_queue_depth=depth,
+                    window_p95_s=p95,
+                    fleet=len(routable) - 1,
+                )

@@ -1,0 +1,139 @@
+"""Dynamic micro-batching policies.
+
+A GPU replica pays a fixed per-batch overhead (kernel launch, framework
+dispatch, response framing) plus a small amortised per-item cost, so
+serving requests one at a time wastes most of the accelerator
+(Clipper-style adaptive batching).  The :class:`MicroBatcher` decides,
+every time a replica goes idle or a request arrives, whether to fire a
+batch *now* or to wait for more arrivals:
+
+* ``single`` — batch size 1, immediately (the no-batching baseline);
+* ``size``   — greedily batch everything queued, up to the cap, without
+  waiting (TF-Serving "no timeout" mode: batches form from backlog);
+* ``wait``   — hold the queue open until the oldest request has waited
+  ``max_wait_s`` or the cap fills, whichever first;
+* ``adaptive`` — deadline- and rate-aware: wait only while the earliest
+  queued deadline still leaves slack after the expected batch latency,
+  bounded by the estimated time for the batch to fill at the recent
+  arrival rate.
+
+Decisions are pure functions of queue state + simulated time, so the
+whole pipeline stays deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["BatchDecision", "MicroBatcher", "BATCH_POLICIES", "make_batcher"]
+
+BATCH_POLICIES = ("single", "size", "wait", "adaptive")
+
+#: Decisions closer than this to "now" fire immediately (guards against
+#: zero-length wake loops from floating-point slack).
+_EPSILON_S = 1e-9
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """Outcome of one batching decision.
+
+    ``size > 0`` means dispatch a batch of that many requests now;
+    otherwise wait, re-evaluating at ``wake_at`` (``inf`` = only when a
+    new arrival or completion changes the queue).
+    """
+
+    size: int
+    wake_at: float = math.inf
+
+
+class MicroBatcher:
+    """Per-replica micro-batching policy with an arrival-rate estimator."""
+
+    def __init__(
+        self,
+        policy: str = "adaptive",
+        max_batch: int = 32,
+        max_wait_s: float = 0.008,
+        safety_margin_s: float = 0.001,
+        ewma_alpha: float = 0.2,
+    ) -> None:
+        if policy not in BATCH_POLICIES:
+            raise ConfigurationError(
+                f"unknown batch policy {policy!r}; choose from {BATCH_POLICIES}"
+            )
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0 or safety_margin_s < 0 or not 0 < ewma_alpha <= 1:
+            raise ConfigurationError("invalid micro-batcher parameters")
+        self.policy = policy
+        self.max_batch = 1 if policy == "single" else int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.safety_margin_s = float(safety_margin_s)
+        self.ewma_alpha = float(ewma_alpha)
+        self._interarrival_ewma: float | None = None
+        self._last_arrival_s: float | None = None
+
+    # ----------------------------------------------------- rate tracking
+
+    def observe_arrival(self, now: float) -> None:
+        """Feed one admission timestamp into the arrival-rate EWMA."""
+        if self._last_arrival_s is not None:
+            gap = max(now - self._last_arrival_s, 1e-6)
+            if self._interarrival_ewma is None:
+                self._interarrival_ewma = gap
+            else:
+                self._interarrival_ewma = (
+                    1 - self.ewma_alpha
+                ) * self._interarrival_ewma + self.ewma_alpha * gap
+        self._last_arrival_s = now
+
+    @property
+    def arrival_rate_hz(self) -> float:
+        """Estimated recent arrival rate (0 until two arrivals seen)."""
+        if self._interarrival_ewma is None:
+            return 0.0
+        return 1.0 / self._interarrival_ewma
+
+    # --------------------------------------------------------- decisions
+
+    def decide(
+        self,
+        depth: int,
+        now: float,
+        oldest_admitted_s: float,
+        earliest_deadline_s: float,
+        expected_latency_s: float,
+    ) -> BatchDecision:
+        """Dispatch now, or wait?  Pure function of the given state."""
+        if depth <= 0:
+            return BatchDecision(0, math.inf)
+        if self.policy == "single":
+            return BatchDecision(1)
+        if depth >= self.max_batch or self.policy == "size":
+            return BatchDecision(min(depth, self.max_batch))
+        if self.policy == "wait":
+            window_ends = oldest_admitted_s + self.max_wait_s
+            if now + _EPSILON_S >= window_ends:
+                return BatchDecision(depth)
+            return BatchDecision(0, window_ends)
+        # adaptive: wait while the tightest deadline still affords it.
+        slack = earliest_deadline_s - now - expected_latency_s - self.safety_margin_s
+        if slack <= _EPSILON_S:
+            return BatchDecision(depth)
+        rate = self.arrival_rate_hz
+        fill = (self.max_batch - depth) / rate if rate > 0 else math.inf
+        wait = min(slack, fill, 2.0 * self.max_wait_s)
+        if wait <= _EPSILON_S:
+            return BatchDecision(depth)
+        return BatchDecision(0, now + wait)
+
+
+def make_batcher(
+    policy: str = "adaptive", max_batch: int = 32, max_wait_s: float = 0.008
+) -> MicroBatcher:
+    """Build a :class:`MicroBatcher` for one replica."""
+    return MicroBatcher(policy=policy, max_batch=max_batch, max_wait_s=max_wait_s)

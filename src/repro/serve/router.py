@@ -1,0 +1,120 @@
+"""Replica routing: which copy of the model serves this request.
+
+Routers see only replicas that are currently routable (READY); the
+fleet can grow and shrink under them as the autoscaler acts.  All three
+are deterministic given the same request sequence:
+
+* ``round-robin`` — rotate through the fleet in id order;
+* ``least-outstanding`` — fewest queued + in-flight requests (the
+  classic load-aware default);
+* ``latency-ewma`` — lowest exponentially-weighted recent batch
+  latency, exploring unseen replicas first (routes around a slow or
+  far-away replica without explicit health checks).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.serve.replica import Replica
+from repro.serve.request import Request
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingRouter",
+    "LatencyEwmaRouter",
+    "ROUTER_NAMES",
+    "make_router",
+]
+
+ROUTER_NAMES = ("round-robin", "least-outstanding", "latency-ewma")
+
+
+class Router:
+    """Routing policy interface."""
+
+    name = "base"
+
+    def route(
+        self, replicas: list[Replica], request: Request, now: float
+    ) -> Replica | None:
+        """Pick a replica for ``request`` (None if none are routable)."""
+        raise NotImplementedError
+
+    def observe_batch(self, replica: Replica, latency_s: float) -> None:
+        """Feedback hook: a batch completed on ``replica``."""
+
+
+class RoundRobinRouter(Router):
+    """Rotate through routable replicas."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._turn = 0
+
+    def route(
+        self, replicas: list[Replica], request: Request, now: float
+    ) -> Replica | None:
+        if not replicas:
+            return None
+        choice = replicas[self._turn % len(replicas)]
+        self._turn += 1
+        return choice
+
+
+class LeastOutstandingRouter(Router):
+    """Fewest queued + in-flight requests; first listed wins ties."""
+
+    name = "least-outstanding"
+
+    def route(
+        self, replicas: list[Replica], request: Request, now: float
+    ) -> Replica | None:
+        if not replicas:
+            return None
+        return min(replicas, key=lambda replica: replica.load)
+
+
+class LatencyEwmaRouter(Router):
+    """Lowest EWMA of observed batch latency; unseen replicas first."""
+
+    name = "latency-ewma"
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0 < alpha <= 1:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self._ewma: dict[str, float] = {}
+
+    def route(
+        self, replicas: list[Replica], request: Request, now: float
+    ) -> Replica | None:
+        if not replicas:
+            return None
+        for replica in replicas:
+            if replica.replica_id not in self._ewma:
+                return replica  # explore before exploiting
+        return min(replicas, key=lambda replica: self._ewma[replica.replica_id])
+
+    def observe_batch(self, replica: Replica, latency_s: float) -> None:
+        previous = self._ewma.get(replica.replica_id)
+        if previous is None:
+            self._ewma[replica.replica_id] = latency_s
+        else:
+            self._ewma[replica.replica_id] = (
+                1 - self.alpha
+            ) * previous + self.alpha * latency_s
+
+
+def make_router(name: str) -> Router:
+    """Build a router by policy name."""
+    if name == "round-robin":
+        return RoundRobinRouter()
+    if name == "least-outstanding":
+        return LeastOutstandingRouter()
+    if name == "latency-ewma":
+        return LatencyEwmaRouter()
+    raise ConfigurationError(
+        f"unknown router {name!r}; choose from {ROUTER_NAMES}"
+    )

@@ -1,0 +1,435 @@
+"""The inference service: replicas + router + batching on the event loop.
+
+:class:`InferenceService` wires the serving pieces together over one
+:class:`~repro.common.clock.EventScheduler`:
+
+1. a workload generator submits a :class:`~repro.serve.request.Request`;
+2. the router picks a routable replica, whose bounded queue admits or
+   refuses it;
+3. the replica's micro-batcher decides to fire now or to wake later;
+4. a dispatched batch occupies the replica for one sampled batch
+   latency (optionally running a *real* batched model forward pass for
+   the responses), then completions feed the SLO tracker, the router's
+   latency feedback, and the workload's closed loop.
+
+Every decision is a pure function of queue state and simulated time,
+and every random draw comes from seeded per-replica streams keyed by
+``seed_from_name`` — so the same seed yields a byte-identical
+:class:`ServeSummary`, independent of fleet size or scaling history.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.clock import EventScheduler, ScheduledEvent
+from repro.common.errors import ConfigurationError
+from repro.common.eventlog import EventLog
+from repro.common.ids import IdFactory
+from repro.common.rng import seed_from_name
+from repro.net.topology import Route
+from repro.serve.autoscale import Autoscaler
+from repro.serve.batcher import MicroBatcher
+from repro.serve.queueing import AdmissionQueue
+from repro.serve.replica import BatchLatencyModel, Replica, ReplicaState
+from repro.serve.request import Request, RequestStatus
+from repro.serve.router import Router, make_router
+from repro.serve.slo import SloTracker
+from repro.serve.workload import Workload
+
+__all__ = ["InferenceService", "ServeSummary"]
+
+
+@dataclass
+class ServeSummary:
+    """Deterministic end-of-run report for one serving experiment."""
+
+    router: str
+    batch_policy: str
+    duration_s: float
+    elapsed_s: float
+    offered: int
+    completed: int
+    deadline_met: int
+    dropped: int
+    shed: int
+    rejected: int
+    expired: int
+    goodput_hz: float
+    throughput_hz: float
+    deadline_miss_rate: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+    mean_ms: float
+    batches: int
+    mean_batch: float
+    replicas: int
+    scale_ups: int = 0
+    scale_downs: int = 0
+    stale_ticks: int = 0
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (used by the benchmark emitter)."""
+        out = {
+            "router": self.router,
+            "batch_policy": self.batch_policy,
+            "duration_s": self.duration_s,
+            "elapsed_s": self.elapsed_s,
+            "offered": self.offered,
+            "completed": self.completed,
+            "deadline_met": self.deadline_met,
+            "dropped": self.dropped,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "goodput_hz": self.goodput_hz,
+            "throughput_hz": self.throughput_hz,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+            "mean_ms": self.mean_ms,
+            "batches": self.batches,
+            "mean_batch": self.mean_batch,
+            "replicas": self.replicas,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "stale_ticks": self.stale_ticks,
+        }
+        out.update(self.extras)
+        return out
+
+    def to_text(self) -> str:
+        """Fixed-format report; byte-identical across same-seed runs."""
+        lines = [
+            "serve summary",
+            f"  config    router={self.router} batch={self.batch_policy} "
+            f"replicas={self.replicas}",
+            f"  duration  {self.duration_s:.3f}s simulated "
+            f"({self.elapsed_s:.3f}s to drain)",
+            f"  offered   {self.offered}",
+            f"  completed {self.completed} "
+            f"(goodput {self.goodput_hz:.2f} Hz, "
+            f"throughput {self.throughput_hz:.2f} Hz)",
+            f"  losses    dropped={self.dropped} shed={self.shed} "
+            f"rejected={self.rejected} expired={self.expired}",
+            f"  latency   p50={self.p50_ms:.3f}ms p95={self.p95_ms:.3f}ms "
+            f"p99={self.p99_ms:.3f}ms max={self.max_ms:.3f}ms "
+            f"mean={self.mean_ms:.3f}ms",
+            f"  deadlines miss_rate={self.deadline_miss_rate:.4f} "
+            f"met={self.deadline_met}",
+            f"  batching  batches={self.batches} mean_size={self.mean_batch:.2f}",
+            f"  scaling   ups={self.scale_ups} downs={self.scale_downs}",
+        ]
+        if self.stale_ticks:
+            lines.append(f"  vehicles  stale_ticks={self.stale_ticks}")
+        return "\n".join(lines) + "\n"
+
+
+class InferenceService:
+    """A fleet of model replicas behind a router, on simulated time."""
+
+    def __init__(
+        self,
+        latency_model: BatchLatencyModel,
+        scheduler: EventScheduler | None = None,
+        model=None,
+        n_replicas: int = 1,
+        router: str | Router = "least-outstanding",
+        batch_policy: str = "adaptive",
+        max_batch: int = 32,
+        max_wait_s: float = 0.008,
+        queue_capacity: int = 256,
+        queue_policy: str = "drop",
+        route: Route | None = None,
+        seed: int = 0,
+        log: EventLog | None = None,
+        log_requests: bool = False,
+        slo_window_s: float = 2.0,
+        keep_requests: bool = False,
+    ) -> None:
+        if n_replicas < 1:
+            raise ConfigurationError(f"need >= 1 replica, got {n_replicas}")
+        self.scheduler = scheduler if scheduler is not None else EventScheduler()
+        self.latency_model = latency_model
+        self.model = model
+        self.router = router if isinstance(router, Router) else make_router(router)
+        self.batch_policy = batch_policy
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.queue_capacity = int(queue_capacity)
+        self.queue_policy = queue_policy
+        self.route = route
+        self.seed = int(seed)
+        self.log = log
+        self.slo = SloTracker(log=log, window_s=slo_window_s, log_requests=log_requests)
+        self.replicas: list[Replica] = []
+        self.requests: list[Request] = []
+        self._keep_requests = bool(keep_requests)
+        self._ids = IdFactory()
+        self._wakes: dict[str, ScheduledEvent] = {}
+        self._workload: Workload | None = None
+        for _ in range(n_replicas):
+            replica = self._new_replica()
+            replica.mark_ready(self.scheduler.clock.now)
+
+    # ------------------------------------------------------------- fleet
+
+    def _new_replica(self) -> Replica:
+        replica_id = self._ids.next("replica")
+        # Seeding by name (not by creation order relative to other draws)
+        # keeps each replica's latency stream stable across scaling
+        # histories: replica-0003 samples identically whether it was born
+        # at t=0 or autoscaled in at t=7.
+        replica = Replica(
+            replica_id=replica_id,
+            latency_model=self.latency_model,
+            queue=AdmissionQueue(self.queue_capacity, self.queue_policy),
+            batcher=MicroBatcher(
+                policy=self.batch_policy,
+                max_batch=self.max_batch,
+                max_wait_s=self.max_wait_s,
+            ),
+            rng=seed_from_name(replica_id, self.seed),
+            route=self.route,
+        )
+        self.replicas.append(replica)
+        return replica
+
+    def add_replica(self, delay_s: float = 0.0) -> Replica:
+        """Grow the fleet; routable after ``delay_s`` of provisioning."""
+        replica = self._new_replica()
+        now = self.scheduler.clock.now
+        if delay_s <= 0:
+            replica.mark_ready(now)
+            return replica
+
+        def ready() -> None:
+            replica.mark_ready(self.scheduler.clock.now)
+            if self.log is not None:
+                self.log.append(
+                    self.scheduler.clock.now,
+                    "serve.replica.ready",
+                    replica.replica_id,
+                    "autoscaler",
+                )
+            self._pump(replica)
+
+        self.scheduler.schedule_in(delay_s, ready, label="serve.provision")
+        return replica
+
+    def retire_replica(self) -> Replica | None:
+        """Drain the newest routable replica; retires once idle."""
+        for replica in reversed(self.replicas):
+            if replica.routable:
+                replica.drain()
+                if not replica.busy and not len(replica.queue):
+                    replica.retire()
+                return replica
+        return None
+
+    def routable_replicas(self) -> list[Replica]:
+        """Replicas the router may currently target."""
+        return [replica for replica in self.replicas if replica.routable]
+
+    def provisioning_count(self) -> int:
+        """Replicas still inside their provisioning delay."""
+        return sum(
+            1
+            for replica in self.replicas
+            if replica.state is ReplicaState.PROVISIONING
+        )
+
+    # ------------------------------------------------------------ intake
+
+    def submit(self, request: Request) -> bool:
+        """Offer one request to the fleet; returns True if admitted."""
+        now = self.scheduler.clock.now
+        self.slo.record_offered(request, now)
+        if self._keep_requests:
+            self.requests.append(request)
+        replica = self.router.route(self.routable_replicas(), request, now)
+        if replica is None:
+            request.status = RequestStatus.DROPPED
+            self._lose(request, "drop", now)
+            return False
+        admitted, displaced = replica.queue.offer(request, now)
+        if displaced is not None:
+            self._lose(displaced, "shed", now)
+        if not admitted:
+            kind = "reject" if request.status is RequestStatus.REJECTED else "drop"
+            self._lose(request, kind, now)
+            return False
+        request.replica_id = replica.replica_id
+        replica.batcher.observe_arrival(now)
+        self._pump(replica)
+        return True
+
+    def _lose(self, request: Request, kind: str, now: float) -> None:
+        self.slo.record_loss(request, kind, now)
+        if self._workload is not None:
+            self._workload.on_loss(request)
+
+    # ---------------------------------------------------------- batching
+
+    def _pump(self, replica: Replica) -> None:
+        """Re-evaluate one replica's batching decision."""
+        if replica.busy or replica.state not in (
+            ReplicaState.READY,
+            ReplicaState.DRAINING,
+        ):
+            return
+        now = self.scheduler.clock.now
+        for expired in replica.queue.expire(now):
+            self._lose(expired, "expire", now)
+        stale_wake = self._wakes.pop(replica.replica_id, None)
+        if stale_wake is not None:
+            stale_wake.cancel()
+        depth = len(replica.queue)
+        if depth == 0:
+            if replica.state is ReplicaState.DRAINING:
+                replica.retire()
+            return
+        planned = min(depth, replica.batcher.max_batch)
+        decision = replica.batcher.decide(
+            depth=depth,
+            now=now,
+            oldest_admitted_s=replica.queue.oldest_admitted_s(),
+            earliest_deadline_s=replica.queue.earliest_deadline_s(),
+            expected_latency_s=replica.expected_latency(planned),
+        )
+        if decision.size > 0:
+            self._dispatch(replica, decision.size)
+        elif math.isfinite(decision.wake_at):
+            self._wakes[replica.replica_id] = self.scheduler.schedule_at(
+                max(decision.wake_at, now),
+                lambda: self._pump(replica),
+                label="serve.batch.wake",
+            )
+
+    def _dispatch(self, replica: Replica, size: int) -> None:
+        now = self.scheduler.clock.now
+        batch = replica.queue.pop(size)
+        if not batch:
+            return
+        batch_id = self._ids.next("batch")
+        for request in batch:
+            request.status = RequestStatus.DISPATCHED
+            request.dispatched_s = now
+            request.replica_id = replica.replica_id
+            request.batch_id = batch_id
+        latency = replica.sample_batch_latency(len(batch))
+        replica.busy = True
+        replica.inflight = tuple(batch)
+        replica.batches += 1
+        if self.log is not None:
+            self.log.append(
+                now,
+                "serve.batch.dispatch",
+                batch_id,
+                replica.replica_id,
+                size=len(batch),
+                latency_s=latency,
+            )
+        self.scheduler.schedule_in(
+            latency,
+            lambda: self._complete(replica, batch, latency),
+            label="serve.batch.complete",
+        )
+
+    def _complete(
+        self, replica: Replica, batch: list[Request], latency: float
+    ) -> None:
+        now = self.scheduler.clock.now
+        if self.model is not None:
+            frames = [request.frame for request in batch]
+            if all(frame is not None for frame in frames):
+                commands = self.model.predict_frames(np.stack(frames))
+                for request, (angle, throttle) in zip(batch, commands):
+                    request.angle = float(angle)
+                    request.throttle = float(throttle)
+        for request in batch:
+            request.status = RequestStatus.COMPLETED
+            request.completed_s = now
+            self.slo.record_completion(request, now)
+        replica.busy = False
+        replica.inflight = ()
+        replica.served += len(batch)
+        replica.busy_s += latency
+        self.router.observe_batch(replica, latency)
+        if self._workload is not None:
+            for request in batch:
+                self._workload.on_response(request)
+        self._pump(replica)
+
+    # --------------------------------------------------------------- run
+
+    def run(
+        self,
+        workload: Workload,
+        duration_s: float,
+        autoscaler: Autoscaler | None = None,
+    ) -> ServeSummary:
+        """Drive ``workload`` for ``duration_s``, drain, and summarise."""
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration_s must be positive, got {duration_s}")
+        if self.model is not None and not workload.provides_frames:
+            raise ConfigurationError(
+                "service has a real model but the workload generates no "
+                "frames; pass frame_shape to the workload"
+            )
+        self._workload = workload
+        start = self.scheduler.clock.now
+        workload.start(self, start + duration_s)
+        if autoscaler is not None:
+            autoscaler.start(start + duration_s)
+        self.scheduler.run_until(start + duration_s)
+        self.scheduler.run_all()
+        return self._summarise(start, duration_s, workload, autoscaler)
+
+    def _summarise(
+        self,
+        start: float,
+        duration_s: float,
+        workload: Workload,
+        autoscaler: Autoscaler | None,
+    ) -> ServeSummary:
+        elapsed = self.scheduler.clock.now - start
+        slo = self.slo
+        hist = slo.histogram
+        batches = sum(replica.batches for replica in self.replicas)
+        served = sum(replica.served for replica in self.replicas)
+        return ServeSummary(
+            router=self.router.name,
+            batch_policy=self.batch_policy,
+            duration_s=duration_s,
+            elapsed_s=elapsed,
+            offered=slo.offered,
+            completed=slo.completed,
+            deadline_met=slo.deadline_met,
+            dropped=slo.dropped,
+            shed=slo.shed,
+            rejected=slo.rejected,
+            expired=slo.expired,
+            goodput_hz=slo.deadline_met / elapsed if elapsed > 0 else 0.0,
+            throughput_hz=slo.completed / elapsed if elapsed > 0 else 0.0,
+            deadline_miss_rate=slo.deadline_miss_rate,
+            p50_ms=hist.percentile(0.50) * 1e3,
+            p95_ms=hist.percentile(0.95) * 1e3,
+            p99_ms=hist.percentile(0.99) * 1e3,
+            max_ms=hist.max_s * 1e3,
+            mean_ms=hist.mean_s * 1e3,
+            batches=batches,
+            mean_batch=served / batches if batches else 0.0,
+            replicas=len(self.replicas),
+            scale_ups=autoscaler.scale_ups if autoscaler else 0,
+            scale_downs=autoscaler.scale_downs if autoscaler else 0,
+            stale_ticks=getattr(workload, "stale_ticks", 0),
+        )

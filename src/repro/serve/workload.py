@@ -1,0 +1,228 @@
+"""Seeded request generators: open-loop Poisson and closed-loop fleets.
+
+Two traffic shapes bracket real serving load:
+
+* :class:`PoissonWorkload` — open loop: arrivals follow a seeded
+  Poisson process at a fixed offered rate, regardless of how the
+  service keeps up.  This is how you find a fleet's saturation knee.
+* :class:`VehicleFleetWorkload` — closed loop: N simulated vehicles
+  each tick at 20 Hz (phase-staggered) and keep at most one request in
+  flight; while a request is outstanding the vehicle drives on its
+  stale command (counted per vehicle).  Load self-limits, which is the
+  natural backpressure of a control loop.
+
+Both draw every random quantity from a single ``ensure_rng`` stream,
+so the same seed yields a byte-identical arrival trace.  Frames come
+from a small pre-generated pool (deterministic, cheap) when real model
+forward passes are wanted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.serve.request import Request
+
+__all__ = ["Workload", "PoissonWorkload", "VehicleFleetWorkload"]
+
+#: Size of the deterministic frame pool shared by generated requests.
+FRAME_POOL_SIZE = 16
+
+
+class Workload:
+    """Request-generator interface driven by the service's scheduler."""
+
+    #: Whether generated requests carry camera frames.
+    provides_frames = False
+
+    def start(self, service, until_s: float) -> None:
+        """Begin scheduling arrivals on ``service`` until ``until_s``."""
+        raise NotImplementedError
+
+    def on_response(self, request: Request) -> None:
+        """A request this workload submitted completed."""
+
+    def on_loss(self, request: Request) -> None:
+        """A request this workload submitted was dropped/rejected/expired."""
+
+    @property
+    def submitted(self) -> int:
+        """Requests handed to the service so far."""
+        raise NotImplementedError
+
+
+def _frame_pool(
+    rng: np.random.Generator, frame_shape: tuple[int, int, int] | None
+) -> list[np.ndarray] | None:
+    if frame_shape is None:
+        return None
+    if len(frame_shape) != 3 or frame_shape[2] != 3:
+        raise ConfigurationError(f"frame_shape must be (H, W, 3), got {frame_shape}")
+    return [
+        rng.integers(0, 255, frame_shape, dtype=np.uint8)
+        for _ in range(FRAME_POOL_SIZE)
+    ]
+
+
+class PoissonWorkload(Workload):
+    """Open-loop arrivals at ``rate_hz`` with exponential interarrivals."""
+
+    def __init__(
+        self,
+        rate_hz: float,
+        deadline_s: float = 0.1,
+        seed: int | np.random.Generator | None = None,
+        frame_shape: tuple[int, int, int] | None = None,
+        priority: int = 0,
+        source: str = "open-loop",
+    ) -> None:
+        if rate_hz <= 0:
+            raise ConfigurationError(f"rate_hz must be positive, got {rate_hz}")
+        if deadline_s <= 0:
+            raise ConfigurationError(f"deadline_s must be positive, got {deadline_s}")
+        self.rate_hz = float(rate_hz)
+        self.deadline_s = float(deadline_s)
+        self.priority = int(priority)
+        self.source = source
+        self._rng = ensure_rng(seed)
+        self._frames = _frame_pool(self._rng, frame_shape)
+        self.provides_frames = self._frames is not None
+        self._count = 0
+        self._service = None
+        self._until_s = 0.0
+
+    @property
+    def submitted(self) -> int:
+        return self._count
+
+    def start(self, service, until_s: float) -> None:
+        self._service = service
+        self._until_s = float(until_s)
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = float(self._rng.exponential(1.0 / self.rate_hz))
+        scheduler = self._service.scheduler
+        if scheduler.clock.now + gap >= self._until_s:
+            return
+        scheduler.schedule_in(gap, self._arrive, label="workload.poisson")
+
+    def _arrive(self) -> None:
+        now = self._service.scheduler.clock.now
+        frame = None
+        if self._frames is not None:
+            frame = self._frames[self._count % len(self._frames)]
+        self._count += 1
+        request = Request(
+            request_id=f"req-{self._count:06d}",
+            source=self.source,
+            arrival_s=now,
+            deadline_s=now + self.deadline_s,
+            priority=self.priority,
+            frame=frame,
+        )
+        self._service.submit(request)
+        self._schedule_next()
+
+
+class VehicleFleetWorkload(Workload):
+    """Closed loop: N vehicles at ``1/dt`` Hz, one request in flight each."""
+
+    def __init__(
+        self,
+        n_vehicles: int,
+        dt: float = 0.05,
+        deadline_ticks: int = 2,
+        seed: int | np.random.Generator | None = None,
+        frame_shape: tuple[int, int, int] | None = None,
+    ) -> None:
+        if n_vehicles < 1:
+            raise ConfigurationError(f"need >= 1 vehicle, got {n_vehicles}")
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        if deadline_ticks < 1:
+            raise ConfigurationError(
+                f"deadline_ticks must be >= 1, got {deadline_ticks}"
+            )
+        self.n_vehicles = int(n_vehicles)
+        self.dt = float(dt)
+        self.deadline_s = deadline_ticks * self.dt
+        self._rng = ensure_rng(seed)
+        self._frames = _frame_pool(self._rng, frame_shape)
+        self.provides_frames = self._frames is not None
+        # Deterministic phase stagger spreads the 20 Hz ticks across the
+        # control interval so arrivals do not all land on one instant.
+        self._phases = [
+            (vehicle / self.n_vehicles) * self.dt
+            + float(self._rng.uniform(0, self.dt / self.n_vehicles))
+            for vehicle in range(self.n_vehicles)
+        ]
+        self._outstanding = [False] * self.n_vehicles
+        self.stale_ticks = 0
+        self.ticks = 0
+        self._count = 0
+        self._service = None
+        self._until_s = 0.0
+
+    @property
+    def submitted(self) -> int:
+        return self._count
+
+    def start(self, service, until_s: float) -> None:
+        self._service = service
+        self._until_s = float(until_s)
+        now = service.scheduler.clock.now
+        for vehicle, phase in enumerate(self._phases):
+            if now + phase < self._until_s:
+                service.scheduler.schedule_in(
+                    phase, self._make_tick(vehicle), label="workload.vehicle"
+                )
+
+    def _make_tick(self, vehicle: int):
+        def tick() -> None:
+            self._tick(vehicle)
+
+        return tick
+
+    def _tick(self, vehicle: int) -> None:
+        scheduler = self._service.scheduler
+        now = scheduler.clock.now
+        self.ticks += 1
+        if self._outstanding[vehicle]:
+            # Previous command still in flight: drive on the stale one.
+            self.stale_ticks += 1
+        else:
+            self._count += 1
+            frame = None
+            if self._frames is not None:
+                frame = self._frames[vehicle % len(self._frames)]
+            request = Request(
+                request_id=f"req-{self._count:06d}",
+                source=f"veh-{vehicle:04d}",
+                arrival_s=now,
+                deadline_s=now + self.deadline_s,
+                frame=frame,
+            )
+            self._outstanding[vehicle] = True
+            self._service.submit(request)
+        if now + self.dt < self._until_s:
+            scheduler.schedule_in(
+                self.dt, self._make_tick(vehicle), label="workload.vehicle"
+            )
+
+    def _vehicle_index(self, source: str) -> int | None:
+        if not source.startswith("veh-"):
+            return None
+        return int(source[4:])
+
+    def on_response(self, request: Request) -> None:
+        vehicle = self._vehicle_index(request.source)
+        if vehicle is not None:
+            self._outstanding[vehicle] = False
+
+    def on_loss(self, request: Request) -> None:
+        vehicle = self._vehicle_index(request.source)
+        if vehicle is not None:
+            self._outstanding[vehicle] = False

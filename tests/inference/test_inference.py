@@ -123,6 +123,71 @@ class TestHybridBackend:
             self.make("ouija")
 
 
+class TestBatchLatency:
+    def test_edge_batches_serially(self):
+        backend = EdgeBackend(device(), SMALL_FLOPS)
+        rng = np.random.default_rng(0)
+        single = backend.batch_request_latency(rng, 1)
+        assert single == pytest.approx(backend.request_latency(rng))
+        eight = backend.batch_request_latency(rng, 8)
+        # Serial compute: the only amortisation is the software overhead.
+        per_frame = SMALL_FLOPS / RASPBERRY_PI_4.effective_flops
+        assert eight == pytest.approx(single + 7 * per_frame)
+
+    def test_cloud_batches_amortise_rtt(self):
+        backend = CloudBackend(GPU_SPECS["V100"], route(), SMALL_FLOPS)
+        rng = np.random.default_rng(0)
+        singles = np.mean([backend.batch_request_latency(rng, 1) for _ in range(50)])
+        batched = np.mean([backend.batch_request_latency(rng, 16) for _ in range(50)])
+        # One RTT for 16 frames beats 16 RTTs for 16 frames.
+        assert batched < 16 * singles / 3
+
+    def test_batch_compute_scales_linearly(self):
+        backend = CloudBackend(GPU_SPECS["V100"], route(), SMALL_FLOPS)
+        one = backend.batch_compute_latency(1) - backend.batch_queue_s
+        ten = backend.batch_compute_latency(10) - backend.batch_queue_s
+        assert ten == pytest.approx(10 * one)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            EdgeBackend(device(), SMALL_FLOPS).batch_request_latency(rng, 0)
+        cloud = CloudBackend(GPU_SPECS["V100"], route(), SMALL_FLOPS)
+        with pytest.raises(ConfigurationError):
+            cloud.batch_request_latency(rng, 0)
+        with pytest.raises(ConfigurationError):
+            cloud.batch_compute_latency(0)
+
+
+class TestServingStats:
+    def test_fresh_response_ratio_is_dimensionless(self):
+        from repro.inference.serving import ServingStats
+
+        stats = ServingStats(requests=40, responses=30)
+        assert stats.fresh_response_ratio == pytest.approx(0.75)
+        # The deprecated alias keeps returning the same (ratio) value.
+        assert stats.control_rate_hz == stats.fresh_response_ratio
+
+    def test_fresh_command_hz_is_a_true_rate(self):
+        from repro.inference.serving import ServingStats
+
+        stats = ServingStats(requests=40, responses=30, ticks=40, dt=0.05)
+        # 30 fresh commands over 2 s of drive time.
+        assert stats.fresh_command_hz == pytest.approx(15.0)
+        assert ServingStats().fresh_command_hz == 0.0
+
+    def test_pilot_populates_tick_accounting(self, trained_linear):
+        backend = EdgeBackend(device(), SMALL_FLOPS)
+        pilot = RemotePilot(trained_linear, backend, dt=0.05, rng=0)
+        frame = np.zeros(trained_linear.input_shape, dtype=np.uint8)
+        for _ in range(20):
+            pilot.run(frame)
+        assert pilot.stats.ticks == 20
+        assert pilot.stats.dt == pytest.approx(0.05)
+        # Fast edge backend sustains nearly the full 20 Hz control rate.
+        assert pilot.stats.fresh_command_hz > 15.0
+
+
 class TestRemotePilot:
     def test_fresh_commands_with_fast_backend(self, trained_linear, session_factory):
         backend = EdgeBackend(device(), SMALL_FLOPS)

@@ -1,0 +1,72 @@
+"""Batched serving surface: every model head takes (B, H, W, 3) frames."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ShapeError
+from repro.ml.models import MODEL_NAMES, create_model
+
+H, W = 40, 56
+
+
+def frames(batch, h=H, w=W, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 255, (batch, h, w, 3), dtype=np.uint8)
+
+
+@pytest.fixture(scope="module", params=sorted(MODEL_NAMES))
+def model(request):
+    return create_model(
+        request.param, input_shape=(H, W, 3), scale=0.25, seed=3
+    )
+
+
+class TestPredictFrames:
+    def test_shape_contract(self, model):
+        out = model.predict_frames(frames(6))
+        assert out.shape == (6, 2)
+        assert out.dtype == np.float32
+
+    def test_outputs_in_command_range(self, model):
+        out = model.predict_frames(frames(6))
+        assert np.all(out >= -1.0) and np.all(out <= 1.0)
+
+    def test_batch_matches_per_frame(self, model):
+        """Batched inference computes the same commands as frame-at-a-time."""
+        batch = frames(5)
+        batched = model.predict_frames(batch)
+        singly = np.concatenate(
+            [model.predict_frames(batch[i : i + 1]) for i in range(5)]
+        )
+        np.testing.assert_allclose(batched, singly, rtol=1e-5, atol=1e-6)
+
+    def test_float_frames_accepted(self, model):
+        x = frames(3).astype(np.float32) / 255.0
+        out = model.predict_frames(x)
+        assert out.shape == (3, 2)
+
+    def test_rejects_wrong_shapes(self, model):
+        with pytest.raises(ShapeError):
+            model.predict_frames(frames(3)[0])  # missing batch dim
+        with pytest.raises(ShapeError):
+            model.predict_frames(frames(3, h=H + 2))  # wrong H
+
+    def test_batch_of_one(self, model):
+        assert model.predict_frames(frames(1)).shape == (1, 2)
+
+
+def test_full_resolution_frames():
+    """The paper's native 120x160 camera shape serves batched too."""
+    model = create_model("linear", input_shape=(120, 160, 3), scale=0.2, seed=1)
+    out = model.predict_frames(frames(2, h=120, w=160))
+    assert out.shape == (2, 2)
+
+
+def test_stateless_match_with_run():
+    """For single-frame models the serving surface agrees with run()."""
+    model = create_model("linear", input_shape=(H, W, 3), scale=0.25, seed=3)
+    batch = frames(4)
+    served = model.predict_frames(batch)
+    model.reset_state()
+    driven = np.array([model.run(frame) for frame in batch], dtype=np.float32)
+    np.testing.assert_allclose(served, driven, rtol=1e-5, atol=1e-6)

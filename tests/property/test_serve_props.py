@@ -1,0 +1,155 @@
+"""Property-based invariants for the serving subsystem.
+
+Conservation (no request lost or double-served), FIFO within a
+priority class, batch-size caps, and seed determinism must hold for
+*any* workload shape — hypothesis drives the parameter space.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve.queueing import AdmissionQueue
+from repro.serve.replica import BatchLatencyModel
+from repro.serve.request import Request, RequestStatus, TERMINAL_STATUSES
+from repro.serve.service import InferenceService
+from repro.serve.workload import PoissonWorkload
+
+LATENCY = BatchLatencyModel(0.004, 0.0002)
+
+SLOW_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_service(seed, rate, capacity, policy, batch_policy, replicas):
+    service = InferenceService(
+        LATENCY,
+        n_replicas=replicas,
+        batch_policy=batch_policy,
+        queue_capacity=capacity,
+        queue_policy=policy,
+        seed=seed,
+        keep_requests=True,
+    )
+    service.run(PoissonWorkload(rate, deadline_s=0.05, seed=seed), 1.0)
+    return service
+
+
+service_params = {
+    "seed": st.integers(0, 2**16),
+    "rate": st.floats(50.0, 3000.0),
+    "capacity": st.integers(1, 64),
+    "policy": st.sampled_from(["drop", "shed", "backpressure"]),
+    "batch_policy": st.sampled_from(["single", "size", "wait", "adaptive"]),
+    "replicas": st.integers(1, 4),
+}
+
+
+class TestConservation:
+    @SLOW_SETTINGS
+    @given(**service_params)
+    def test_no_request_lost_or_double_served(
+        self, seed, rate, capacity, policy, batch_policy, replicas
+    ):
+        service = run_service(
+            seed, rate, capacity, policy, batch_policy, replicas
+        )
+        # Every submitted request ends in exactly one terminal status...
+        assert all(
+            r.status in TERMINAL_STATUSES for r in service.requests
+        )
+        # ...and the SLO ledger balances against the request list.
+        by_status = Counter(r.status for r in service.requests)
+        slo = service.slo
+        assert slo.offered == len(service.requests)
+        assert slo.completed == by_status[RequestStatus.COMPLETED]
+        assert slo.offered == slo.completed + slo.losses
+        # No double service: completed requests belong to exactly one batch.
+        completed = [
+            r for r in service.requests if r.status is RequestStatus.COMPLETED
+        ]
+        assert all(r.batch_id for r in completed)
+        served = sum(replica.served for replica in service.replicas)
+        assert served == len(completed)
+
+    @SLOW_SETTINGS
+    @given(**service_params)
+    def test_batches_never_exceed_cap(
+        self, seed, rate, capacity, policy, batch_policy, replicas
+    ):
+        service = run_service(
+            seed, rate, capacity, policy, batch_policy, replicas
+        )
+        sizes = Counter(
+            r.batch_id
+            for r in service.requests
+            if r.status is RequestStatus.COMPLETED
+        )
+        cap = 1 if batch_policy == "single" else 32
+        assert all(size <= cap for size in sizes.values())
+
+
+class TestFifoWithinPriority:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        priorities=st.lists(st.integers(0, 2), min_size=1, max_size=30),
+        limit=st.integers(1, 30),
+    )
+    def test_pop_preserves_arrival_order_per_class(self, priorities, limit):
+        queue = AdmissionQueue(capacity=64)
+        for i, priority in enumerate(priorities):
+            queue.offer(
+                Request(f"req-{i:04d}", "test", float(i), 100.0, priority),
+                float(i),
+            )
+        popped = queue.pop(limit)
+        for priority in set(r.priority for r in popped):
+            klass = [r.admitted_s for r in popped if r.priority == priority]
+            assert klass == sorted(klass)
+
+    @SLOW_SETTINGS
+    @given(**service_params)
+    def test_dispatch_order_fifo_within_class(
+        self, seed, rate, capacity, policy, batch_policy, replicas
+    ):
+        service = run_service(
+            seed, rate, capacity, policy, batch_policy, replicas
+        )
+        # Per replica and priority class, dispatch order follows admission.
+        per_key = {}
+        completed = [
+            r for r in service.requests if r.status is RequestStatus.COMPLETED
+        ]
+        for request in sorted(
+            completed, key=lambda r: (r.dispatched_s, r.batch_id)
+        ):
+            per_key.setdefault(
+                (request.replica_id, request.priority), []
+            ).append(request.admitted_s)
+        for admissions in per_key.values():
+            assert admissions == sorted(admissions)
+
+
+class TestSeedDeterminism:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_identical_seeds_identical_traces(self, seed):
+        def trace():
+            service = run_service(seed, 500.0, 32, "drop", "adaptive", 2)
+            return [
+                (r.request_id, r.status.value, r.completed_s, r.batch_id)
+                for r in service.requests
+            ]
+
+        assert trace() == trace()
+
+
+@pytest.mark.parametrize("jitter", [0.0, 0.1])
+def test_latency_model_sample_positive(jitter):
+    model = BatchLatencyModel(0.005, 0.0001, jitter=jitter)
+    assert model.sample(0, 16) > 0.0

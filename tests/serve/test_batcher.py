@@ -1,0 +1,92 @@
+"""Micro-batching decisions: policies, caps, waits, adaptivity."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.serve.batcher import BATCH_POLICIES, MicroBatcher, make_batcher
+
+
+def decide(batcher, depth, now=0.0, oldest=0.0, deadline=10.0, expected=0.01):
+    return batcher.decide(
+        depth=depth,
+        now=now,
+        oldest_admitted_s=oldest,
+        earliest_deadline_s=deadline,
+        expected_latency_s=expected,
+    )
+
+
+class TestPolicies:
+    def test_empty_queue_always_waits(self):
+        for policy in BATCH_POLICIES:
+            decision = decide(make_batcher(policy), 0)
+            assert decision.size == 0 and math.isinf(decision.wake_at)
+
+    def test_single_always_fires_one(self):
+        batcher = make_batcher("single")
+        assert batcher.max_batch == 1
+        assert decide(batcher, 7).size == 1
+
+    def test_size_policy_fires_backlog_up_to_cap(self):
+        batcher = make_batcher("size", max_batch=8)
+        assert decide(batcher, 3).size == 3
+        assert decide(batcher, 20).size == 8
+
+    def test_wait_policy_holds_until_window(self):
+        batcher = make_batcher("wait", max_batch=8, max_wait_s=0.010)
+        early = decide(batcher, 3, now=0.004, oldest=0.0)
+        assert early.size == 0
+        assert early.wake_at == pytest.approx(0.010)
+        due = decide(batcher, 3, now=0.011, oldest=0.0)
+        assert due.size == 3
+
+    def test_wait_policy_full_batch_fires_immediately(self):
+        batcher = make_batcher("wait", max_batch=4, max_wait_s=1.0)
+        assert decide(batcher, 4, now=0.0).size == 4
+
+    def test_adaptive_fires_when_deadline_slack_is_gone(self):
+        batcher = make_batcher("adaptive", max_batch=32)
+        # Deadline at 0.020, expected latency 0.015, margin 0.001 -> no slack.
+        decision = decide(batcher, 5, now=0.005, deadline=0.020, expected=0.015)
+        assert decision.size == 5
+
+    def test_adaptive_waits_while_slack_remains(self):
+        batcher = make_batcher("adaptive", max_batch=32)
+        decision = decide(batcher, 5, now=0.0, deadline=0.100, expected=0.010)
+        assert decision.size == 0
+        assert 0.0 < decision.wake_at <= 0.100
+
+    def test_adaptive_wait_bounded_by_fill_estimate(self):
+        batcher = make_batcher("adaptive", max_batch=4, max_wait_s=1.0)
+        # 1 kHz arrivals: 2 open slots should fill in ~2 ms, so do not
+        # wait anywhere near the full deadline slack.
+        for t in range(5):
+            batcher.observe_arrival(t * 0.001)
+        decision = decide(batcher, 2, now=0.004, deadline=1.0, expected=0.001)
+        assert decision.size == 0
+        assert decision.wake_at - 0.004 <= 0.002 + 1e-9
+
+
+class TestRateEstimator:
+    def test_rate_tracks_interarrival_gaps(self):
+        batcher = make_batcher("adaptive")
+        assert batcher.arrival_rate_hz == 0.0
+        for t in range(10):
+            batcher.observe_arrival(t * 0.01)
+        assert batcher.arrival_rate_hz == pytest.approx(100.0, rel=0.01)
+
+
+class TestValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(policy="psychic")
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(max_wait_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(ewma_alpha=0.0)

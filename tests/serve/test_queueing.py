@@ -1,0 +1,132 @@
+"""Admission queues: bounded capacity, policies, expiry, ordering."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.serve.queueing import AdmissionPolicy, AdmissionQueue
+from repro.serve.request import Request, RequestStatus
+
+
+def req(i, priority=0, arrival=0.0, deadline=10.0):
+    return Request(
+        request_id=f"req-{i:04d}",
+        source="test",
+        arrival_s=arrival,
+        deadline_s=deadline,
+        priority=priority,
+    )
+
+
+class TestAdmission:
+    def test_admits_until_capacity(self):
+        queue = AdmissionQueue(3)
+        for i in range(3):
+            admitted, displaced = queue.offer(req(i), now=0.0)
+            assert admitted and displaced is None
+        assert queue.depth == 3
+
+    def test_drop_policy_rejects_newest(self):
+        queue = AdmissionQueue(1, "drop")
+        queue.offer(req(0), 0.0)
+        late = req(1)
+        admitted, displaced = queue.offer(late, 0.0)
+        assert not admitted and displaced is None
+        assert late.status is RequestStatus.DROPPED
+        assert queue.depth == 1
+
+    def test_backpressure_policy_marks_rejected(self):
+        queue = AdmissionQueue(1, "backpressure")
+        queue.offer(req(0), 0.0)
+        late = req(1)
+        admitted, _ = queue.offer(late, 0.0)
+        assert not admitted
+        assert late.status is RequestStatus.REJECTED
+
+    def test_shed_displaces_oldest_least_important(self):
+        queue = AdmissionQueue(2, "shed")
+        old_low = req(0, priority=5)
+        old_high = req(1, priority=0)
+        queue.offer(old_low, 0.0)
+        queue.offer(old_high, 0.0)
+        fresh = req(2, priority=0)
+        admitted, displaced = queue.offer(fresh, 1.0)
+        assert admitted
+        assert displaced is old_low
+        assert displaced.status is RequestStatus.DROPPED
+        assert queue.depth == 2
+
+    def test_shed_refuses_when_everything_outranks(self):
+        queue = AdmissionQueue(1, "shed")
+        queue.offer(req(0, priority=0), 0.0)
+        lowly = req(1, priority=9)
+        admitted, displaced = queue.offer(lowly, 0.0)
+        assert not admitted and displaced is None
+        assert lowly.status is RequestStatus.DROPPED
+
+    def test_admission_stamps_time_and_status(self):
+        queue = AdmissionQueue(4)
+        request = req(0)
+        queue.offer(request, 3.25)
+        assert request.status is RequestStatus.QUEUED
+        assert request.admitted_s == 3.25
+
+
+class TestServiceOrder:
+    def test_fifo_within_priority_class(self):
+        queue = AdmissionQueue(10)
+        for i in range(5):
+            queue.offer(req(i), float(i))
+        batch = queue.pop(5)
+        assert [r.request_id for r in batch] == [f"req-{i:04d}" for i in range(5)]
+
+    def test_priority_classes_pop_important_first(self):
+        queue = AdmissionQueue(10)
+        queue.offer(req(0, priority=2), 0.0)
+        queue.offer(req(1, priority=0), 0.0)
+        queue.offer(req(2, priority=1), 0.0)
+        batch = queue.pop(3)
+        assert [r.priority for r in batch] == [0, 1, 2]
+
+    def test_pop_respects_limit(self):
+        queue = AdmissionQueue(10)
+        for i in range(6):
+            queue.offer(req(i), 0.0)
+        assert len(queue.pop(4)) == 4
+        assert queue.depth == 2
+
+    def test_expire_removes_past_deadline(self):
+        queue = AdmissionQueue(10)
+        fresh = req(0, deadline=5.0)
+        stale = req(1, deadline=1.0)
+        queue.offer(fresh, 0.0)
+        queue.offer(stale, 0.0)
+        expired = queue.expire(now=2.0)
+        assert expired == [stale]
+        assert stale.status is RequestStatus.EXPIRED
+        assert queue.depth == 1
+
+    def test_oldest_and_earliest_queries(self):
+        queue = AdmissionQueue(10)
+        assert queue.oldest_admitted_s() == float("inf")
+        assert queue.earliest_deadline_s() == float("inf")
+        queue.offer(req(0, deadline=9.0), 1.0)
+        queue.offer(req(1, deadline=4.0), 2.0)
+        assert queue.oldest_admitted_s() == 1.0
+        assert queue.earliest_deadline_s() == 4.0
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(4, "teleport")
+
+    def test_enum_policy_accepted(self):
+        assert AdmissionQueue(4, AdmissionPolicy.SHED).policy is AdmissionPolicy.SHED
+
+    def test_pop_limit_validated(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(4).pop(0)

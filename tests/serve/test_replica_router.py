@@ -1,0 +1,169 @@
+"""Replica latency models, lifecycle, and routing policies."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, ReplicaStateError
+from repro.edge.devices import RASPBERRY_PI_4
+from repro.net.links import Link
+from repro.net.topology import autolearn_topology
+from repro.serve.batcher import make_batcher
+from repro.serve.queueing import AdmissionQueue
+from repro.serve.replica import BatchLatencyModel, Replica, ReplicaState
+from repro.serve.request import Request
+from repro.serve.router import (
+    ROUTER_NAMES,
+    LatencyEwmaRouter,
+    make_router,
+)
+from repro.testbed.hardware import GPU_SPECS
+
+
+def make_replica(rid="replica-0001", jitter=0.0, route=None):
+    return Replica(
+        rid,
+        BatchLatencyModel(0.005, 0.0001, jitter=jitter),
+        AdmissionQueue(16),
+        make_batcher("adaptive"),
+        rng=7,
+        route=route,
+    )
+
+
+def req(i=0):
+    return Request(f"req-{i:04d}", "test", 0.0, 1.0)
+
+
+class TestBatchLatencyModel:
+    def test_affine_law(self):
+        model = BatchLatencyModel(0.005, 0.0001)
+        assert model.mean_latency(1) == pytest.approx(0.0051)
+        assert model.mean_latency(32) == pytest.approx(0.005 + 32 * 0.0001)
+
+    def test_zero_jitter_samples_are_exact(self):
+        model = BatchLatencyModel(0.005, 0.0001)
+        assert model.sample(3, 8) == model.mean_latency(8)
+
+    def test_jitter_preserves_mean(self):
+        model = BatchLatencyModel(0.005, 0.0001, jitter=0.1)
+        rng = np.random.default_rng(0)
+        samples = [model.sample(rng, 8) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(model.mean_latency(8), rel=0.02)
+
+    def test_gpu_throughput_amortises_overhead(self):
+        model = BatchLatencyModel.from_gpu(GPU_SPECS["V100"], 1e8)
+        # Batch 32 must beat batch 1 by a wide margin on a GPU: the
+        # launch overhead is paid once per batch, not once per frame.
+        assert model.throughput_hz(32) > 10 * model.throughput_hz(1)
+
+    def test_edge_device_gains_little_from_batching(self):
+        model = BatchLatencyModel.from_device(RASPBERRY_PI_4, 1e8)
+        assert model.throughput_hz(32) < 2 * model.throughput_hz(1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchLatencyModel(-0.001, 0.0001)
+        with pytest.raises(ConfigurationError):
+            BatchLatencyModel(0.001, 0.0)
+        with pytest.raises(ConfigurationError):
+            BatchLatencyModel(0.001, 0.0001).mean_latency(0)
+        with pytest.raises(ConfigurationError):
+            BatchLatencyModel.from_gpu(GPU_SPECS["V100"], 0.0)
+
+
+class TestReplicaLifecycle:
+    def test_starts_provisioning_then_ready(self):
+        replica = make_replica()
+        assert replica.state is ReplicaState.PROVISIONING
+        assert not replica.routable
+        replica.mark_ready(2.0)
+        assert replica.routable and replica.ready_at == 2.0
+
+    def test_cannot_serve_while_provisioning(self):
+        with pytest.raises(ReplicaStateError):
+            make_replica().sample_batch_latency(1)
+
+    def test_cannot_ready_twice(self):
+        replica = make_replica()
+        replica.mark_ready(0.0)
+        with pytest.raises(ReplicaStateError):
+            replica.mark_ready(1.0)
+
+    def test_drain_then_retire(self):
+        replica = make_replica()
+        replica.mark_ready(0.0)
+        replica.drain()
+        assert not replica.routable
+        replica.retire()
+        assert replica.state is ReplicaState.RETIRED
+
+    def test_retire_refuses_with_queued_work(self):
+        replica = make_replica()
+        replica.mark_ready(0.0)
+        replica.queue.offer(req(), 0.0)
+        with pytest.raises(ReplicaStateError):
+            replica.retire()
+
+    def test_load_counts_queue_and_inflight(self):
+        replica = make_replica()
+        replica.mark_ready(0.0)
+        replica.queue.offer(req(0), 0.0)
+        replica.inflight = (req(1), req(2))
+        assert replica.load == 3
+
+
+class TestReplicaNetwork:
+    def test_routed_replica_pays_rtt_and_wire_time(self):
+        route = autolearn_topology().route("car-pi", "chi-uc")
+        near = make_replica("replica-0001")
+        far = make_replica("replica-0002", route=route)
+        near.mark_ready(0.0)
+        far.mark_ready(0.0)
+        assert far.expected_latency(8) > near.expected_latency(8) + route.base_rtt_s
+
+    def test_wire_time_scales_with_batch(self):
+        slow_wan = autolearn_topology(
+            wan=Link("wan-slow", 0.02, 0.0, 5e6)
+        ).route("car-pi", "chi-uc")
+        replica = make_replica(route=slow_wan)
+        gap = replica.expected_latency(32) - replica.expected_latency(1)
+        assert gap > 31 * 0.0001  # more than pure compute growth
+
+
+class TestRouters:
+    def replicas(self, n=3):
+        out = []
+        for i in range(n):
+            replica = make_replica(f"replica-{i + 1:04d}")
+            replica.mark_ready(0.0)
+            out.append(replica)
+        return out
+
+    def test_round_robin_cycles(self):
+        router = make_router("round-robin")
+        fleet = self.replicas(3)
+        picks = [router.route(fleet, req(i), 0.0).replica_id for i in range(6)]
+        assert picks == [f"replica-{i:04d}" for i in (1, 2, 3, 1, 2, 3)]
+
+    def test_least_outstanding_prefers_idle(self):
+        router = make_router("least-outstanding")
+        fleet = self.replicas(2)
+        fleet[0].queue.offer(req(0), 0.0)
+        assert router.route(fleet, req(1), 0.0) is fleet[1]
+
+    def test_latency_ewma_explores_then_exploits(self):
+        router = LatencyEwmaRouter()
+        fleet = self.replicas(2)
+        assert router.route(fleet, req(0), 0.0) is fleet[0]
+        router.observe_batch(fleet[0], 0.050)
+        assert router.route(fleet, req(1), 0.0) is fleet[1]  # unseen first
+        router.observe_batch(fleet[1], 0.005)
+        assert router.route(fleet, req(2), 0.0) is fleet[1]  # fastest wins
+
+    def test_empty_fleet_routes_none(self):
+        for name in ROUTER_NAMES:
+            assert make_router(name).route([], req(), 0.0) is None
+
+    def test_unknown_router(self):
+        with pytest.raises(ConfigurationError):
+            make_router("oracle")
