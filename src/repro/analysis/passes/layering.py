@@ -33,9 +33,10 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
     "common": (),
     "analysis": ("common",),
     "data": ("common",),
-    "objectstore": ("common",),
+    "faults": ("common",),
+    "objectstore": ("common", "faults"),
     "sim": ("common",),
-    "net": ("common", "data"),
+    "net": ("common", "data", "faults"),
     "ml": ("common", "data"),
     "testbed": ("common", "objectstore"),
     "edge": ("common", "testbed"),
@@ -43,6 +44,7 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
     "serve": (
         "common",
         "edge",
+        "faults",
         "inference",
         "ml",
         "net",

@@ -10,6 +10,7 @@ steps — mirroring the ``donkey`` CLI the paper's students use:
 * ``autolearn evaluate`` — drive a trained model and report qualities.
 * ``autolearn pipeline`` — run a full pathway end to end.
 * ``autolearn serve`` — run a fleet inference-serving experiment.
+* ``autolearn chaos`` — play a fault-injection scenario against a fleet.
 * ``autolearn lint`` — run the reprolint invariant checker.
 """
 
@@ -101,6 +102,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-replicas", type=int, default=8)
     p.add_argument("--provision-delay", type=float, default=5.0,
                    help="autoscale provisioning delay in seconds")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "chaos", help="play a deterministic fault-injection scenario"
+    )
+    p.add_argument("--scenario", default="",
+                   help="JSON scenario file (defaults to the stock plan)")
+    p.add_argument("--vehicles", type=int, default=0,
+                   help="override the scenario's fleet size")
+    p.add_argument("--replicas", type=int, default=0,
+                   help="override the scenario's replica count")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="override the scenario's simulated duration")
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
@@ -288,6 +302,32 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.serve import ChaosScenario, default_plan, run_chaos
+
+    if args.scenario:
+        payload = json.loads(Path(args.scenario).read_text())
+        scenario = ChaosScenario.from_dict(payload)
+    else:
+        replicas = args.replicas or 3
+        scenario = ChaosScenario(replicas=replicas, plan=default_plan(replicas))
+    overrides = {}
+    if args.vehicles > 0:
+        overrides["vehicles"] = args.vehicles
+    if args.replicas > 0:
+        overrides["replicas"] = args.replicas
+    if args.duration > 0:
+        overrides["duration_s"] = args.duration
+    if overrides:
+        scenario = dataclasses.replace(scenario, **overrides)
+    summary = run_chaos(scenario, seed=args.seed)
+    print(summary.to_text(), end="")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.cli import run_lint_command
 
@@ -302,6 +342,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "pipeline": _cmd_pipeline,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "lint": _cmd_lint,
 }
 

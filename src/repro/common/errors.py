@@ -35,13 +35,20 @@ __all__ = [
     "DeviceNotEnrolledError",
     "PolicyViolationError",
     "ContainerError",
+    # faults / resilience
+    "FaultError",
+    "InjectedFaultError",
+    "CircuitOpenError",
+    "RetryExhaustedError",
     # net / store / artifacts
     "NetworkError",
     "TransferError",
     "UnreachableHostError",
+    "LinkPartitionError",
     "ObjectStoreError",
     "NoSuchContainerError",
     "NoSuchObjectError",
+    "TransientStoreError",
     "ArtifactError",
     "VersionNotFoundError",
     # vehicle / sim
@@ -156,6 +163,29 @@ class ContainerError(EdgeError):
     """Container lifecycle failure on an edge device."""
 
 
+# -------------------------------------------------- faults / resilience
+
+
+class FaultError(ReproError):
+    """Base class for the fault-injection and resilience layer."""
+
+
+class InjectedFaultError(FaultError):
+    """An injected fault fired against the calling operation.
+
+    This is the *retryable* class: resilience wrappers treat it (and its
+    subsystem-specific subclasses) as transient and eligible for backoff.
+    """
+
+
+class CircuitOpenError(FaultError):
+    """A per-target circuit breaker is open; the call was refused fast."""
+
+
+class RetryExhaustedError(FaultError):
+    """A retry policy ran out of attempts (or deadline) without success."""
+
+
 # ----------------------------------------------------------------- net
 
 
@@ -171,6 +201,10 @@ class UnreachableHostError(NetworkError):
     """No path between the requested endpoints in the topology."""
 
 
+class LinkPartitionError(TransferError, InjectedFaultError):
+    """An injected network partition covers the route of this transfer."""
+
+
 # --------------------------------------------------------------- store
 
 
@@ -184,6 +218,10 @@ class NoSuchContainerError(ObjectStoreError, KeyError):
 
 class NoSuchObjectError(ObjectStoreError, KeyError):
     """Object name not present in the container."""
+
+
+class TransientStoreError(ObjectStoreError, InjectedFaultError):
+    """An injected transient object-store failure (retryable)."""
 
 
 # ----------------------------------------------------------- artifacts

@@ -1,0 +1,39 @@
+"""Deterministic fault injection + resilience primitives.
+
+The edge-to-cloud substrate the paper runs on is unreliable — Pis drop
+off Wi-Fi, leases expire mid-training, links flap — so this layer makes
+failure a first-class, *replayable* citizen: a seeded
+:class:`FaultPlan` of typed faults scheduled on the discrete-event
+clock (:class:`FaultInjector`), plus the resilience toolkit the other
+layers adopt — :class:`RetryPolicy` (exponential backoff + seeded
+jitter), :func:`call_with_resilience` (deadline-aware retry loop), and
+a per-target :class:`CircuitBreaker`.
+
+Sits directly above :mod:`repro.common` in the layering DAG; ``net``,
+``objectstore``, and ``serve`` build on it.
+"""
+
+from repro.faults.breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ACTION_KINDS,
+    WINDOW_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.retry import RetryPolicy, call_with_resilience
+
+__all__ = [
+    "ACTION_KINDS",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "WINDOW_KINDS",
+    "call_with_resilience",
+]

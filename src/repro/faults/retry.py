@@ -1,0 +1,144 @@
+"""Retry with exponential backoff, jitter, and deadline awareness.
+
+:class:`RetryPolicy` is pure arithmetic: attempt *k* backs off
+``min(cap_s, base_s * factor**k)``, optionally stretched by up to
+``jitter`` (a seeded multiplicative draw — decorrelating retry storms
+without breaking reproducibility).  The deterministic schedule is
+monotone non-decreasing and capped, which the property suite checks
+for arbitrary ``(base, factor, cap)``.
+
+:func:`call_with_resilience` is the one retry loop in the repo: it
+runs an attempt callable, treats
+:class:`~repro.common.errors.InjectedFaultError` as transient, charges
+backoff sleeps to the simulated clock (so fault windows can clear
+mid-retry), honours an absolute deadline, and composes with a
+:class:`~repro.faults.breaker.CircuitBreaker` when one guards the
+target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from repro.common.clock import Clock
+from repro.common.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    InjectedFaultError,
+    RetryExhaustedError,
+)
+from repro.common.rng import ensure_rng
+from repro.faults.breaker import CircuitBreaker
+
+__all__ = ["RetryPolicy", "call_with_resilience"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with a cap, bounded attempts, and jitter.
+
+    ``max_attempts`` counts *total* tries: ``max_attempts=3`` means one
+    initial attempt plus two retries.  ``jitter`` stretches each sleep
+    by a uniform draw in ``[0, jitter]`` from the caller's stream.
+    """
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    cap_s: float = 2.0
+    max_attempts: int = 4
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ConfigurationError(f"base_s must be positive, got {self.base_s}")
+        if self.factor < 1.0:
+            raise ConfigurationError(f"factor must be >= 1, got {self.factor}")
+        if self.cap_s < self.base_s:
+            raise ConfigurationError(
+                f"cap_s must be >= base_s, got cap={self.cap_s} base={self.base_s}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
+
+    def backoff_s(
+        self, attempt: int, rng: int | np.random.Generator | None = None
+    ) -> float:
+        """Sleep before retry number ``attempt`` (0-based), jittered."""
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        raw = min(self.cap_s, self.base_s * self.factor**attempt)
+        if self.jitter == 0 or rng is None:
+            return raw
+        gen = ensure_rng(rng)
+        return raw * (1.0 + float(gen.uniform(0.0, self.jitter)))
+
+    def schedule(self) -> tuple[float, ...]:
+        """The deterministic (jitter-free) backoff for every retry."""
+        return tuple(
+            min(self.cap_s, self.base_s * self.factor**attempt)
+            for attempt in range(self.max_attempts - 1)
+        )
+
+
+def call_with_resilience(
+    attempt: Callable[[], T],
+    retry: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    clock: Clock | None = None,
+    rng: int | np.random.Generator | None = None,
+    deadline_s: float | None = None,
+    target: str = "",
+) -> T:
+    """Run ``attempt`` under retry / circuit-breaker / deadline guards.
+
+    * :class:`InjectedFaultError` (and subclasses) are transient: with a
+      ``retry`` policy the loop sleeps the backoff on ``clock`` (if
+      given) and tries again; without one the error propagates.
+    * ``breaker`` is consulted before every try (open circuit fails
+      fast with :class:`CircuitOpenError`) and fed every outcome.
+    * ``deadline_s`` is an *absolute* simulated time: once the next
+      backoff would land past it, the loop gives up.
+    * Exhausting attempts or the deadline raises
+      :class:`RetryExhaustedError` chained to the last fault.
+    """
+    gen = ensure_rng(rng) if rng is not None else None
+    failures = 0
+    while True:
+        now = clock.now if clock is not None else 0.0
+        if breaker is not None and not breaker.allow(now):
+            raise CircuitOpenError(
+                f"circuit open for {target or 'target'}; call refused"
+            )
+        try:
+            result = attempt()
+        except InjectedFaultError as exc:
+            if breaker is not None:
+                breaker.record_failure(now)
+            failures += 1
+            if retry is None:
+                raise
+            if failures >= retry.max_attempts:
+                raise RetryExhaustedError(
+                    f"{target or 'call'} failed after {failures} attempts"
+                ) from exc
+            delay = retry.backoff_s(failures - 1, gen)
+            if deadline_s is not None and now + delay > deadline_s:
+                raise RetryExhaustedError(
+                    f"{target or 'call'} deadline {deadline_s:.3f}s unreachable "
+                    f"after {failures} attempts"
+                ) from exc
+            if clock is not None:
+                clock.advance(delay)
+            continue
+        if breaker is not None:
+            breaker.record_success(now)
+        return result

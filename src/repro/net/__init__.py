@@ -13,6 +13,7 @@ from repro.net.transfer import (
     JPEG_COMPRESSION_RATIO,
     SSHTunnel,
     TransferResult,
+    route_target,
     rsync_tub,
     scp_bytes,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "Route",
     "autolearn_topology",
     "TransferResult",
+    "route_target",
     "rsync_tub",
     "scp_bytes",
     "SSHTunnel",

@@ -16,12 +16,22 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.clock import Clock
-from repro.common.errors import TransferError
+from repro.common.errors import LinkPartitionError, TransferError
 from repro.common.rng import ensure_rng
 from repro.data.tub import Tub
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind
+from repro.faults.retry import RetryPolicy, call_with_resilience
 from repro.net.topology import Route
 
-__all__ = ["TransferResult", "rsync_tub", "scp_bytes", "SSHTunnel"]
+__all__ = [
+    "TransferResult",
+    "route_target",
+    "rsync_tub",
+    "scp_bytes",
+    "SSHTunnel",
+]
 
 #: rsync per-file checksum negotiation cost (seconds per file).
 _RSYNC_PER_FILE_S = 0.002
@@ -48,6 +58,30 @@ class TransferResult:
         return 8.0 * self.nbytes_wire / self.seconds if self.seconds > 0 else 0.0
 
 
+def route_target(route: Route) -> str:
+    """Fault-plan target name for a route (``"src->dst"``)."""
+    return f"{route.src}->{route.dst}"
+
+
+def _wire_seconds(
+    nbytes: int,
+    route: Route,
+    gen,
+    injector: FaultInjector | None,
+    now: float,
+) -> float:
+    """One transfer attempt: partition check, then degraded wire time."""
+    target = route_target(route)
+    if injector is not None and injector.active(
+        FaultKind.LINK_PARTITION, target, now
+    ):
+        raise LinkPartitionError(f"route {target} is partitioned")
+    seconds = route.transfer_time(nbytes, gen)
+    if injector is not None:
+        seconds *= injector.latency_factor(target, now)
+    return seconds
+
+
 def _tub_wire_bytes(tub: Tub, as_jpeg: bool) -> tuple[int, int, int]:
     """(logical bytes, wire bytes, file count) for a tub transfer."""
     logical = tub.size_bytes()
@@ -69,12 +103,23 @@ def rsync_tub(
     already_synced_fraction: float = 0.0,
     as_jpeg: bool = True,
     rng: int | np.random.Generator | None = None,
+    injector: FaultInjector | None = None,
+    retry: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    deadline_s: float | None = None,
 ) -> TransferResult:
     """Emulate ``rsync -a <tub> cloud:`` over a route.
 
     ``already_synced_fraction`` models incremental syncs (rsync skips
     unchanged files after the checksum pass).  If a ``clock`` is given,
     simulated time advances by the transfer duration.
+
+    With an ``injector``, the route's fault-plan target
+    (``"src->dst"``) is consulted: a partition raises
+    :class:`LinkPartitionError` (retried under ``retry``, with backoff
+    sleeps charged to ``clock`` so the window can clear mid-loop), and
+    degradation inflates the wire time.  ``breaker`` and ``deadline_s``
+    compose as in :func:`repro.faults.call_with_resilience`.
     """
     if not 0.0 <= already_synced_fraction <= 1.0:
         raise TransferError(
@@ -83,7 +128,21 @@ def rsync_tub(
     gen = ensure_rng(rng)
     logical, wire, files = _tub_wire_bytes(tub, as_jpeg)
     wire = int(wire * (1.0 - already_synced_fraction))
-    seconds = route.transfer_time(wire, gen) + files * _RSYNC_PER_FILE_S
+
+    def attempt() -> float:
+        now = clock.now if clock is not None else 0.0
+        return _wire_seconds(wire, route, gen, injector, now)
+
+    seconds = call_with_resilience(
+        attempt,
+        retry=retry,
+        breaker=breaker,
+        clock=clock,
+        rng=gen,
+        deadline_s=deadline_s,
+        target=route_target(route),
+    )
+    seconds += files * _RSYNC_PER_FILE_S
     if clock is not None:
         clock.advance(seconds)
     return TransferResult(
@@ -100,12 +159,33 @@ def scp_bytes(
     route: Route,
     clock: Clock | None = None,
     rng: int | np.random.Generator | None = None,
+    injector: FaultInjector | None = None,
+    retry: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    deadline_s: float | None = None,
 ) -> TransferResult:
-    """Emulate ``scp`` of a single blob (e.g. trained model weights)."""
+    """Emulate ``scp`` of a single blob (e.g. trained model weights).
+
+    Fault handling matches :func:`rsync_tub`: partitions on the route
+    raise :class:`LinkPartitionError` and are retried under ``retry``.
+    """
     if nbytes < 0:
         raise TransferError(f"negative payload: {nbytes}")
     gen = ensure_rng(rng)
-    seconds = route.transfer_time(nbytes, gen)
+
+    def attempt() -> float:
+        now = clock.now if clock is not None else 0.0
+        return _wire_seconds(nbytes, route, gen, injector, now)
+
+    seconds = call_with_resilience(
+        attempt,
+        retry=retry,
+        breaker=breaker,
+        clock=clock,
+        rng=gen,
+        deadline_s=deadline_s,
+        target=route_target(route),
+    )
     if clock is not None:
         clock.advance(seconds)
     return TransferResult(

@@ -7,6 +7,12 @@ the system in a 'mix and match' pathway." — §3.5.
 Containers hold named objects (bytes) with ETags (MD5, as Swift
 computes) and user metadata.  The store can persist to a directory so
 examples survive process boundaries, but defaults to in-memory.
+
+Real Swift returns 503s under load, so the store composes with the
+fault layer: :meth:`ObjectStore.attach_resilience` wires a
+:class:`~repro.faults.injector.FaultInjector` (``store-error`` faults
+target ``"store:<container>"``), a retry policy, and per-container
+circuit breakers in front of every container operation.
 """
 
 from __future__ import annotations
@@ -15,13 +21,22 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
+import numpy as np
+
+from repro.common.clock import Clock
 from repro.common.errors import (
     NoSuchContainerError,
     NoSuchObjectError,
     ObjectStoreError,
+    TransientStoreError,
 )
+from repro.common.rng import ensure_rng
+from repro.faults.breaker import BreakerPolicy, CircuitBreaker
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind
+from repro.faults.retry import RetryPolicy, call_with_resilience
 
 __all__ = ["StoredObject", "Container", "ObjectStore"]
 
@@ -43,11 +58,24 @@ class StoredObject:
 
 
 class Container:
-    """A named bucket of objects."""
+    """A named bucket of objects.
 
-    def __init__(self, name: str) -> None:
+    ``guard`` (installed by :meth:`ObjectStore.attach_resilience`) runs
+    before every mutating or reading operation and raises
+    :class:`TransientStoreError` / :class:`CircuitOpenError` when the
+    fault layer says so — the in-memory dict itself never fails.
+    """
+
+    def __init__(
+        self, name: str, guard: Callable[[str, str], None] | None = None
+    ) -> None:
         self.name = name
+        self.guard = guard
         self._objects: dict[str, StoredObject] = {}
+
+    def _gate(self, op: str) -> None:
+        if self.guard is not None:
+            self.guard(self.name, op)
 
     def put(
         self,
@@ -59,6 +87,7 @@ class Container:
         """Store (or overwrite) an object; returns it with its ETag."""
         if not name:
             raise ObjectStoreError("object name must be non-empty")
+        self._gate("put")
         obj = StoredObject(
             name=name,
             data=bytes(data),
@@ -71,6 +100,7 @@ class Container:
 
     def get(self, name: str) -> StoredObject:
         """Fetch an object."""
+        self._gate("get")
         try:
             return self._objects[name]
         except KeyError:
@@ -80,6 +110,7 @@ class Container:
 
     def delete(self, name: str) -> None:
         """Remove an object."""
+        self._gate("delete")
         if name not in self._objects:
             raise NoSuchObjectError(f"no object {name!r} in container {self.name!r}")
         del self._objects[name]
@@ -102,12 +133,85 @@ class ObjectStore:
 
     def __init__(self) -> None:
         self._containers: dict[str, Container] = {}
+        self._injector: FaultInjector | None = None
+        self._clock: Clock | None = None
+        self._retry: RetryPolicy | None = None
+        self._breaker_policy: BreakerPolicy | None = None
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._rng: np.random.Generator | None = None
+
+    # -------------------------------------------------------- resilience
+
+    def attach_resilience(
+        self,
+        injector: FaultInjector | None = None,
+        clock: Clock | None = None,
+        retry: RetryPolicy | None = None,
+        breaker_policy: BreakerPolicy | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        """Put the fault layer in front of every container operation.
+
+        ``injector`` supplies ``store-error`` faults against
+        ``"store:<container>"`` targets; ``retry`` backs failed
+        operations off (sleeps charged to ``clock``); ``breaker_policy``
+        builds one :class:`CircuitBreaker` per container so a flapping
+        container fails fast while the others keep serving.  ``seed``
+        feeds the backoff-jitter stream.
+        """
+        self._injector = injector
+        self._clock = clock
+        self._retry = retry
+        self._breaker_policy = breaker_policy
+        self._rng = ensure_rng(seed)
+        for container in self._containers.values():
+            container.guard = self._guard
+
+    def breaker_for(self, container_name: str) -> CircuitBreaker | None:
+        """The per-container breaker (None without a breaker policy)."""
+        if self._breaker_policy is None:
+            return None
+        target = f"store:{container_name}"
+        breaker = self._breakers.get(target)
+        if breaker is None:
+            breaker = CircuitBreaker(self._breaker_policy, name=target)
+            self._breakers[target] = breaker
+        return breaker
+
+    def _guard(self, container_name: str, op: str) -> None:
+        """Run one container operation's fault gate to completion."""
+        if self._injector is None and self._breaker_policy is None:
+            return
+        target = f"store:{container_name}"
+
+        def attempt() -> None:
+            now = self._clock.now if self._clock is not None else 0.0
+            if self._injector is not None and self._injector.should_fail(
+                FaultKind.STORE_ERROR, target, now
+            ):
+                raise TransientStoreError(
+                    f"transient {op} failure on {target}"
+                )
+
+        call_with_resilience(
+            attempt,
+            retry=self._retry,
+            breaker=self.breaker_for(container_name),
+            clock=self._clock,
+            rng=self._rng,
+            target=target,
+        )
 
     def create_container(self, name: str) -> Container:
         """Create a container (idempotent, as in Swift)."""
         if not name or "/" in name:
             raise ObjectStoreError(f"invalid container name: {name!r}")
-        return self._containers.setdefault(name, Container(name))
+        guard = (
+            self._guard
+            if self._injector is not None or self._breaker_policy is not None
+            else None
+        )
+        return self._containers.setdefault(name, Container(name, guard=guard))
 
     def container(self, name: str) -> Container:
         """Fetch an existing container."""

@@ -18,9 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
+from repro.serve.replica import ReplicaState
 from repro.testbed.provisioning import BARE_METAL_DEPLOY_S
 
 __all__ = ["AutoscalePolicy", "Autoscaler"]
+
+#: States that still hold (or will soon hold) serving capacity.
+_ALIVE_STATES = (
+    ReplicaState.PROVISIONING,
+    ReplicaState.READY,
+    ReplicaState.DRAINING,
+)
 
 
 @dataclass(frozen=True)
@@ -80,10 +88,32 @@ class Autoscaler:
     def _tick(self) -> None:
         now = self.service.scheduler.clock.now
         self._schedule_tick()
-        if now < self._cooldown_until:
-            return
         routable = self.service.routable_replicas()
         pending = self.service.provisioning_count()
+        # Crashed capacity is replaced ahead of the cooldown and the
+        # empty-fleet guard: a fault that kills the last replica must not
+        # leave the service dark until the watermarks notice.  Hung
+        # replicas still count as alive — they thaw on their own.
+        alive = sum(
+            1 for r in self.service.replicas if r.state in _ALIVE_STATES
+        )
+        if alive < self.policy.min_replicas:
+            replica = self.service.add_replica(
+                delay_s=self.policy.provision_delay_s
+            )
+            self.scale_ups += 1
+            self._cooldown_until = now + self.policy.cooldown_s
+            if self.service.log is not None:
+                self.service.log.append(
+                    now,
+                    "serve.scale.replace",
+                    replica.replica_id,
+                    "autoscaler",
+                    fleet=alive + 1,
+                )
+            return
+        if now < self._cooldown_until:
+            return
         if not routable and not pending:
             return
         depth = (

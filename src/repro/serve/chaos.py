@@ -1,0 +1,240 @@
+"""Chaos scenarios: a fault plan played against a serving fleet.
+
+A :class:`ChaosScenario` bundles one serving configuration with one
+:class:`~repro.faults.plan.FaultPlan`; :func:`run_chaos` plays it on a
+fresh :class:`~repro.common.clock.EventScheduler` and returns a
+:class:`ChaosSummary` whose :meth:`~ChaosSummary.to_text` is
+byte-identical per seed — the property ``autolearn chaos`` and the
+chaos regression suite pin.
+
+Every run re-checks request conservation: each admitted request ends in
+exactly one terminal status, completions are unique, and the SLO
+counters satisfy ``offered == completed + dropped + shed + rejected +
+expired``.  A violation raises :class:`~repro.common.errors.FaultError`
+— losing a request during a crash is a bug in the rescue path, not an
+acceptable outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import EventScheduler
+from repro.common.errors import ConfigurationError, FaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.serve.autoscale import AutoscalePolicy, Autoscaler
+from repro.serve.replica import BatchLatencyModel
+from repro.serve.request import TERMINAL_STATUSES, RequestStatus
+from repro.serve.service import InferenceService, ServeSummary
+from repro.serve.workload import VehicleFleetWorkload
+from repro.testbed.hardware import gpu_spec
+
+__all__ = ["ChaosScenario", "ChaosSummary", "default_plan", "run_chaos"]
+
+
+def default_plan(replicas: int) -> FaultPlan:
+    """The stock scenario: one crash, one hang, one slow-node window."""
+    if replicas < 1:
+        raise ConfigurationError(f"need >= 1 replica, got {replicas}")
+    specs = [
+        FaultSpec(FaultKind.SLOW_NODE, "replica-*", at_s=2.0,
+                  duration_s=2.0, factor=4.0),
+        FaultSpec(FaultKind.REPLICA_HANG, "replica:any", at_s=3.0,
+                  duration_s=1.5),
+    ]
+    if replicas > 1:
+        specs.append(FaultSpec(FaultKind.REPLICA_CRASH, "replica:any", at_s=5.0))
+    return FaultPlan(specs)
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One serving configuration plus the faults played against it."""
+
+    name: str = "default"
+    duration_s: float = 10.0
+    vehicles: int = 64
+    replicas: int = 3
+    router: str = "least-outstanding"
+    batch_policy: str = "adaptive"
+    queue_capacity: int = 256
+    queue_policy: str = "drop"
+    deadline_ticks: int = 4
+    gpu: str = "V100"
+    flops_per_frame: float = 1e8
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    autoscale: bool = True
+    max_replicas: int = 8
+    provision_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError(
+                f"duration_s must be positive, got {self.duration_s}"
+            )
+        if self.vehicles < 1 or self.replicas < 1:
+            raise ConfigurationError(
+                f"need >= 1 vehicle and replica, got "
+                f"{self.vehicles}/{self.replicas}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (scenario files)."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "vehicles": self.vehicles,
+            "replicas": self.replicas,
+            "router": self.router,
+            "batch_policy": self.batch_policy,
+            "queue_capacity": self.queue_capacity,
+            "queue_policy": self.queue_policy,
+            "deadline_ticks": self.deadline_ticks,
+            "gpu": self.gpu,
+            "flops_per_frame": self.flops_per_frame,
+            "faults": self.plan.to_dicts(),
+            "autoscale": self.autoscale,
+            "max_replicas": self.max_replicas,
+            "provision_delay_s": self.provision_delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChaosScenario":
+        """Parse a scenario file (unknown keys rejected)."""
+        payload = dict(payload)
+        plan = FaultPlan.from_dicts(payload.pop("faults", []))
+        known = {
+            "name", "duration_s", "vehicles", "replicas", "router",
+            "batch_policy", "queue_capacity", "queue_policy",
+            "deadline_ticks", "gpu", "flops_per_frame", "autoscale",
+            "max_replicas", "provision_delay_s",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario keys: {sorted(unknown)}"
+            )
+        return cls(plan=plan, **payload)
+
+
+@dataclass
+class ChaosSummary:
+    """Deterministic end-of-run report for one chaos scenario."""
+
+    scenario: str
+    seed: int
+    planned: int
+    started: int
+    cleared: int
+    serve: ServeSummary
+    fresh_response_ratio: float
+    max_stale_streak: int
+    lost_responses: int
+    conserved: bool
+
+    def to_dict(self) -> dict:
+        """JSON-ready view."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "planned": self.planned,
+            "started": self.started,
+            "cleared": self.cleared,
+            "serve": self.serve.to_dict(),
+            "fresh_response_ratio": self.fresh_response_ratio,
+            "max_stale_streak": self.max_stale_streak,
+            "lost_responses": self.lost_responses,
+            "conserved": self.conserved,
+        }
+
+    def to_text(self) -> str:
+        """Fixed-format report; byte-identical across same-seed runs."""
+        lines = [
+            f"chaos scenario {self.scenario!r} seed={self.seed}",
+            f"  plan      faults={self.planned} started={self.started} "
+            f"cleared={self.cleared}",
+            f"  impact    crashes={self.serve.crashes} "
+            f"hangs={self.serve.hangs} requeued={self.serve.requeued}",
+            f"  vehicles  fresh_ratio={self.fresh_response_ratio:.4f} "
+            f"max_stale_streak={self.max_stale_streak} "
+            f"lost={self.lost_responses}",
+            f"  conserved {'yes' if self.conserved else 'NO'}",
+        ]
+        serve_text = self.serve.to_text().rstrip("\n")
+        lines.extend("  " + line for line in serve_text.split("\n"))
+        return "\n".join(lines) + "\n"
+
+
+def _check_conservation(service: InferenceService) -> None:
+    """Raise :class:`FaultError` unless every request is accounted for."""
+    slo = service.slo
+    if slo.offered != slo.completed + slo.losses:
+        raise FaultError(
+            f"conservation violated: offered={slo.offered} != "
+            f"completed={slo.completed} + losses={slo.losses}"
+        )
+    non_terminal = [
+        request.request_id
+        for request in service.requests
+        if request.status not in TERMINAL_STATUSES
+    ]
+    if non_terminal:
+        raise FaultError(
+            f"{len(non_terminal)} requests never reached a terminal "
+            f"status: {non_terminal[:5]}"
+        )
+    completed = [
+        request.request_id
+        for request in service.requests
+        if request.status is RequestStatus.COMPLETED
+    ]
+    if len(completed) != len(set(completed)):
+        raise FaultError("a request completed more than once")
+
+
+def run_chaos(scenario: ChaosScenario, seed: int = 0) -> ChaosSummary:
+    """Play one scenario; returns a per-seed byte-identical summary."""
+    scheduler = EventScheduler()
+    injector = FaultInjector(scenario.plan, seed=seed)
+    latency_model = BatchLatencyModel.from_gpu(
+        gpu_spec(scenario.gpu), flops_per_frame=scenario.flops_per_frame
+    )
+    service = InferenceService(
+        latency_model,
+        scheduler=scheduler,
+        n_replicas=scenario.replicas,
+        router=scenario.router,
+        batch_policy=scenario.batch_policy,
+        queue_capacity=scenario.queue_capacity,
+        queue_policy=scenario.queue_policy,
+        seed=seed,
+        keep_requests=True,
+        injector=injector,
+    )
+    workload = VehicleFleetWorkload(
+        scenario.vehicles,
+        deadline_ticks=scenario.deadline_ticks,
+        seed=seed,
+    )
+    autoscaler = None
+    if scenario.autoscale:
+        autoscaler = Autoscaler(service, AutoscalePolicy(
+            min_replicas=scenario.replicas,
+            max_replicas=scenario.max_replicas,
+            provision_delay_s=scenario.provision_delay_s,
+        ))
+    summary = service.run(workload, scenario.duration_s, autoscaler=autoscaler)
+    _check_conservation(service)
+    return ChaosSummary(
+        scenario=scenario.name,
+        seed=int(seed),
+        planned=len(scenario.plan),
+        started=injector.started,
+        cleared=injector.cleared,
+        serve=summary,
+        fresh_response_ratio=workload.fresh_response_ratio,
+        max_stale_streak=workload.stats.max_stale_streak,
+        lost_responses=workload.stats.lost_responses,
+        conserved=True,
+    )

@@ -114,12 +114,13 @@ class BatchLatencyModel:
 
 
 class ReplicaState(enum.Enum):
-    """Replica lifecycle driven by the autoscaler."""
+    """Replica lifecycle driven by the autoscaler (and the fault layer)."""
 
     PROVISIONING = "provisioning"  # deploy delay still running
     READY = "ready"  # routable
     DRAINING = "draining"  # no new requests; finishing its queue
     RETIRED = "retired"  # gone
+    FAILED = "failed"  # crashed by an injected fault; never returns
 
 
 class Replica:
@@ -146,6 +147,7 @@ class Replica:
         self.served = 0
         self.busy_s = 0.0
         self.ready_at = -1.0
+        self.hung_until = -1.0
         self._rng = ensure_rng(rng)
 
     # --------------------------------------------------------- lifecycle
@@ -176,9 +178,32 @@ class Replica:
             )
         self.state = ReplicaState.RETIRED
 
+    def fail(self) -> None:
+        """Crash: drop out of the fleet immediately, work already drained.
+
+        The caller (the service's crash handler) is responsible for
+        requeueing the in-flight batch and queued requests *before*
+        failing the replica.
+        """
+        if self.state in (ReplicaState.RETIRED, ReplicaState.FAILED):
+            raise ReplicaStateError(
+                f"replica {self.replica_id} cannot crash from {self.state.value}"
+            )
+        self.state = ReplicaState.FAILED
+        self.busy = False
+        self.inflight = ()
+
+    def is_hung(self, now: float) -> bool:
+        """Whether an injected hang currently freezes this replica."""
+        return now < self.hung_until
+
     @property
     def routable(self) -> bool:
-        """Whether the router may send new requests here."""
+        """Whether the router may send new requests here.
+
+        State-based only; the service additionally excludes hung
+        replicas and open circuits via ``routable_replicas``.
+        """
         return self.state is ReplicaState.READY
 
     @property

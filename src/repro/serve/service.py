@@ -30,6 +30,9 @@ from repro.common.errors import ConfigurationError
 from repro.common.eventlog import EventLog
 from repro.common.ids import IdFactory
 from repro.common.rng import seed_from_name
+from repro.faults.breaker import BreakerPolicy, CircuitBreaker
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultSpec
 from repro.net.topology import Route
 from repro.serve.autoscale import Autoscaler
 from repro.serve.batcher import MicroBatcher
@@ -72,6 +75,9 @@ class ServeSummary:
     scale_ups: int = 0
     scale_downs: int = 0
     stale_ticks: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    requeued: int = 0
     extras: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -102,6 +108,9 @@ class ServeSummary:
             "scale_ups": self.scale_ups,
             "scale_downs": self.scale_downs,
             "stale_ticks": self.stale_ticks,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "requeued": self.requeued,
         }
         out.update(self.extras)
         return out
@@ -128,6 +137,11 @@ class ServeSummary:
             f"  batching  batches={self.batches} mean_size={self.mean_batch:.2f}",
             f"  scaling   ups={self.scale_ups} downs={self.scale_downs}",
         ]
+        if self.crashes or self.hangs or self.requeued:
+            lines.append(
+                f"  faults    crashes={self.crashes} hangs={self.hangs} "
+                f"requeued={self.requeued}"
+            )
         if self.stale_ticks:
             lines.append(f"  vehicles  stale_ticks={self.stale_ticks}")
         return "\n".join(lines) + "\n"
@@ -154,6 +168,8 @@ class InferenceService:
         log_requests: bool = False,
         slo_window_s: float = 2.0,
         keep_requests: bool = False,
+        injector: FaultInjector | None = None,
+        breaker_policy: BreakerPolicy | None = None,
     ) -> None:
         if n_replicas < 1:
             raise ConfigurationError(f"need >= 1 replica, got {n_replicas}")
@@ -172,13 +188,27 @@ class InferenceService:
         self.slo = SloTracker(log=log, window_s=slo_window_s, log_requests=log_requests)
         self.replicas: list[Replica] = []
         self.requests: list[Request] = []
+        self.injector = injector
+        self.crashes = 0
+        self.hangs = 0
+        self._breaker_policy = breaker_policy
+        if self._breaker_policy is None and injector is not None:
+            self._breaker_policy = BreakerPolicy()
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._keep_requests = bool(keep_requests)
         self._ids = IdFactory()
         self._wakes: dict[str, ScheduledEvent] = {}
+        self._inflight: dict[str, tuple[ScheduledEvent, list[Request], float]] = {}
+        self._hang_resolutions: dict[FaultSpec, list[list[str]]] = {}
         self._workload: Workload | None = None
         for _ in range(n_replicas):
             replica = self._new_replica()
             replica.mark_ready(self.scheduler.clock.now)
+        if injector is not None:
+            injector.on(FaultKind.REPLICA_CRASH, self._on_crash_fault)
+            injector.on(FaultKind.REPLICA_HANG, self._on_hang_fault)
+            injector.on_clear(FaultKind.REPLICA_HANG, self._on_hang_clear)
+            injector.arm(self.scheduler)
 
     # ------------------------------------------------------------- fleet
 
@@ -201,7 +231,15 @@ class InferenceService:
             route=self.route,
         )
         self.replicas.append(replica)
+        if self._breaker_policy is not None:
+            self._breakers[replica_id] = CircuitBreaker(
+                self._breaker_policy, name=replica_id
+            )
         return replica
+
+    def breaker_for(self, replica_id: str) -> CircuitBreaker | None:
+        """The per-replica circuit breaker (None without a policy)."""
+        return self._breakers.get(replica_id)
 
     def add_replica(self, delay_s: float = 0.0) -> Replica:
         """Grow the fleet; routable after ``delay_s`` of provisioning."""
@@ -236,8 +274,22 @@ class InferenceService:
         return None
 
     def routable_replicas(self) -> list[Replica]:
-        """Replicas the router may currently target."""
-        return [replica for replica in self.replicas if replica.routable]
+        """Replicas the router may currently target.
+
+        Excludes hung replicas and replicas whose circuit is open
+        (``peek`` is side-effect-free, so stats polls don't consume
+        half-open probes — probe admission happens in :meth:`submit`).
+        """
+        now = self.scheduler.clock.now
+        out = []
+        for replica in self.replicas:
+            if not replica.routable or replica.is_hung(now):
+                continue
+            breaker = self._breakers.get(replica.replica_id)
+            if breaker is not None and not breaker.peek(now):
+                continue
+            out.append(replica)
+        return out
 
     def provisioning_count(self) -> int:
         """Replicas still inside their provisioning delay."""
@@ -255,8 +307,18 @@ class InferenceService:
         self.slo.record_offered(request, now)
         if self._keep_requests:
             self.requests.append(request)
+        return self._place(request, now)
+
+    def _place(self, request: Request, now: float) -> bool:
+        """Route + admit one request (shared by submit and requeue)."""
         replica = self.router.route(self.routable_replicas(), request, now)
         if replica is None:
+            request.status = RequestStatus.DROPPED
+            self._lose(request, "drop", now)
+            return False
+        breaker = self._breakers.get(replica.replica_id)
+        if breaker is not None and not breaker.allow(now):
+            # The router raced a just-consumed half-open probe slot.
             request.status = RequestStatus.DROPPED
             self._lose(request, "drop", now)
             return False
@@ -277,6 +339,133 @@ class InferenceService:
         if self._workload is not None:
             self._workload.on_loss(request)
 
+    # ------------------------------------------------------------ faults
+
+    def _fault_targets(self, spec: FaultSpec, rng) -> list[Replica]:
+        """Resolve a fault spec's target to live replicas.
+
+        ``"replica:any"`` picks one routable replica from the fault's
+        own stream; names and ``*`` wildcards match any replica that is
+        ready or draining.
+        """
+        if spec.target == "replica:any":
+            candidates = [r for r in self.replicas if r.routable]
+            if not candidates:
+                return []
+            return [candidates[int(rng.integers(len(candidates)))]]
+        return [
+            replica
+            for replica in self.replicas
+            if spec.matches(replica.replica_id)
+            and replica.state in (ReplicaState.READY, ReplicaState.DRAINING)
+        ]
+
+    def _on_crash_fault(self, spec: FaultSpec, rng) -> None:
+        now = self.scheduler.clock.now
+        for replica in self._fault_targets(spec, rng):
+            self._crash(replica, now)
+
+    def _crash(self, replica: Replica, now: float) -> None:
+        """Kill one replica; rescue its queued and in-flight requests."""
+        self.crashes += 1
+        wake = self._wakes.pop(replica.replica_id, None)
+        if wake is not None:
+            wake.cancel()
+        orphans: list[Request] = []
+        entry = self._inflight.pop(replica.replica_id, None)
+        if entry is not None:
+            event, batch, _ = entry
+            event.cancel()
+            orphans.extend(batch)
+        if len(replica.queue):
+            orphans.extend(replica.queue.pop(len(replica.queue)))
+        replica.fail()
+        breaker = self._breakers.get(replica.replica_id)
+        if breaker is not None:
+            breaker.trip(now)
+        if self.log is not None:
+            self.log.append(
+                now,
+                "serve.replica.crash",
+                replica.replica_id,
+                "injector",
+                orphans=len(orphans),
+            )
+        # Tightest deadline first: the rescue order that never strands an
+        # urgent request behind a relaxed one (chaos property-checked).
+        orphans.sort(key=lambda r: (r.deadline_s, r.arrival_s, r.request_id))
+        for request in orphans:
+            self._requeue(request, now)
+
+    def _requeue(self, request: Request, now: float) -> None:
+        """Give a rescued request another chance, deadline permitting."""
+        self.slo.record_requeue(request, now)
+        if request.deadline_s < now:
+            request.status = RequestStatus.EXPIRED
+            self._lose(request, "expire", now)
+            return
+        request.status = RequestStatus.PENDING
+        request.batch_id = ""
+        request.dispatched_s = -1.0
+        self._place(request, now)
+
+    def _on_hang_fault(self, spec: FaultSpec, rng) -> None:
+        now = self.scheduler.clock.now
+        targets = self._fault_targets(spec, rng)
+        # Remember the resolution so the clear event thaws the *same*
+        # replicas (a second "replica:any" draw could pick differently).
+        self._hang_resolutions.setdefault(spec, []).append(
+            [replica.replica_id for replica in targets]
+        )
+        for replica in targets:
+            self._hang(replica, now, spec.end_s)
+
+    def _hang(self, replica: Replica, now: float, until_s: float) -> None:
+        """Freeze one replica until ``until_s``; in-flight work stalls."""
+        self.hangs += 1
+        replica.hung_until = max(replica.hung_until, until_s)
+        wake = self._wakes.pop(replica.replica_id, None)
+        if wake is not None:
+            wake.cancel()
+        breaker = self._breakers.get(replica.replica_id)
+        if breaker is not None:
+            breaker.trip(now)
+        entry = self._inflight.pop(replica.replica_id, None)
+        if entry is not None:
+            # The in-flight batch finishes late by the hang duration.
+            event, batch, latency = entry
+            event.cancel()
+            postponed = self.scheduler.schedule_at(
+                event.time + (until_s - now),
+                lambda: self._complete(replica, batch, latency),
+                label="serve.batch.complete",
+            )
+            self._inflight[replica.replica_id] = (postponed, batch, latency)
+        if self.log is not None:
+            self.log.append(
+                now,
+                "serve.replica.hang",
+                replica.replica_id,
+                "injector",
+                until_s=until_s,
+            )
+
+    def _on_hang_clear(self, spec: FaultSpec, rng) -> None:
+        now = self.scheduler.clock.now
+        resolutions = self._hang_resolutions.get(spec, [])
+        replica_ids = resolutions.pop(0) if resolutions else []
+        by_id = {replica.replica_id: replica for replica in self.replicas}
+        for replica_id in replica_ids:
+            replica = by_id.get(replica_id)
+            if replica is None or replica.state is ReplicaState.FAILED:
+                continue
+            if not replica.is_hung(now):
+                if self.log is not None:
+                    self.log.append(
+                        now, "serve.replica.thaw", replica.replica_id, "injector"
+                    )
+                self._pump(replica)
+
     # ---------------------------------------------------------- batching
 
     def _pump(self, replica: Replica) -> None:
@@ -287,6 +476,8 @@ class InferenceService:
         ):
             return
         now = self.scheduler.clock.now
+        if replica.is_hung(now):
+            return
         for expired in replica.queue.expire(now):
             self._lose(expired, "expire", now)
         stale_wake = self._wakes.pop(replica.replica_id, None)
@@ -326,6 +517,8 @@ class InferenceService:
             request.replica_id = replica.replica_id
             request.batch_id = batch_id
         latency = replica.sample_batch_latency(len(batch))
+        if self.injector is not None:
+            latency *= self.injector.latency_factor(replica.replica_id, now)
         replica.busy = True
         replica.inflight = tuple(batch)
         replica.batches += 1
@@ -338,16 +531,18 @@ class InferenceService:
                 size=len(batch),
                 latency_s=latency,
             )
-        self.scheduler.schedule_in(
+        event = self.scheduler.schedule_in(
             latency,
             lambda: self._complete(replica, batch, latency),
             label="serve.batch.complete",
         )
+        self._inflight[replica.replica_id] = (event, batch, latency)
 
     def _complete(
         self, replica: Replica, batch: list[Request], latency: float
     ) -> None:
         now = self.scheduler.clock.now
+        self._inflight.pop(replica.replica_id, None)
         if self.model is not None:
             frames = [request.frame for request in batch]
             if all(frame is not None for frame in frames):
@@ -363,6 +558,9 @@ class InferenceService:
         replica.inflight = ()
         replica.served += len(batch)
         replica.busy_s += latency
+        breaker = self._breakers.get(replica.replica_id)
+        if breaker is not None:
+            breaker.record_success(now)
         self.router.observe_batch(replica, latency)
         if self._workload is not None:
             for request in batch:
@@ -432,4 +630,7 @@ class InferenceService:
             scale_ups=autoscaler.scale_ups if autoscaler else 0,
             scale_downs=autoscaler.scale_downs if autoscaler else 0,
             stale_ticks=getattr(workload, "stale_ticks", 0),
+            crashes=self.crashes,
+            hangs=self.hangs,
+            requeued=slo.requeued,
         )

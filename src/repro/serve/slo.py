@@ -121,6 +121,7 @@ class SloTracker:
         self.shed = 0
         self.rejected = 0
         self.expired = 0
+        self.requeued = 0
         self._window: deque[tuple[float, float]] = deque()
 
     # ----------------------------------------------------------- intake
@@ -152,6 +153,24 @@ class SloTracker:
                 met_deadline=request.met_deadline,
                 replica=request.replica_id,
                 batch=request.batch_id,
+            )
+
+    def record_requeue(self, request: Request, now: float) -> None:
+        """A request was rescued from a crashed replica (non-terminal).
+
+        Requeues are transitions, not outcomes: a requeued request still
+        ends in exactly one of completed / dropped / shed / expired, so
+        the conservation identity ``offered == completed + losses``
+        holds regardless of how many times it was requeued.
+        """
+        self.requeued += 1
+        if self.log is not None and self.log_requests:
+            self.log.append(
+                now,
+                "serve.request.requeue",
+                request.request_id,
+                request.source,
+                deadline_s=request.deadline_s,
             )
 
     def record_loss(self, request: Request, kind: str, now: float) -> None:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import ensure_rng
+from repro.inference.serving import ServingStats
 from repro.serve.request import Request
 
 __all__ = ["Workload", "PoissonWorkload", "VehicleFleetWorkload"]
@@ -160,8 +161,10 @@ class VehicleFleetWorkload(Workload):
             for vehicle in range(self.n_vehicles)
         ]
         self._outstanding = [False] * self.n_vehicles
-        self.stale_ticks = 0
-        self.ticks = 0
+        self.stats = ServingStats(dt=self.dt)
+        self._streaks = [0] * self.n_vehicles
+        self._buckets: dict[int, list[int]] = {}
+        self.timeline_bucket_s = 1.0
         self._count = 0
         self._service = None
         self._until_s = 0.0
@@ -169,6 +172,36 @@ class VehicleFleetWorkload(Workload):
     @property
     def submitted(self) -> int:
         return self._count
+
+    @property
+    def ticks(self) -> int:
+        """Total vehicle-loop ticks across the fleet."""
+        return self.stats.ticks
+
+    @property
+    def stale_ticks(self) -> int:
+        """Ticks driven on a stale command (request still in flight)."""
+        return self.stats.stale_ticks
+
+    @property
+    def fresh_response_ratio(self) -> float:
+        """Responses delivered per request issued across the fleet."""
+        return self.stats.fresh_response_ratio
+
+    def fresh_ratio_timeline(self) -> list[tuple[float, float]]:
+        """Per-bucket (start_s, fresh-tick ratio) pairs, time-ordered.
+
+        A tick is *fresh* when the vehicle is not driving on a stale
+        command.  The soak suite uses this to check the fleet recovers
+        after the last fault clears.
+        """
+        out = []
+        for index in sorted(self._buckets):
+            fresh, total = self._buckets[index]
+            out.append(
+                (index * self.timeline_bucket_s, fresh / total if total else 0.0)
+            )
+        return out
 
     def start(self, service, until_s: float) -> None:
         self._service = service
@@ -189,11 +222,22 @@ class VehicleFleetWorkload(Workload):
     def _tick(self, vehicle: int) -> None:
         scheduler = self._service.scheduler
         now = scheduler.clock.now
-        self.ticks += 1
-        if self._outstanding[vehicle]:
+        self.stats.ticks += 1
+        stale = self._outstanding[vehicle]
+        bucket = self._buckets.setdefault(
+            int(now // self.timeline_bucket_s), [0, 0]
+        )
+        bucket[0] += 0 if stale else 1
+        bucket[1] += 1
+        if stale:
             # Previous command still in flight: drive on the stale one.
-            self.stale_ticks += 1
+            self.stats.stale_ticks += 1
+            self._streaks[vehicle] += 1
+            self.stats.max_stale_streak = max(
+                self.stats.max_stale_streak, self._streaks[vehicle]
+            )
         else:
+            self._streaks[vehicle] = 0
             self._count += 1
             frame = None
             if self._frames is not None:
@@ -206,6 +250,7 @@ class VehicleFleetWorkload(Workload):
                 frame=frame,
             )
             self._outstanding[vehicle] = True
+            self.stats.requests += 1
             self._service.submit(request)
         if now + self.dt < self._until_s:
             scheduler.schedule_in(
@@ -221,8 +266,14 @@ class VehicleFleetWorkload(Workload):
         vehicle = self._vehicle_index(request.source)
         if vehicle is not None:
             self._outstanding[vehicle] = False
+            self._streaks[vehicle] = 0
+            self.stats.responses += 1
+            latency = request.latency_s
+            self.stats.latency_sum += latency
+            self.stats.latency_max = max(self.stats.latency_max, latency)
 
     def on_loss(self, request: Request) -> None:
         vehicle = self._vehicle_index(request.source)
         if vehicle is not None:
             self._outstanding[vehicle] = False
+            self.stats.lost_responses += 1

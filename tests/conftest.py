@@ -14,9 +14,13 @@ from repro.common.rng import ensure_rng
 from repro.core.drivers import PurePursuitDriver, StudentDriver
 from repro.data.records import DriveRecord
 from repro.data.tub import Tub
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.serve.replica import BatchLatencyModel
+from repro.serve.service import InferenceService
 from repro.sim.renderer import CameraParams
 from repro.sim.session import DrivingSession
 from repro.sim.tracks import default_tape_oval, waveshare_track
+from repro.testbed.hardware import GPU_SPECS
 from repro.vehicle.builder import build_recording_vehicle
 
 #: Small camera used across the suite.
@@ -92,6 +96,48 @@ def tub_factory(tmp_path):
             for record in make_records(n_records, seed=seed):
                 tub.write_record(record)
         return tub
+
+    return make
+
+
+@pytest.fixture()
+def fault_plan_factory():
+    """Build :class:`FaultPlan`s from specs or compact tuples.
+
+    Accepts ready :class:`FaultSpec` objects or ``(kind, target, at_s,
+    ...)`` tuples in :class:`FaultSpec` argument order.
+    """
+
+    def make(*specs):
+        built = [
+            spec if isinstance(spec, FaultSpec) else FaultSpec(*spec)
+            for spec in specs
+        ]
+        return FaultPlan(built)
+
+    return make
+
+
+@pytest.fixture()
+def chaos_service(fault_plan_factory):
+    """Factory for inference services, optionally under fault injection.
+
+    ``plan=None`` gives a plain fault-free service (the baseline the
+    chaos assertions compare against); otherwise the plan is wired
+    through a seeded :class:`FaultInjector`.
+    """
+
+    def make(plan=None, seed=5, gpu="V100", flops_per_frame=1e8, **kw):
+        if plan is not None and not isinstance(plan, FaultPlan):
+            plan = fault_plan_factory(*plan)
+        injector = FaultInjector(plan, seed=seed) if plan is not None else None
+        kw.setdefault("keep_requests", True)
+        latency_model = BatchLatencyModel.from_gpu(
+            GPU_SPECS[gpu], flops_per_frame
+        )
+        return InferenceService(
+            latency_model, seed=seed, injector=injector, **kw
+        )
 
     return make
 

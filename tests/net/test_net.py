@@ -157,3 +157,95 @@ class TestTransfers:
         t2 = tunnel.request(2048)
         assert tunnel.requests == 2
         assert t1 > 0 and t2 > 0
+
+
+class TestTransferResilience:
+    def route(self):
+        return autolearn_topology().route("car-pi", "chi-uc")
+
+    def plan(self, at_s=0.0, duration_s=1.0):
+        from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+
+        return FaultInjector(FaultPlan([
+            FaultSpec(FaultKind.LINK_PARTITION, "car-pi->chi-uc",
+                      at_s=at_s, duration_s=duration_s),
+        ]))
+
+    def test_partition_without_retry_raises(self, tub_factory):
+        from repro.common.errors import LinkPartitionError
+
+        tub = tub_factory(n_records=10)
+        clock = Clock()
+        with pytest.raises(LinkPartitionError):
+            rsync_tub(tub, self.route(), clock=clock, rng=0,
+                      injector=self.plan())
+
+    def test_partition_is_a_transfer_error_too(self):
+        from repro.common.errors import LinkPartitionError
+
+        with pytest.raises(TransferError):
+            raise LinkPartitionError("dual-typed")
+
+    def test_retry_rides_out_the_partition(self, tub_factory):
+        from repro.faults import RetryPolicy
+
+        tub = tub_factory(n_records=10)
+        clock = Clock()
+        retry = RetryPolicy(base_s=0.4, factor=2.0, cap_s=2.0,
+                            max_attempts=6, jitter=0.0)
+        result = rsync_tub(tub, self.route(), clock=clock, rng=0,
+                           injector=self.plan(duration_s=1.0), retry=retry)
+        # Backoff sleeps (0.4 + 0.8 s) carried the loop past the window.
+        assert clock.now == pytest.approx(1.2 + result.seconds)
+
+    def test_retry_exhaustion_on_long_partition(self):
+        from repro.common.errors import RetryExhaustedError
+        from repro.faults import RetryPolicy
+
+        clock = Clock()
+        retry = RetryPolicy(base_s=0.1, factor=1.0, cap_s=0.1,
+                            max_attempts=3, jitter=0.0)
+        with pytest.raises(RetryExhaustedError):
+            scp_bytes(1_000, self.route(), clock=clock, rng=0,
+                      injector=self.plan(duration_s=100.0), retry=retry)
+
+    def test_deadline_bounds_the_retry_loop(self):
+        from repro.common.errors import RetryExhaustedError
+        from repro.faults import RetryPolicy
+
+        clock = Clock()
+        retry = RetryPolicy(base_s=1.0, factor=1.0, cap_s=1.0,
+                            max_attempts=100, jitter=0.0)
+        with pytest.raises(RetryExhaustedError):
+            scp_bytes(1_000, self.route(), clock=clock, rng=0,
+                      injector=self.plan(duration_s=100.0), retry=retry,
+                      deadline_s=3.0)
+        assert clock.now <= 3.0
+
+    def test_breaker_opens_and_fails_fast(self):
+        from repro.common.errors import CircuitOpenError, LinkPartitionError
+        from repro.faults import BreakerPolicy, CircuitBreaker
+
+        clock = Clock()
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2,
+                                               open_s=10.0))
+        injector = self.plan(duration_s=100.0)
+        for _ in range(2):
+            with pytest.raises(LinkPartitionError):
+                scp_bytes(1_000, self.route(), clock=clock, rng=0,
+                          injector=injector, breaker=breaker)
+        with pytest.raises(CircuitOpenError):
+            scp_bytes(1_000, self.route(), clock=clock, rng=0,
+                      injector=injector, breaker=breaker)
+
+    def test_degraded_link_inflates_wire_time(self):
+        from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+
+        injector = FaultInjector(FaultPlan([
+            FaultSpec(FaultKind.LINK_DEGRADE, "car-pi->chi-uc",
+                      at_s=0.0, duration_s=10.0, factor=5.0),
+        ]))
+        clean = scp_bytes(5_000_000, self.route(), rng=0)
+        degraded = scp_bytes(5_000_000, self.route(), rng=0,
+                             injector=injector, clock=Clock())
+        assert degraded.seconds == pytest.approx(5.0 * clean.seconds)

@@ -110,3 +110,98 @@ class TestPersistence:
         (tmp_path / "c" / "x").write_bytes(b"tampered!")
         with pytest.raises(ObjectStoreError):
             ObjectStore.load_from_dir(tmp_path)
+
+
+class TestStoreResilience:
+    def wire(self, store, error_rate=1.0, duration_s=5.0, retry=None,
+             breaker_policy=None):
+        from repro.common.clock import Clock
+        from repro.faults import (
+            FaultInjector,
+            FaultKind,
+            FaultPlan,
+            FaultSpec,
+        )
+
+        clock = Clock()
+        injector = FaultInjector(FaultPlan([
+            FaultSpec(FaultKind.STORE_ERROR, "store:models", at_s=0.0,
+                      duration_s=duration_s, error_rate=error_rate),
+        ]), seed=3)
+        store.attach_resilience(
+            injector=injector, clock=clock, retry=retry,
+            breaker_policy=breaker_policy, seed=3,
+        )
+        return clock
+
+    def test_transient_errors_surface_without_retry(self, store):
+        from repro.common.errors import TransientStoreError
+
+        container = store.create_container("models")
+        self.wire(store)
+        with pytest.raises(TransientStoreError):
+            container.put("weights", b"abc")
+        with pytest.raises(ObjectStoreError):
+            container.put("weights", b"abc")  # also an ObjectStoreError
+
+    def test_unfaulted_container_is_unaffected(self, store):
+        container = store.create_container("datasets")
+        self.wire(store)
+        container.put("tub", b"records")
+        assert container.get("tub").data == b"records"
+
+    def test_retry_rides_out_the_window(self, store):
+        from repro.faults import RetryPolicy
+
+        container = store.create_container("models")
+        clock = self.wire(store, duration_s=1.0, retry=RetryPolicy(
+            base_s=0.4, factor=2.0, cap_s=2.0, max_attempts=6, jitter=0.0,
+        ))
+        container.put("weights", b"abc")
+        assert clock.now >= 1.0  # backoff carried us past the window
+        assert container.get("weights").data == b"abc"
+
+    def test_breaker_trips_per_container(self, store):
+        from repro.common.errors import CircuitOpenError, TransientStoreError
+        from repro.faults import BreakerPolicy, BreakerState
+
+        models = store.create_container("models")
+        datasets = store.create_container("datasets")
+        self.wire(store, breaker_policy=BreakerPolicy(failure_threshold=2,
+                                                      open_s=10.0))
+        for _ in range(2):
+            with pytest.raises(TransientStoreError):
+                models.put("weights", b"abc")
+        with pytest.raises(CircuitOpenError):
+            models.put("weights", b"abc")
+        assert store.breaker_for("models").state is BreakerState.OPEN
+        assert store.breaker_for("datasets").state is BreakerState.CLOSED
+        datasets.put("tub", b"records")  # the healthy container still serves
+
+    def test_probabilistic_errors_are_seeded(self, store):
+        from repro.common.errors import TransientStoreError
+
+        def outcomes():
+            fresh = ObjectStore()
+            container = fresh.create_container("models")
+            self.wire(fresh, error_rate=0.5)
+            results = []
+            for i in range(30):
+                try:
+                    container.put(f"obj-{i}", b"x")
+                    results.append(True)
+                except TransientStoreError:
+                    results.append(False)
+            return results
+
+        first = outcomes()
+        assert first == outcomes()
+        assert any(first) and not all(first)
+
+    def test_guard_installed_on_later_containers(self, store):
+        from repro.common.errors import TransientStoreError
+
+        self.wire(store)  # resilience attached before the container exists
+        container = store.create_container("models")
+        with pytest.raises(TransientStoreError):
+            container.put("weights", b"abc")

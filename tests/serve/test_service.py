@@ -20,8 +20,8 @@ def make_service(**kw):
 
 
 class TestLifecycle:
-    def test_open_loop_run_completes_everything(self):
-        service = make_service(n_replicas=2, keep_requests=True)
+    def test_open_loop_run_completes_everything(self, chaos_service):
+        service = chaos_service(n_replicas=2)
         summary = service.run(PoissonWorkload(400.0, seed=5), 3.0)
         assert summary.offered > 1000
         assert summary.completed == summary.offered
@@ -30,10 +30,8 @@ class TestLifecycle:
             r.status is RequestStatus.COMPLETED for r in service.requests
         )
 
-    def test_every_request_reaches_a_terminal_status(self):
-        service = make_service(
-            n_replicas=1, queue_capacity=8, keep_requests=True
-        )
+    def test_every_request_reaches_a_terminal_status(self, chaos_service):
+        service = chaos_service(n_replicas=1, queue_capacity=8)
         service.run(PoissonWorkload(3000.0, deadline_s=0.02, seed=5), 1.0)
         assert service.requests
         assert all(r.status in TERMINAL_STATUSES for r in service.requests)

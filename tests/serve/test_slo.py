@@ -92,6 +92,40 @@ class TestSloTracker:
         assert snap.window_completions == 1
         assert snap.window_p95_s == pytest.approx(0.010)
 
+    def test_zero_completion_window_snapshot_is_zeroed(self):
+        # Regression guard: an autoscaler polling a window with no
+        # completions (e.g. every replica hung) must get a well-formed
+        # zero snapshot, not a ZeroDivisionError or a stale p95.
+        tracker = SloTracker(window_s=1.0)
+        snap = tracker.snapshot(now=0.0)
+        assert (snap.completed, snap.window_p95_s, snap.window_completions) == (
+            0,
+            0.0,
+            0,
+        )
+        assert tracker.deadline_miss_rate == 0.0
+
+    def test_window_drained_by_outage_reports_zero_p95(self):
+        # Completions happened, then the window emptied out: cumulative
+        # counters persist but the windowed view must go back to zero.
+        tracker = SloTracker(window_s=1.0)
+        tracker.record_completion(completed(0, latency=0.5), 0.5)
+        snap = tracker.snapshot(now=10.0)
+        assert snap.completed == 1
+        assert snap.window_completions == 0
+        assert snap.window_p95_s == 0.0
+
+    def test_requeue_is_not_an_outcome(self):
+        tracker = SloTracker()
+        request = completed(0)
+        tracker.record_offered(request, 0.0)
+        tracker.record_requeue(request, 0.2)
+        tracker.record_requeue(request, 0.4)
+        tracker.record_completion(request, request.completed_s)
+        assert tracker.requeued == 2
+        # Conservation ignores requeues entirely.
+        assert tracker.offered == tracker.completed + tracker.losses
+
     def test_eventlog_mirroring(self):
         log = EventLog()
         tracker = SloTracker(log=log, log_requests=True)
