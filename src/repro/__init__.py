@@ -24,10 +24,12 @@ from repro import (
     data,
     edge,
     extensions,
+    faults,
     inference,
     ml,
     net,
     objectstore,
+    obs,
     serve,
     sim,
     testbed,
@@ -45,10 +47,12 @@ __all__ = [
     "data",
     "edge",
     "extensions",
+    "faults",
     "inference",
     "ml",
     "net",
     "objectstore",
+    "obs",
     "serve",
     "sim",
     "testbed",

@@ -31,12 +31,13 @@ RL501 = Rule(
 # package -> repro packages it may import from (itself is always allowed).
 DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
     "common": (),
+    "obs": ("common",),
     "analysis": ("common",),
     "data": ("common",),
-    "faults": ("common",),
-    "objectstore": ("common", "faults"),
+    "faults": ("common", "obs"),
+    "objectstore": ("common", "faults", "obs"),
     "sim": ("common",),
-    "net": ("common", "data", "faults"),
+    "net": ("common", "data", "faults", "obs"),
     "ml": ("common", "data"),
     "testbed": ("common", "objectstore"),
     "edge": ("common", "testbed"),
@@ -49,6 +50,7 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
         "ml",
         "net",
         "objectstore",
+        "obs",
         "testbed",
     ),
     "vehicle": ("common", "data", "ml", "sim"),
@@ -60,6 +62,7 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
         "ml",
         "net",
         "objectstore",
+        "obs",
         "sim",
         "testbed",
         "vehicle",

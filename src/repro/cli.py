@@ -11,6 +11,7 @@ steps — mirroring the ``donkey`` CLI the paper's students use:
 * ``autolearn pipeline`` — run a full pathway end to end.
 * ``autolearn serve`` — run a fleet inference-serving experiment.
 * ``autolearn chaos`` — play a fault-injection scenario against a fleet.
+* ``autolearn trace`` — run a canonical scenario with tracing attached.
 * ``autolearn lint`` — run the reprolint invariant checker.
 """
 
@@ -115,6 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the scenario's replica count")
     p.add_argument("--duration", type=float, default=0.0,
                    help="override the scenario's simulated duration")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a canonical scenario with deterministic tracing attached",
+    )
+    from repro.scenarios import TRACE_SCENARIOS
+
+    p.add_argument("scenario", choices=list(TRACE_SCENARIOS))
+    p.add_argument("--out", default="./autolearn-trace",
+                   help="directory for trace.json / trace.txt / metrics.json")
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
@@ -328,6 +340,24 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.export import chrome_trace, text_tree
+    from repro.scenarios import run_trace_scenario
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    result = run_trace_scenario(
+        args.scenario, seed=args.seed, work_dir=out / "work"
+    )
+    (out / "trace.json").write_text(chrome_trace(result.tracer))
+    (out / "trace.txt").write_text(text_tree(result.tracer))
+    (out / "metrics.json").write_text(result.metrics.to_json())
+    print(result.summary, end="")
+    print(f"spans={len(result.tracer.spans)} "
+          f"events={len(result.tracer.events)} -> {out}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.cli import run_lint_command
 
@@ -343,6 +373,7 @@ _COMMANDS = {
     "pipeline": _cmd_pipeline,
     "serve": _cmd_serve,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
     "lint": _cmd_lint,
 }
 

@@ -35,6 +35,8 @@ from repro.ml.serialize import save_model_bytes
 from repro.ml.training import EarlyStopping, Trainer, estimate_flops_per_sample
 from repro.net.topology import Topology, autolearn_topology
 from repro.net.transfer import scp_bytes
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer
 from repro.sim.renderer import CameraParams
 from repro.sim.tracks import Track, default_tape_oval
 from repro.testbed.chameleon import Chameleon
@@ -95,6 +97,8 @@ class AutoLearnPipeline:
         topology: Topology | None = None,
         gpu_node_type: str = "gpu_v100",
         eval_ticks: int = 800,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.pathway = (
             pathway if isinstance(pathway, LearningPathway) else lookup_pathway(pathway)
@@ -114,18 +118,50 @@ class AutoLearnPipeline:
         self.topology = topology if topology is not None else autolearn_topology()
         self.edge_service = CHIEdge(self.chameleon.scheduler, self.chameleon.identity)
         self.model = None
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = metrics
+        if self.tracer.enabled:
+            self.chameleon.object_store.attach_tracer(self.tracer)
 
     # ------------------------------------------------------------- run
 
     def run(self, student: str = "student01") -> PipelineReport:
         """Execute every stage for one student; returns the report."""
         report = PipelineReport(pathway=self.pathway.name)
-        session = self._setup(student, report)
-        collection = self._collect(report)
-        self._clean(collection, report)
-        split = self._train(collection, session, report)
-        self._deploy(session, report)
-        self._evaluate(report, split)
+        with self.tracer.span(
+            "pipeline.run",
+            pathway=self.pathway.name,
+            student=student,
+            seed=self.seed,
+        ):
+            with self.tracer.span(
+                "pipeline.setup", alternative=self.pathway.name
+            ):
+                session = self._setup(student, report)
+            with self.tracer.span(
+                "pipeline.collection", alternative=self.pathway.collection
+            ):
+                collection = self._collect(report)
+            with self.tracer.span("pipeline.cleaning", alternative="tubclean"):
+                self._clean(collection, report)
+            with self.tracer.span(
+                "pipeline.training", alternative=self.pathway.training
+            ):
+                split = self._train(collection, session, report)
+            with self.tracer.span(
+                "pipeline.deployment", alternative="object-store"
+            ):
+                self._deploy(session, report)
+            with self.tracer.span(
+                "pipeline.evaluation", alternative=self.pathway.evaluation
+            ):
+                self._evaluate(report, split)
+        if self.metrics is not None:
+            self.metrics.counter("pipeline.runs", pathway=self.pathway.name).inc()
+            for stage in report.stages:
+                self.metrics.histogram(
+                    "pipeline.stage_seconds", stage=stage.stage
+                ).observe(stage.sim_seconds)
         return report
 
     # ---------------------------------------------------------- stages
@@ -296,7 +332,11 @@ class AutoLearnPipeline:
         if self.pathway.evaluation == "physical":
             route = self.topology.route("chi-uc", "car-pi")
             transfer = scp_bytes(
-                len(payload), route, clock=self.chameleon.clock, rng=self.seed + 3
+                len(payload),
+                route,
+                clock=self.chameleon.clock,
+                rng=self.seed + 3,
+                tracer=self.tracer,
             )
             seconds = transfer.seconds
             details["scp_seconds"] = transfer.seconds

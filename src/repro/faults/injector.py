@@ -28,6 +28,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.eventlog import EventLog
 from repro.common.rng import ensure_rng, seed_from_name
 from repro.faults.plan import WINDOW_KINDS, FaultKind, FaultPlan, FaultSpec
+from repro.obs.tracer import NullTracer, Tracer
 
 __all__ = ["FaultInjector", "FaultHandler"]
 
@@ -43,10 +44,12 @@ class FaultInjector:
         plan: FaultPlan,
         seed: int = 0,
         log: EventLog | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.plan = plan
         self.seed = int(seed)
         self.log = log
+        self.tracer = tracer if tracer is not None else NullTracer()
         self.started = 0
         self.cleared = 0
         self._armed = False
@@ -104,6 +107,11 @@ class FaultInjector:
     def _make_fire(self, index: int, spec: FaultSpec) -> Callable[[], None]:
         def fire() -> None:
             self.started += 1
+            self.tracer.event(
+                f"fault.start.{spec.kind.value}",
+                target=spec.target,
+                duration_s=spec.duration_s,
+            )
             if self.log is not None:
                 self.log.append(
                     spec.at_s,
@@ -120,6 +128,9 @@ class FaultInjector:
     def _make_clear(self, index: int, spec: FaultSpec) -> Callable[[], None]:
         def clear() -> None:
             self.cleared += 1
+            self.tracer.event(
+                f"fault.clear.{spec.kind.value}", target=spec.target
+            )
             if self.log is not None:
                 self.log.append(
                     spec.end_s,

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.clock import Clock
-from repro.common.errors import LinkPartitionError, TransferError
+from repro.common.errors import LinkPartitionError, ReproError, TransferError
 from repro.common.rng import ensure_rng
 from repro.data.tub import Tub
 from repro.faults.breaker import CircuitBreaker
@@ -24,6 +24,8 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind
 from repro.faults.retry import RetryPolicy, call_with_resilience
 from repro.net.topology import Route
+from repro.obs.span import STATUS_ERROR, Span
+from repro.obs.tracer import NullTracer, Tracer
 
 __all__ = [
     "TransferResult",
@@ -96,6 +98,59 @@ def _tub_wire_bytes(tub: Tub, as_jpeg: bool) -> tuple[int, int, int]:
     return logical, wire, files
 
 
+def _traced_transfer(
+    name: str,
+    tracer: Tracer,
+    attempt,
+    retry: RetryPolicy | None,
+    breaker: CircuitBreaker | None,
+    clock: Clock | None,
+    gen,
+    deadline_s: float | None,
+    target: str,
+    **attrs,
+) -> tuple[float, Span]:
+    """Run the resilience loop inside a ``net.*`` span.
+
+    The span covers retries and backoff (the clock advances inside the
+    loop), records the attempt count and — when a breaker guards the
+    route — its state at exit, and carries error status with the
+    exception type when the loop gives up.  On success the span is
+    returned still open so the caller can stamp the final duration
+    (rsync adds a per-file checksum cost after the loop).
+    """
+    tries = {"n": 0}
+
+    def counted() -> float:
+        tries["n"] += 1
+        return attempt()
+
+    # Nest under the caller's context span (a pipeline stage, say):
+    # the transfer completes before the caller returns, so containment
+    # holds in both call structure and simulated time.
+    span = tracer.start(name, parent=tracer.current(), target=target, **attrs)
+    try:
+        seconds = call_with_resilience(
+            counted,
+            retry=retry,
+            breaker=breaker,
+            clock=clock,
+            rng=gen,
+            deadline_s=deadline_s,
+            target=target,
+        )
+    except ReproError as exc:
+        span.attrs["attempts"] = tries["n"]
+        if breaker is not None:
+            span.attrs["breaker"] = breaker.state
+        tracer.end(span, status=STATUS_ERROR, error=type(exc).__name__)
+        raise
+    span.attrs["attempts"] = tries["n"]
+    if breaker is not None:
+        span.attrs["breaker"] = breaker.state
+    return seconds, span
+
+
 def rsync_tub(
     tub: Tub,
     route: Route,
@@ -107,6 +162,7 @@ def rsync_tub(
     retry: RetryPolicy | None = None,
     breaker: CircuitBreaker | None = None,
     deadline_s: float | None = None,
+    tracer: Tracer | None = None,
 ) -> TransferResult:
     """Emulate ``rsync -a <tub> cloud:`` over a route.
 
@@ -120,12 +176,17 @@ def rsync_tub(
     sleeps charged to ``clock`` so the window can clear mid-loop), and
     degradation inflates the wire time.  ``breaker`` and ``deadline_s``
     compose as in :func:`repro.faults.call_with_resilience`.
+
+    With a ``tracer``, the transfer runs inside a ``net.rsync`` span
+    carrying route target, file count, wire bytes, attempt count, and
+    breaker state.
     """
     if not 0.0 <= already_synced_fraction <= 1.0:
         raise TransferError(
             f"already_synced_fraction must be in [0, 1]: {already_synced_fraction}"
         )
     gen = ensure_rng(rng)
+    trc = tracer if tracer is not None else NullTracer()
     logical, wire, files = _tub_wire_bytes(tub, as_jpeg)
     wire = int(wire * (1.0 - already_synced_fraction))
 
@@ -133,18 +194,37 @@ def rsync_tub(
         now = clock.now if clock is not None else 0.0
         return _wire_seconds(wire, route, gen, injector, now)
 
-    seconds = call_with_resilience(
-        attempt,
-        retry=retry,
-        breaker=breaker,
-        clock=clock,
-        rng=gen,
-        deadline_s=deadline_s,
-        target=route_target(route),
-    )
+    span = None
+    if trc.enabled:
+        seconds, span = _traced_transfer(
+            "net.rsync",
+            trc,
+            attempt,
+            retry,
+            breaker,
+            clock,
+            gen,
+            deadline_s,
+            route_target(route),
+            files=files,
+            nbytes_wire=wire,
+        )
+    else:
+        seconds = call_with_resilience(
+            attempt,
+            retry=retry,
+            breaker=breaker,
+            clock=clock,
+            rng=gen,
+            deadline_s=deadline_s,
+            target=route_target(route),
+        )
     seconds += files * _RSYNC_PER_FILE_S
     if clock is not None:
         clock.advance(seconds)
+    if span is not None:
+        span.attrs["seconds"] = seconds
+        trc.end(span)
     return TransferResult(
         nbytes_logical=logical,
         nbytes_wire=wire,
@@ -163,31 +243,52 @@ def scp_bytes(
     retry: RetryPolicy | None = None,
     breaker: CircuitBreaker | None = None,
     deadline_s: float | None = None,
+    tracer: Tracer | None = None,
 ) -> TransferResult:
     """Emulate ``scp`` of a single blob (e.g. trained model weights).
 
     Fault handling matches :func:`rsync_tub`: partitions on the route
     raise :class:`LinkPartitionError` and are retried under ``retry``.
+    With a ``tracer``, the transfer runs inside a ``net.scp`` span.
     """
     if nbytes < 0:
         raise TransferError(f"negative payload: {nbytes}")
     gen = ensure_rng(rng)
+    trc = tracer if tracer is not None else NullTracer()
 
     def attempt() -> float:
         now = clock.now if clock is not None else 0.0
         return _wire_seconds(nbytes, route, gen, injector, now)
 
-    seconds = call_with_resilience(
-        attempt,
-        retry=retry,
-        breaker=breaker,
-        clock=clock,
-        rng=gen,
-        deadline_s=deadline_s,
-        target=route_target(route),
-    )
+    span = None
+    if trc.enabled:
+        seconds, span = _traced_transfer(
+            "net.scp",
+            trc,
+            attempt,
+            retry,
+            breaker,
+            clock,
+            gen,
+            deadline_s,
+            route_target(route),
+            nbytes_wire=nbytes,
+        )
+    else:
+        seconds = call_with_resilience(
+            attempt,
+            retry=retry,
+            breaker=breaker,
+            clock=clock,
+            rng=gen,
+            deadline_s=deadline_s,
+            target=route_target(route),
+        )
     if clock is not None:
         clock.advance(seconds)
+    if span is not None:
+        span.attrs["seconds"] = seconds
+        trc.end(span)
     return TransferResult(
         nbytes_logical=nbytes,
         nbytes_wire=nbytes,

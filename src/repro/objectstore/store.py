@@ -37,6 +37,7 @@ from repro.faults.breaker import BreakerPolicy, CircuitBreaker
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind
 from repro.faults.retry import RetryPolicy, call_with_resilience
+from repro.obs.tracer import NullTracer, Tracer
 
 __all__ = ["StoredObject", "Container", "ObjectStore"]
 
@@ -67,15 +68,26 @@ class Container:
     """
 
     def __init__(
-        self, name: str, guard: Callable[[str, str], None] | None = None
+        self,
+        name: str,
+        guard: Callable[[str, str], None] | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.name = name
         self.guard = guard
+        self.tracer = tracer if tracer is not None else NullTracer()
         self._objects: dict[str, StoredObject] = {}
 
     def _gate(self, op: str) -> None:
-        if self.guard is not None:
-            self.guard(self.name, op)
+        if not self.tracer.enabled:
+            if self.guard is not None:
+                self.guard(self.name, op)
+            return
+        # The span brackets the fault gate (retries, breaker waits) —
+        # the dict operation itself is instantaneous in sim time.
+        with self.tracer.span(f"store.{op}", container=self.name):
+            if self.guard is not None:
+                self.guard(self.name, op)
 
     def put(
         self,
@@ -139,6 +151,18 @@ class ObjectStore:
         self._breaker_policy: BreakerPolicy | None = None
         self._breakers: dict[str, CircuitBreaker] = {}
         self._rng: np.random.Generator | None = None
+        self._tracer: Tracer = NullTracer()
+
+    # ----------------------------------------------------------- tracing
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Trace every container operation as a ``store.<op>`` span.
+
+        Applies to existing containers and any created afterwards.
+        """
+        self._tracer = tracer
+        for container in self._containers.values():
+            container.tracer = tracer
 
     # -------------------------------------------------------- resilience
 
@@ -211,7 +235,9 @@ class ObjectStore:
             if self._injector is not None or self._breaker_policy is not None
             else None
         )
-        return self._containers.setdefault(name, Container(name, guard=guard))
+        return self._containers.setdefault(
+            name, Container(name, guard=guard, tracer=self._tracer)
+        )
 
     def container(self, name: str) -> Container:
         """Fetch an existing container."""

@@ -1,0 +1,179 @@
+"""Trace exports: Chrome ``trace_event`` JSON, text trees, golden form.
+
+Three renderings of one :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`chrome_trace` — the ``chrome://tracing`` / Perfetto JSON
+  array format ("X" complete events for spans, "i" instants for
+  events), timestamps in microseconds of simulated time.
+* :func:`text_tree` — a fixed-format indented tree for humans and
+  byte-stable diffs.
+* :func:`normalized_trace` — the nested plain-data form the
+  golden-trace regression suite stores and compares.
+
+All three sort identically — spans by (start, span id), children under
+their parent — so same-seed runs render byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.common.errors import ConfigurationError
+from repro.obs.span import Span, TraceEvent
+from repro.obs.tracer import NullTracer, Tracer
+
+__all__ = ["chrome_trace", "normalized_trace", "span_children", "text_tree"]
+
+
+def _fmt_attr(value: Any) -> str:
+    """Fixed-format attr rendering (floats via %.6g for stability)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _sorted_spans(tracer: Tracer | NullTracer) -> list[Span]:
+    return sorted(tracer.spans, key=lambda s: (s.start_s, s.span_id))
+
+
+def span_children(
+    tracer: Tracer | NullTracer,
+) -> tuple[list[Span], dict[str, list[Span]]]:
+    """(roots, parent id -> children) with deterministic ordering.
+
+    A span whose parent id does not resolve is a structural bug — the
+    tracer only hands out parents it recorded — so it raises rather
+    than silently re-rooting.
+    """
+    known = {span.span_id for span in tracer.spans}
+    roots: list[Span] = []
+    children: dict[str, list[Span]] = {}
+    for span in _sorted_spans(tracer):
+        if not span.parent_id:
+            roots.append(span)
+        elif span.parent_id in known:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            raise ConfigurationError(
+                f"span {span.span_id} has unknown parent {span.parent_id!r}"
+            )
+    return roots, children
+
+
+def chrome_trace(tracer: Tracer | NullTracer, pid: int = 1) -> str:
+    """Render the trace as Chrome ``trace_event`` JSON (array format).
+
+    Open spans are rendered with zero duration at their start time —
+    callers that want closed trees call ``tracer.close_all()`` first.
+    """
+    records: list[dict[str, Any]] = []
+    for span in _sorted_spans(tracer):
+        args = {key: span.attrs[key] for key in sorted(span.attrs)}
+        args["status"] = span.status
+        if span.error:
+            args["error"] = span.error
+        records.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".")[0],
+                "ph": "X",
+                "ts": round(span.start_s * 1e6, 3),
+                "dur": round(max(span.duration_s, 0.0) * 1e6, 3),
+                "pid": pid,
+                "tid": 1,
+                "id": span.span_id,
+                "args": args,
+            }
+        )
+    for index, event in enumerate(tracer.events):
+        records.append(
+            {
+                "name": event.name,
+                "cat": event.name.split(".")[0],
+                "ph": "i",
+                "s": "g",
+                "ts": round(event.time_s * 1e6, 3),
+                "pid": pid,
+                "tid": 1,
+                "id": f"event-{index:06d}",
+                "args": {key: event.attrs[key] for key in sorted(event.attrs)},
+            }
+        )
+    records.sort(key=lambda r: (r["ts"], r["id"]))
+    return json.dumps(records, indent=1, sort_keys=True) + "\n"
+
+
+def text_tree(tracer: Tracer | NullTracer) -> str:
+    """Fixed-format indented span tree plus a trailing event list."""
+    roots, children = span_children(tracer)
+    lines: list[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        attrs = " ".join(
+            f"{key}={_fmt_attr(span.attrs[key])}" for key in sorted(span.attrs)
+        )
+        end = "open" if span.open else f"{span.end_s:.6f}"
+        line = (
+            f"{'  ' * depth}{span.name} [{span.start_s:.6f} -> {end}] "
+            f"{span.status}"
+        )
+        if span.error:
+            line += f"({span.error})"
+        if attrs:
+            line += " " + attrs
+        lines.append(line)
+        for child in children.get(span.span_id, []):
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    for event in tracer.events:
+        attrs = " ".join(
+            f"{key}={_fmt_attr(event.attrs[key])}" for key in sorted(event.attrs)
+        )
+        line = f"@ {event.name} [{event.time_s:.6f}]"
+        if attrs:
+            line += " " + attrs
+        lines.append(line)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def normalized_trace(tracer: Tracer | NullTracer) -> dict[str, Any]:
+    """Nested plain-data trace for golden comparison.
+
+    Times are formatted (not raw floats) so the stored goldens diff
+    cleanly and tiny representation changes cannot slip through JSON
+    round-trips unnoticed.
+    """
+    roots, children = span_children(tracer)
+
+    def norm(span: Span) -> dict[str, Any]:
+        return {
+            "name": span.name,
+            "start": f"{span.start_s:.6f}",
+            "end": "open" if span.open else f"{span.end_s:.6f}",
+            "status": span.status,
+            "error": span.error,
+            "attrs": {
+                key: _fmt_attr(span.attrs[key]) for key in sorted(span.attrs)
+            },
+            "children": [norm(child) for child in children.get(span.span_id, [])],
+        }
+
+    return {
+        "spans": [norm(root) for root in roots],
+        "events": [
+            {
+                "name": event.name,
+                "time": f"{event.time_s:.6f}",
+                "attrs": {
+                    key: _fmt_attr(event.attrs[key])
+                    for key in sorted(event.attrs)
+                },
+            }
+            for event in tracer.events
+        ],
+    }

@@ -1,0 +1,99 @@
+"""Spans and instants: the records a :class:`~repro.obs.tracer.Tracer` emits.
+
+A :class:`Span` is a named interval of *simulated* time with arbitrary
+attributes, a parent link (nesting), and an ok/error status; a
+:class:`TraceEvent` is a zero-duration instant (fault start/clear,
+retry attempts).  Both are plain data — all policy (id allocation,
+nesting, clock reads) lives in the tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["STATUS_ERROR", "STATUS_OK", "Span", "TraceEvent"]
+
+#: A span that finished normally.
+STATUS_OK = "ok"
+#: A span that finished by raising, being cancelled, or timing out.
+STATUS_ERROR = "error"
+
+#: Sentinel end time of a span that has not finished yet.
+_OPEN = -1.0
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time.
+
+    ``end_s < 0`` marks a span that is still open; ``parent_id == ""``
+    marks a root span.  ``attrs`` values should be JSON-representable
+    scalars so exports stay stable.
+    """
+
+    span_id: str
+    name: str
+    start_s: float
+    parent_id: str = ""
+    end_s: float = _OPEN
+    status: str = STATUS_OK
+    error: str = ""
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        """Whether the span has not been ended yet."""
+        return self.end_s < 0
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration (0.0 while still open)."""
+        return 0.0 if self.open else self.end_s - self.start_s
+
+    def close(self, end_s: float, status: str = STATUS_OK, error: str = "") -> None:
+        """Finish the span at ``end_s`` (monotone, once)."""
+        if not self.open:
+            raise ConfigurationError(f"span {self.span_id} already ended")
+        if status not in (STATUS_OK, STATUS_ERROR):
+            raise ConfigurationError(f"unknown span status {status!r}")
+        if end_s < self.start_s:
+            raise ConfigurationError(
+                f"span {self.span_id} cannot end before it started: "
+                f"start={self.start_s}, end={end_s}"
+            )
+        self.end_s = float(end_s)
+        self.status = status
+        self.error = error
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view with stable key order."""
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "status": self.status,
+            "error": self.error,
+            "attrs": dict(sorted(self.attrs.items())),
+        }
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A zero-duration instant on the trace timeline."""
+
+    time_s: float
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view with stable key order."""
+        return {
+            "time_s": self.time_s,
+            "name": self.name,
+            "attrs": dict(sorted(self.attrs.items())),
+        }

@@ -1,0 +1,223 @@
+"""Deterministic tracers on the simulated clock.
+
+:class:`Tracer` allocates span ids from a
+:class:`~repro.common.ids.IdFactory` (so ids are stable per run, never
+UUIDs), reads timestamps from a :class:`~repro.common.clock.Clock`, and
+tracks nesting with an explicit stack — the emulation is
+single-threaded over simulated time, so "the current span" is
+well-defined without any context-var machinery.
+
+Two usage styles compose:
+
+* ``with tracer.span("pipeline.train", model="linear"):`` — nested
+  spans; the child's parent is whatever span is currently open, and an
+  escaping exception marks the span ``error`` (and re-raises).
+* ``span = tracer.start("serve.batch", ...); ...; tracer.end(span)`` —
+  manual spans for intervals that outlive the call stack (a dispatched
+  batch completing on a later scheduler event).  Manual spans are
+  **roots** by default: their interval is not contained in whatever
+  happened to be open when they started.
+
+:class:`NullTracer` is the no-op default: every instrumented component
+accepts ``tracer=None`` and falls back to it, so untraced hot paths pay
+one attribute check and nothing else.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.common.clock import Clock
+from repro.common.errors import ConfigurationError
+from repro.common.ids import IdFactory
+from repro.obs.span import STATUS_ERROR, STATUS_OK, Span, TraceEvent
+
+__all__ = ["NullTracer", "Tracer"]
+
+
+class Tracer:
+    """Collects :class:`Span` and :class:`TraceEvent` records."""
+
+    #: Real tracers record; the null tracer overrides this to False so
+    #: callers can skip building attr dicts on untraced hot paths.
+    enabled = True
+
+    def __init__(self, clock: Clock, ids: IdFactory | None = None) -> None:
+        self.clock = clock
+        self._ids = ids if ids is not None else IdFactory(width=6)
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+        self._stack: list[Span] = []
+        self._open: dict[str, Span] = {}
+
+    # ---------------------------------------------------------- recording
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    def current(self) -> Span | None:
+        """The innermost open context-manager span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def start(
+        self, name: str, parent: Span | None = None, **attrs: Any
+    ) -> Span:
+        """Open a manual span (root unless ``parent`` is given)."""
+        if not name:
+            raise ConfigurationError("span name must be non-empty")
+        span = Span(
+            span_id=self._ids.next("span"),
+            name=name,
+            start_s=self.clock.now,
+            parent_id=parent.span_id if parent is not None else "",
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        self._open[span.span_id] = span
+        return span
+
+    def end(
+        self, span: Span, status: str = STATUS_OK, error: str = ""
+    ) -> Span:
+        """Close a span at the current simulated time."""
+        if span.span_id not in self._open:
+            raise ConfigurationError(
+                f"span {span.span_id} is not open on this tracer"
+            )
+        span.close(self.clock.now, status=status, error=error)
+        del self._open[span.span_id]
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span for the duration of the ``with`` block.
+
+        The span's parent is the innermost span already on the stack;
+        an exception escaping the block marks the span ``error`` with
+        the exception type name and propagates.
+        """
+        span = self.start(name, parent=self.current(), **attrs)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            self.end(span, status=STATUS_ERROR, error=type(exc).__name__)
+            raise
+        else:
+            self.end(span)
+        finally:
+            self._stack.pop()
+
+    def event(self, name: str, **attrs: Any) -> TraceEvent:
+        """Record a zero-duration instant at the current time."""
+        if not name:
+            raise ConfigurationError("event name must be non-empty")
+        event = TraceEvent(self.clock.now, name, dict(attrs))
+        self.events.append(event)
+        return event
+
+    # ----------------------------------------------------------- queries
+
+    @property
+    def open_spans(self) -> list[Span]:
+        """Spans started but not yet ended, in start order."""
+        return [span for span in self.spans if span.open]
+
+    def close_all(self, status: str = STATUS_OK, error: str = "") -> int:
+        """End every open span at the current time (newest first).
+
+        Long-lived spans (replica lifecycles, hang windows) stay open
+        until whoever owns the run decides it is over; this is that
+        decision.  Returns the number of spans closed.
+        """
+        dangling = self.open_spans
+        for span in reversed(dangling):
+            self.end(span, status=status, error=error)
+        self._stack.clear()
+        return len(dangling)
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name, in start order."""
+        return [span for span in self.spans if span.name == name]
+
+    def find_events(self, name: str) -> list[TraceEvent]:
+        """All events with the given name, in record order."""
+        return [event for event in self.events if event.name == name]
+
+
+class _NullSpanContext:
+    """Context manager yielding the shared dummy span."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: Span) -> None:
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+class NullTracer:
+    """A tracer that records nothing (the default everywhere).
+
+    Matches the :class:`Tracer` surface so instrumented code never
+    branches on tracer type; ``enabled`` is False so callers *may*
+    skip expensive attr construction, but calling straight through is
+    always safe.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+        self._dummy = Span(span_id="", name="", start_s=0.0)
+        self._context = _NullSpanContext(self._dummy)
+
+    @property
+    def now(self) -> float:
+        """Always the epoch — the null tracer has no clock."""
+        return 0.0
+
+    def current(self) -> Span | None:
+        """No span is ever open."""
+        return None
+
+    def start(self, name: str, parent: Span | None = None, **attrs: Any) -> Span:
+        """Return the shared dummy span; records nothing."""
+        return self._dummy
+
+    def end(self, span: Span, status: str = STATUS_OK, error: str = "") -> Span:
+        """No-op."""
+        return span
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanContext:
+        """A context manager yielding the shared dummy span."""
+        return self._context
+
+    def event(self, name: str, **attrs: Any) -> TraceEvent:
+        """Return a throwaway instant; records nothing."""
+        return TraceEvent(0.0, name)
+
+    @property
+    def open_spans(self) -> list[Span]:
+        """Always empty."""
+        return []
+
+    def close_all(self, status: str = STATUS_OK, error: str = "") -> int:
+        """No-op."""
+        return 0
+
+    def find(self, name: str) -> list[Span]:
+        """Always empty."""
+        return []
+
+    def find_events(self, name: str) -> list[TraceEvent]:
+        """Always empty."""
+        return []

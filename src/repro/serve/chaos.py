@@ -23,6 +23,8 @@ from repro.common.clock import EventScheduler
 from repro.common.errors import ConfigurationError, FaultError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.serve.autoscale import AutoscalePolicy, Autoscaler
 from repro.serve.replica import BatchLatencyModel
 from repro.serve.request import TERMINAL_STATUSES, RequestStatus
@@ -193,10 +195,25 @@ def _check_conservation(service: InferenceService) -> None:
         raise FaultError("a request completed more than once")
 
 
-def run_chaos(scenario: ChaosScenario, seed: int = 0) -> ChaosSummary:
-    """Play one scenario; returns a per-seed byte-identical summary."""
-    scheduler = EventScheduler()
-    injector = FaultInjector(scenario.plan, seed=seed)
+def run_chaos(
+    scenario: ChaosScenario,
+    seed: int = 0,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    scheduler: EventScheduler | None = None,
+) -> ChaosSummary:
+    """Play one scenario; returns a per-seed byte-identical summary.
+
+    A ``tracer`` is threaded through both the injector (fault
+    start/clear instants) and the service (replica, batch, hang spans);
+    ``metrics`` collects the serving counters.  Pass the ``scheduler``
+    explicitly when tracing so the tracer can be built on the run's own
+    clock; the caller owns any still-open spans at return — call
+    ``tracer.close_all()`` when the run is over.
+    """
+    if scheduler is None:
+        scheduler = EventScheduler()
+    injector = FaultInjector(scenario.plan, seed=seed, tracer=tracer)
     latency_model = BatchLatencyModel.from_gpu(
         gpu_spec(scenario.gpu), flops_per_frame=scenario.flops_per_frame
     )
@@ -211,6 +228,8 @@ def run_chaos(scenario: ChaosScenario, seed: int = 0) -> ChaosSummary:
         seed=seed,
         keep_requests=True,
         injector=injector,
+        tracer=tracer,
+        metrics=metrics,
     )
     workload = VehicleFleetWorkload(
         scenario.vehicles,

@@ -34,6 +34,9 @@ from repro.faults.breaker import BreakerPolicy, CircuitBreaker
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind, FaultSpec
 from repro.net.topology import Route
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import STATUS_ERROR, Span
+from repro.obs.tracer import NullTracer, Tracer
 from repro.serve.autoscale import Autoscaler
 from repro.serve.batcher import MicroBatcher
 from repro.serve.queueing import AdmissionQueue
@@ -170,6 +173,9 @@ class InferenceService:
         keep_requests: bool = False,
         injector: FaultInjector | None = None,
         breaker_policy: BreakerPolicy | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        trace_requests: bool = False,
     ) -> None:
         if n_replicas < 1:
             raise ConfigurationError(f"need >= 1 replica, got {n_replicas}")
@@ -185,7 +191,19 @@ class InferenceService:
         self.route = route
         self.seed = int(seed)
         self.log = log
-        self.slo = SloTracker(log=log, window_s=slo_window_s, log_requests=log_requests)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = metrics
+        self._trace_requests = bool(trace_requests) and self.tracer.enabled
+        self._batch_spans: dict[str, Span] = {}
+        self._replica_spans: dict[str, Span] = {}
+        self._request_spans: dict[str, Span] = {}
+        self._hang_spans: dict[str, Span] = {}
+        self.slo = SloTracker(
+            log=log,
+            window_s=slo_window_s,
+            log_requests=log_requests,
+            metrics=metrics,
+        )
         self.replicas: list[Replica] = []
         self.requests: list[Request] = []
         self.injector = injector
@@ -235,7 +253,30 @@ class InferenceService:
             self._breakers[replica_id] = CircuitBreaker(
                 self._breaker_policy, name=replica_id
             )
+        if self.tracer.enabled:
+            self._replica_spans[replica_id] = self.tracer.start(
+                "serve.replica", replica=replica_id
+            )
+        self._update_replica_gauge()
         return replica
+
+    def _update_replica_gauge(self) -> None:
+        if self.metrics is None:
+            return
+        live = sum(
+            1
+            for replica in self.replicas
+            if replica.state
+            in (ReplicaState.PROVISIONING, ReplicaState.READY, ReplicaState.DRAINING)
+        )
+        self.metrics.gauge("serve.replicas").set(live)
+
+    def _end_replica_span(
+        self, replica_id: str, status: str = "ok", error: str = ""
+    ) -> None:
+        span = self._replica_spans.pop(replica_id, None)
+        if span is not None:
+            self.tracer.end(span, status=status, error=error)
 
     def breaker_for(self, replica_id: str) -> CircuitBreaker | None:
         """The per-replica circuit breaker (None without a policy)."""
@@ -270,6 +311,8 @@ class InferenceService:
                 replica.drain()
                 if not replica.busy and not len(replica.queue):
                     replica.retire()
+                    self._end_replica_span(replica.replica_id)
+                    self._update_replica_gauge()
                 return replica
         return None
 
@@ -305,6 +348,10 @@ class InferenceService:
         """Offer one request to the fleet; returns True if admitted."""
         now = self.scheduler.clock.now
         self.slo.record_offered(request, now)
+        if self._trace_requests:
+            self._request_spans[request.request_id] = self.tracer.start(
+                "serve.request", request=request.request_id, source=request.source
+            )
         if self._keep_requests:
             self.requests.append(request)
         return self._place(request, now)
@@ -336,6 +383,9 @@ class InferenceService:
 
     def _lose(self, request: Request, kind: str, now: float) -> None:
         self.slo.record_loss(request, kind, now)
+        span = self._request_spans.pop(request.request_id, None)
+        if span is not None:
+            self.tracer.end(span, status=STATUS_ERROR, error=kind)
         if self._workload is not None:
             self._workload.on_loss(request)
 
@@ -380,6 +430,13 @@ class InferenceService:
         if len(replica.queue):
             orphans.extend(replica.queue.pop(len(replica.queue)))
         replica.fail()
+        batch_span = self._batch_spans.pop(replica.replica_id, None)
+        if batch_span is not None:
+            self.tracer.end(batch_span, status=STATUS_ERROR, error="crash")
+        self._end_replica_span(replica.replica_id, status=STATUS_ERROR, error="crash")
+        self._update_replica_gauge()
+        if self.metrics is not None:
+            self.metrics.counter("serve.faults", kind="crash").inc()
         breaker = self._breakers.get(replica.replica_id)
         if breaker is not None:
             breaker.trip(now)
@@ -423,6 +480,16 @@ class InferenceService:
     def _hang(self, replica: Replica, now: float, until_s: float) -> None:
         """Freeze one replica until ``until_s``; in-flight work stalls."""
         self.hangs += 1
+        if self.tracer.enabled:
+            stale = self._hang_spans.pop(replica.replica_id, None)
+            if stale is not None:
+                # Overlapping hang: the old window is subsumed by this one.
+                self.tracer.end(stale, status=STATUS_ERROR, error="hang")
+            self._hang_spans[replica.replica_id] = self.tracer.start(
+                "serve.replica.hang", replica=replica.replica_id, until_s=until_s
+            )
+        if self.metrics is not None:
+            self.metrics.counter("serve.faults", kind="hang").inc()
         replica.hung_until = max(replica.hung_until, until_s)
         wake = self._wakes.pop(replica.replica_id, None)
         if wake is not None:
@@ -456,6 +523,11 @@ class InferenceService:
         replica_ids = resolutions.pop(0) if resolutions else []
         by_id = {replica.replica_id: replica for replica in self.replicas}
         for replica_id in replica_ids:
+            span = self._hang_spans.pop(replica_id, None)
+            if span is not None:
+                # The hang window itself is an error-status interval,
+                # whatever became of the replica afterwards.
+                self.tracer.end(span, status=STATUS_ERROR, error="hang")
             replica = by_id.get(replica_id)
             if replica is None or replica.state is ReplicaState.FAILED:
                 continue
@@ -487,6 +559,8 @@ class InferenceService:
         if depth == 0:
             if replica.state is ReplicaState.DRAINING:
                 replica.retire()
+                self._end_replica_span(replica.replica_id)
+                self._update_replica_gauge()
             return
         planned = min(depth, replica.batcher.max_batch)
         decision = replica.batcher.decide(
@@ -522,6 +596,16 @@ class InferenceService:
         replica.busy = True
         replica.inflight = tuple(batch)
         replica.batches += 1
+        if self.tracer.enabled:
+            self._batch_spans[replica.replica_id] = self.tracer.start(
+                "serve.batch",
+                batch=batch_id,
+                replica=replica.replica_id,
+                size=len(batch),
+            )
+        if self.metrics is not None:
+            self.metrics.counter("serve.batches").inc()
+            self.metrics.histogram("serve.batch.latency_s").observe(latency)
         if self.log is not None:
             self.log.append(
                 now,
@@ -554,6 +638,14 @@ class InferenceService:
             request.status = RequestStatus.COMPLETED
             request.completed_s = now
             self.slo.record_completion(request, now)
+            span = self._request_spans.pop(request.request_id, None)
+            if span is not None:
+                span.attrs["latency_s"] = request.latency_s
+                self.tracer.end(span)
+        batch_span = self._batch_spans.pop(replica.replica_id, None)
+        if batch_span is not None:
+            batch_span.attrs["latency_s"] = latency
+            self.tracer.end(batch_span)
         replica.busy = False
         replica.inflight = ()
         replica.served += len(batch)

@@ -7,9 +7,15 @@ buckets (constant relative error ~6%) so p50/p95/p99 are O(buckets) at
 any point during the run — which is also what the autoscaler polls.
 
 :class:`SloTracker` folds every request outcome into counters and the
-histogram, keeps a short sliding window for control decisions, and
-mirrors outcomes onto a :class:`~repro.common.eventlog.EventLog` when
-one is attached.
+histogram, keeps a short sliding window for control decisions, mirrors
+outcomes onto a :class:`~repro.common.eventlog.EventLog` when one is
+attached, and increments a :class:`~repro.obs.metrics.MetricsRegistry`
+when one is attached.
+
+.. deprecated:: the :class:`StreamingHistogram` class moved to
+   :mod:`repro.obs.metrics` (it is a generic streaming-percentile
+   structure, not a serving detail); the name re-exported here is the
+   same class and existing imports keep working.
 """
 
 from __future__ import annotations
@@ -17,77 +23,12 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.common.errors import ConfigurationError
 from repro.common.eventlog import EventLog
+from repro.obs.metrics import MetricsRegistry, StreamingHistogram
 from repro.serve.request import Request
 
 __all__ = ["StreamingHistogram", "SloTracker", "SloSnapshot"]
-
-
-class StreamingHistogram:
-    """Log-spaced latency histogram with O(1) record, O(B) percentiles."""
-
-    def __init__(
-        self,
-        low_s: float = 1e-4,
-        high_s: float = 60.0,
-        buckets_per_decade: int = 40,
-    ) -> None:
-        if low_s <= 0 or high_s <= low_s or buckets_per_decade < 1:
-            raise ConfigurationError(
-                f"invalid histogram range [{low_s}, {high_s}] "
-                f"x{buckets_per_decade}/decade"
-            )
-        self.low_s = float(low_s)
-        self.high_s = float(high_s)
-        decades = np.log10(high_s / low_s)
-        n_buckets = int(np.ceil(decades * buckets_per_decade)) + 1
-        # Upper edge of bucket i: low * 10**(i / buckets_per_decade).
-        self._edges = self.low_s * np.power(
-            10.0, np.arange(1, n_buckets + 1) / buckets_per_decade
-        )
-        self._counts = np.zeros(n_buckets + 2, dtype=np.int64)  # +under/over
-        self.count = 0
-        self.sum_s = 0.0
-        self.max_s = 0.0
-
-    def record(self, value_s: float) -> None:
-        """Fold one latency sample into the histogram."""
-        if value_s < 0:
-            raise ConfigurationError(f"latency cannot be negative: {value_s}")
-        self.count += 1
-        self.sum_s += value_s
-        self.max_s = max(self.max_s, value_s)
-        if value_s < self.low_s:
-            self._counts[0] += 1
-        else:
-            idx = int(np.searchsorted(self._edges, value_s, side="left"))
-            self._counts[min(idx + 1, len(self._counts) - 1)] += 1
-
-    def percentile(self, q: float) -> float:
-        """Latency at quantile ``q`` in [0, 1] (bucket upper edge)."""
-        if not 0 <= q <= 1:
-            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return 0.0
-        target = q * self.count
-        cumulative = 0
-        for idx, bucket_count in enumerate(self._counts):
-            cumulative += int(bucket_count)
-            if cumulative >= target and bucket_count:
-                if idx == 0:
-                    return self.low_s
-                if idx >= len(self._edges):
-                    return self.max_s
-                return float(min(self._edges[idx - 1], self.max_s))
-        return self.max_s
-
-    @property
-    def mean_s(self) -> float:
-        """Mean recorded latency."""
-        return self.sum_s / self.count if self.count else 0.0
 
 
 @dataclass
@@ -107,12 +48,14 @@ class SloTracker:
         log: EventLog | None = None,
         window_s: float = 2.0,
         log_requests: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if window_s <= 0:
             raise ConfigurationError(f"window_s must be positive, got {window_s}")
         self.log = log
         self.window_s = float(window_s)
         self.log_requests = bool(log_requests)
+        self.metrics = metrics
         self.histogram = StreamingHistogram()
         self.offered = 0
         self.completed = 0
@@ -129,6 +72,8 @@ class SloTracker:
     def record_offered(self, request: Request, now: float) -> None:
         """A request entered the system."""
         self.offered += 1
+        if self.metrics is not None:
+            self.metrics.counter("serve.requests", outcome="offered").inc()
         if self.log is not None and self.log_requests:
             self.log.append(
                 now, "serve.request.offered", request.request_id, request.source
@@ -143,6 +88,9 @@ class SloTracker:
             self.deadline_met += 1
         self._window.append((now, latency))
         self._prune(now)
+        if self.metrics is not None:
+            self.metrics.counter("serve.requests", outcome="completed").inc()
+            self.metrics.histogram("serve.request.latency_s").observe(latency)
         if self.log is not None and self.log_requests:
             self.log.append(
                 now,
@@ -164,6 +112,8 @@ class SloTracker:
         holds regardless of how many times it was requeued.
         """
         self.requeued += 1
+        if self.metrics is not None:
+            self.metrics.counter("serve.requeues").inc()
         if self.log is not None and self.log_requests:
             self.log.append(
                 now,
@@ -185,6 +135,8 @@ class SloTracker:
             self.expired += 1
         else:
             raise ConfigurationError(f"unknown loss kind {kind!r}")
+        if self.metrics is not None:
+            self.metrics.counter("serve.requests", outcome=kind).inc()
         if self.log is not None and self.log_requests:
             self.log.append(
                 now, f"serve.request.{kind}", request.request_id, request.source

@@ -1,0 +1,70 @@
+"""The obs layer's lint contract.
+
+Observability sits just above ``common`` in the layering DAG: every
+subsystem may trace, but the tracer may never reach back up into the
+subsystems it observes — and, since spans carry *simulated* time, a
+wall-clock read inside obs is a determinism bug, not a style issue.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.passes.layering import DEFAULT_LAYERS
+
+from tests.analysis.conftest import rule_ids
+
+
+class TestLayeringMap:
+    def test_obs_sits_just_above_common(self):
+        assert DEFAULT_LAYERS["obs"] == ("common",)
+
+    def test_every_instrumented_layer_may_import_obs(self):
+        for package in ("faults", "net", "objectstore", "serve", "core"):
+            assert "obs" in DEFAULT_LAYERS[package], package
+
+
+class TestObsMayNotReachUp:
+    def test_obs_importing_serve_is_flagged(self, lint):
+        findings = lint(
+            "from repro.serve.service import InferenceService\n",
+            filename="src/repro/obs/widget.py",
+        )
+        flagged = [f for f in findings if f.rule_id == "RL501"]
+        assert flagged and "repro.serve" in flagged[0].message
+
+    def test_obs_importing_core_is_flagged(self, lint):
+        findings = lint(
+            "import repro.core.pipeline\n",
+            filename="src/repro/obs/widget.py",
+        )
+        assert "RL501" in rule_ids(findings)
+
+    def test_obs_importing_common_passes(self, lint):
+        findings = lint(
+            "from repro.common.clock import Clock\n",
+            filename="src/repro/obs/widget.py",
+        )
+        assert "RL501" not in rule_ids(findings)
+
+    def test_serve_importing_obs_passes(self, lint):
+        findings = lint(
+            "from repro.obs.tracer import Tracer\n",
+            filename="src/repro/serve/widget.py",
+        )
+        assert "RL501" not in rule_ids(findings)
+
+
+class TestNoWallClockInObs:
+    def test_time_time_in_obs_is_flagged(self, lint):
+        findings = lint(
+            "import time\n\n\ndef stamp():\n    return time.time()\n",
+            filename="src/repro/obs/widget.py",
+        )
+        assert "RL001" in rule_ids(findings)
+
+    def test_datetime_now_in_obs_is_flagged(self, lint):
+        findings = lint(
+            "import datetime\n\n\ndef stamp():\n"
+            "    return datetime.datetime.now()\n",
+            filename="src/repro/obs/widget.py",
+        )
+        assert "RL001" in rule_ids(findings)

@@ -1,0 +1,134 @@
+"""Event-log grouping and filtering (:mod:`repro.common.eventlog`).
+
+Migrated from ``test_support.py`` and expanded with the filter
+combinations the serve/faults layers rely on (subject filters, payload
+isolation, criterion composition).
+"""
+
+import pytest
+
+from repro.common.eventlog import Event, EventLog
+
+
+class TestAppend:
+    def test_append_and_count(self):
+        log = EventLog()
+        log.append(0.0, "view", "a1", "alice")
+        log.append(1.0, "view", "a1", "bob")
+        log.append(2.0, "launch", "a1", "alice")
+        assert len(log) == 3
+        assert log.count(kind="view") == 2
+        assert log.count(kind="view", actor="alice") == 1
+
+    def test_time_order_enforced(self):
+        log = EventLog()
+        log.append(5.0, "x", "s")
+        with pytest.raises(ValueError):
+            log.append(4.0, "x", "s")
+
+    def test_equal_times_are_allowed(self):
+        log = EventLog()
+        log.append(1.0, "a", "s")
+        log.append(1.0, "b", "s")
+        assert [e.kind for e in log] == ["a", "b"]
+
+    def test_append_returns_the_event(self):
+        event = EventLog().append(0.5, "k", "subj", "actor", extra=3)
+        assert isinstance(event, Event)
+        assert event.time == 0.5
+        assert event.payload == {"extra": 3}
+
+    def test_payload_is_isolated_per_event(self):
+        log = EventLog()
+        first = log.append(0.0, "k", "s", value=1)
+        second = log.append(1.0, "k", "s", value=2)
+        assert first.payload == {"value": 1}
+        assert second.payload == {"value": 2}
+
+
+class TestFilter:
+    def make_log(self):
+        log = EventLog()
+        log.append(0.0, "launch", "art-1", "u1", node="n1")
+        log.append(1.0, "launch", "art-2", "u2", node="n2")
+        log.append(2.0, "view", "art-1", "u1")
+        log.append(3.0, "view", "art-1", "u3")
+        log.append(4.0, "launch", "art-1", "u2", node="n1")
+        return log
+
+    def test_filter_window(self):
+        log = EventLog()
+        for t in range(5):
+            log.append(float(t), "tick", "s")
+        assert len(log.filter(since=1.0, until=3.0)) == 3
+
+    def test_window_bounds_are_inclusive(self):
+        log = self.make_log()
+        assert [e.time for e in log.filter(since=1.0, until=3.0)] == [
+            1.0, 2.0, 3.0,
+        ]
+
+    def test_filter_by_subject(self):
+        log = self.make_log()
+        assert log.count(subject="art-1") == 4
+        assert log.count(subject="art-2") == 1
+
+    def test_criteria_compose_conjunctively(self):
+        log = self.make_log()
+        hits = log.filter(kind="launch", subject="art-1", actor="u2")
+        assert len(hits) == 1
+        assert hits[0].time == 4.0
+
+    def test_filter_predicate(self):
+        log = EventLog()
+        log.append(0.0, "x", "s", payload_value=1)
+        log.append(1.0, "x", "s", payload_value=9)
+        big = log.filter(predicate=lambda e: e.payload.get("payload_value", 0) > 5)
+        assert len(big) == 1
+
+    def test_predicate_composes_with_criteria(self):
+        log = self.make_log()
+        hits = log.filter(
+            kind="launch", predicate=lambda e: e.payload.get("node") == "n1"
+        )
+        assert [e.time for e in hits] == [0.0, 4.0]
+
+    def test_no_criteria_returns_everything(self):
+        log = self.make_log()
+        assert len(log.filter()) == len(log)
+
+
+class TestGrouping:
+    def test_distinct_actors(self):
+        log = EventLog()
+        log.append(0.0, "launch", "a", "u1")
+        log.append(1.0, "launch", "a", "u1")
+        log.append(2.0, "launch", "a", "u2")
+        log.append(3.0, "view", "a", "u3")
+        assert log.distinct_actors(kind="launch") == {"u1", "u2"}
+
+    def test_distinct_actors_skips_system_events(self):
+        log = EventLog()
+        log.append(0.0, "tick", "s")  # actor defaults to ""
+        log.append(1.0, "tick", "s", "daemon")
+        assert log.distinct_actors() == {"daemon"}
+
+    def test_group_by_kind_and_last(self):
+        log = EventLog()
+        log.append(0.0, "a", "s")
+        log.append(1.0, "b", "s")
+        log.append(2.0, "a", "s")
+        assert log.group_by_kind() == {"a": 2, "b": 1}
+        assert log.last().kind == "a"
+        assert log.last(kind="b").time == 1.0
+        assert log.last(kind="zzz") is None
+        assert EventLog().last() is None
+
+    def test_group_by_kind_empty(self):
+        assert EventLog().group_by_kind() == {}
+
+    def test_iteration_preserves_order(self):
+        log = EventLog()
+        for t in range(4):
+            log.append(float(t), f"k{t}", "s")
+        assert [e.kind for e in log] == ["k0", "k1", "k2", "k3"]

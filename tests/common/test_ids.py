@@ -1,0 +1,82 @@
+"""Deterministic id allocation (:mod:`repro.common.ids`).
+
+Migrated from ``test_support.py`` and expanded: the tracer's span ids,
+the serve layer's batch/replica ids, and the testbed's lease ids all
+come from :class:`IdFactory`, so its determinism underwrites every
+byte-identical export in the repo.
+"""
+
+import pytest
+
+from repro.common.ids import IdFactory, content_id
+
+
+class TestIdFactory:
+    def test_sequential_per_prefix(self):
+        ids = IdFactory()
+        assert ids.next("lease") == "lease-0001"
+        assert ids.next("lease") == "lease-0002"
+        assert ids.next("node") == "node-0001"
+
+    def test_peek(self):
+        ids = IdFactory()
+        ids.next("a")
+        ids.next("a")
+        assert ids.peek("a") == 2
+        assert ids.peek("b") == 0
+
+    def test_peek_does_not_allocate(self):
+        ids = IdFactory()
+        assert ids.peek("a") == 0
+        assert ids.next("a") == "a-0001"
+
+    def test_invalid_prefix(self):
+        with pytest.raises(ValueError):
+            IdFactory().next("has-dash")
+        with pytest.raises(ValueError):
+            IdFactory().next("")
+
+    def test_width(self):
+        assert IdFactory(width=2).next("x") == "x-01"
+        with pytest.raises(ValueError):
+            IdFactory(width=0)
+
+    def test_width_overflow_keeps_counting(self):
+        ids = IdFactory(width=1)
+        for _ in range(9):
+            ids.next("x")
+        assert ids.next("x") == "x-10"
+
+    def test_two_factories_are_independent(self):
+        a, b = IdFactory(), IdFactory()
+        a.next("span")
+        assert b.next("span") == "span-0001"
+
+    def test_same_call_sequence_same_ids(self):
+        def allocate():
+            ids = IdFactory(width=6)
+            return [ids.next(p) for p in ("span", "span", "batch", "span")]
+
+        assert allocate() == allocate()
+
+
+class TestContentId:
+    def test_deterministic(self):
+        assert content_id(b"hello") == content_id(b"hello")
+        assert content_id(b"hello") != content_id(b"world")
+        assert len(content_id(b"x", length=16)) == 16
+
+    def test_pinned_value(self):
+        # SHA-256 prefix — a change here means the hash function moved,
+        # which would silently invalidate every stored artifact id.
+        assert content_id(b"autolearn") == "9fcda89c93e9"
+
+    def test_default_length(self):
+        assert len(content_id(b"x")) == 12
+
+    def test_length_bounds(self):
+        with pytest.raises(ValueError):
+            content_id(b"x", length=2)
+        with pytest.raises(ValueError):
+            content_id(b"x", length=65)
+        assert len(content_id(b"x", length=64)) == 64

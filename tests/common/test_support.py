@@ -1,10 +1,12 @@
-"""IDs, RNG plumbing, units, and the event log."""
+"""RNG plumbing and units.
+
+Id-factory and event-log coverage lives in ``test_ids.py`` and
+``test_eventlog.py``.
+"""
 
 import numpy as np
 import pytest
 
-from repro.common.eventlog import EventLog
-from repro.common.ids import IdFactory, content_id
 from repro.common.rng import DEFAULT_SEED, ensure_rng, seed_from_name, spawn
 from repro.common.units import (
     bytes_to_mbit,
@@ -14,41 +16,6 @@ from repro.common.units import (
     ms,
     tflops,
 )
-
-
-class TestIdFactory:
-    def test_sequential_per_prefix(self):
-        ids = IdFactory()
-        assert ids.next("lease") == "lease-0001"
-        assert ids.next("lease") == "lease-0002"
-        assert ids.next("node") == "node-0001"
-
-    def test_peek(self):
-        ids = IdFactory()
-        ids.next("a")
-        ids.next("a")
-        assert ids.peek("a") == 2
-        assert ids.peek("b") == 0
-
-    def test_invalid_prefix(self):
-        with pytest.raises(ValueError):
-            IdFactory().next("has-dash")
-        with pytest.raises(ValueError):
-            IdFactory().next("")
-
-    def test_width(self):
-        assert IdFactory(width=2).next("x") == "x-01"
-        with pytest.raises(ValueError):
-            IdFactory(width=0)
-
-    def test_content_id_deterministic(self):
-        assert content_id(b"hello") == content_id(b"hello")
-        assert content_id(b"hello") != content_id(b"world")
-        assert len(content_id(b"x", length=16)) == 16
-
-    def test_content_id_length_bounds(self):
-        with pytest.raises(ValueError):
-            content_id(b"x", length=2)
 
 
 class TestRng:
@@ -95,52 +62,3 @@ class TestUnits:
 
     def test_ms(self):
         assert ms(250.0) == pytest.approx(0.25)
-
-
-class TestEventLog:
-    def test_append_and_count(self):
-        log = EventLog()
-        log.append(0.0, "view", "a1", "alice")
-        log.append(1.0, "view", "a1", "bob")
-        log.append(2.0, "launch", "a1", "alice")
-        assert len(log) == 3
-        assert log.count(kind="view") == 2
-        assert log.count(kind="view", actor="alice") == 1
-
-    def test_time_order_enforced(self):
-        log = EventLog()
-        log.append(5.0, "x", "s")
-        with pytest.raises(ValueError):
-            log.append(4.0, "x", "s")
-
-    def test_filter_window(self):
-        log = EventLog()
-        for t in range(5):
-            log.append(float(t), "tick", "s")
-        assert len(log.filter(since=1.0, until=3.0)) == 3
-
-    def test_filter_predicate(self):
-        log = EventLog()
-        log.append(0.0, "x", "s", payload_value=1)
-        log.append(1.0, "x", "s", payload_value=9)
-        big = log.filter(predicate=lambda e: e.payload.get("payload_value", 0) > 5)
-        assert len(big) == 1
-
-    def test_distinct_actors(self):
-        log = EventLog()
-        log.append(0.0, "launch", "a", "u1")
-        log.append(1.0, "launch", "a", "u1")
-        log.append(2.0, "launch", "a", "u2")
-        log.append(3.0, "view", "a", "u3")
-        assert log.distinct_actors(kind="launch") == {"u1", "u2"}
-
-    def test_group_by_kind_and_last(self):
-        log = EventLog()
-        log.append(0.0, "a", "s")
-        log.append(1.0, "b", "s")
-        log.append(2.0, "a", "s")
-        assert log.group_by_kind() == {"a": 2, "b": 1}
-        assert log.last().kind == "a"
-        assert log.last(kind="b").time == 1.0
-        assert log.last(kind="zzz") is None
-        assert EventLog().last() is None

@@ -27,6 +27,20 @@ from repro.vehicle.builder import build_recording_vehicle
 TEST_H, TEST_W = 40, 56
 
 
+def pytest_addoption(parser):
+    """Register ``--update-goldens`` (regenerate golden-trace files).
+
+    Tier-1 runs never pass it, so goldens are read-only in CI; a human
+    (or a deliberate tooling run) updates them after reviewing a diff.
+    """
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/obs/golden/*.json from the current code",
+    )
+
+
 @pytest.fixture(scope="session")
 def oval_track():
     """The paper's default tape oval."""
@@ -127,16 +141,22 @@ def chaos_service(fault_plan_factory):
     through a seeded :class:`FaultInjector`.
     """
 
-    def make(plan=None, seed=5, gpu="V100", flops_per_frame=1e8, **kw):
+    def make(
+        plan=None, seed=5, gpu="V100", flops_per_frame=1e8, tracer=None, **kw
+    ):
         if plan is not None and not isinstance(plan, FaultPlan):
             plan = fault_plan_factory(*plan)
-        injector = FaultInjector(plan, seed=seed) if plan is not None else None
+        injector = (
+            FaultInjector(plan, seed=seed, tracer=tracer)
+            if plan is not None
+            else None
+        )
         kw.setdefault("keep_requests", True)
         latency_model = BatchLatencyModel.from_gpu(
             GPU_SPECS[gpu], flops_per_frame
         )
         return InferenceService(
-            latency_model, seed=seed, injector=injector, **kw
+            latency_model, seed=seed, injector=injector, tracer=tracer, **kw
         )
 
     return make

@@ -1,7 +1,7 @@
 """Property-based tests for the geometry core."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.sim.geometry import (
@@ -87,16 +87,40 @@ class TestProjection:
         assert dist2.max() < 1e-6
 
 
+def _min_curvature_radius(loop: np.ndarray) -> float:
+    """Smallest circumradius over consecutive vertex triples.
+
+    A vertex-normal offset is only well-defined up to the loop's
+    minimum radius of curvature — past it the offset self-intersects
+    (an eccentric 10:1 ellipse has min radius b**2/a ~ 0.05, far below
+    the 0.3 the strategy can draw).  The offset properties therefore
+    quantify only over distances the geometry can support.
+    """
+    p0 = loop
+    p1 = np.roll(loop, -1, axis=0)
+    p2 = np.roll(loop, -2, axis=0)
+    a = np.linalg.norm(p1 - p0, axis=1)
+    b = np.linalg.norm(p2 - p1, axis=1)
+    c = np.linalg.norm(p2 - p0, axis=1)
+    cross = np.abs(
+        (p1 - p0)[:, 0] * (p2 - p0)[:, 1]
+        - (p1 - p0)[:, 1] * (p2 - p0)[:, 0]
+    )
+    return float(np.min(a * b * c / (2.0 * cross + 1e-12)))
+
+
 class TestOffsets:
     @given(loop=convex_loops(), distance=st.floats(0.01, 0.3))
     @settings(max_examples=30, deadline=None)
     def test_inward_offset_shrinks_convex_loops(self, loop, distance):
+        assume(distance < 0.9 * _min_curvature_radius(loop))
         inner = offset_closed(loop, distance)  # left of CCW = inward
         assert polyline_length(inner) < polyline_length(loop)
 
     @given(loop=convex_loops(), distance=st.floats(0.01, 0.3))
     @settings(max_examples=30, deadline=None)
     def test_offset_points_inside_original(self, loop, distance):
+        assume(distance < 0.9 * _min_curvature_radius(loop))
         inner = offset_closed(loop, distance)
         inside = point_in_closed_polyline(inner[::4], loop)
         assert inside.all()
