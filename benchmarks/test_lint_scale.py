@@ -1,0 +1,89 @@
+"""BENCH — reprolint incremental-cache scale: cold vs warm full-tree lint.
+
+Lints the entire ``src/repro`` tree twice against one cache directory:
+cold (empty cache: every file parsed, every pass run) and warm
+(unchanged tree: shards and findings replayed from the content-hash
+cache, nothing parsed).  The acceptance claim: the warm run completes
+at least 5x faster than the cold run while reporting byte-identical
+findings.
+
+A second point measures the single-file-edit case — one module touched,
+everything else unchanged — which reuses every other file's shard but
+must re-judge findings (cross-module rules may flip on any edit), so it
+lands between cold and warm.
+"""
+
+import shutil
+import time
+from pathlib import Path
+
+from repro.analysis.config import LintConfig
+from repro.analysis.runner import lint_paths
+
+from conftest import emit, emit_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT_ROOT = REPO_ROOT / "src" / "repro"
+MIN_WARM_SPEEDUP = 5.0
+
+
+def _timed_lint(config, cache_dir):
+    start = time.perf_counter()
+    result = lint_paths([LINT_ROOT], config, cache_dir=cache_dir)
+    return result, time.perf_counter() - start
+
+
+def test_lint_scale(tmp_path):
+    config = LintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+    cache_dir = tmp_path / "lint-cache"
+
+    cold, cold_s = _timed_lint(config, cache_dir)
+    warm, warm_s = _timed_lint(config, cache_dir)
+
+    cold_rows = [f.to_dict() for f in cold.findings]
+    warm_rows = [f.to_dict() for f in warm.findings]
+    assert warm_rows == cold_rows, "cache changed lint results"
+    assert warm.files_checked == cold.files_checked
+
+    # Edit one file (append a harmless private helper), lint, restore.
+    target = LINT_ROOT / "analysis" / "sarif.py"
+    backup = tmp_path / "sarif.py.orig"
+    shutil.copy2(target, backup)
+    try:
+        with open(target, "a", encoding="utf-8") as fh:
+            fh.write("\n\ndef _bench_probe():\n    return None\n")
+        edited, edited_s = _timed_lint(config, cache_dir)
+        fresh, _ = _timed_lint(config, tmp_path / "fresh-cache")
+        assert [f.to_dict() for f in edited.findings] == [
+            f.to_dict() for f in fresh.findings
+        ], "cache changed results after an edit"
+    finally:
+        shutil.copy2(backup, target)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    lines = [
+        "reprolint full-tree lint, cold vs warm cache",
+        f"  files checked      : {cold.files_checked}",
+        f"  findings           : {len(cold.findings)}",
+        f"  cold (empty cache) : {cold_s * 1e3:8.1f} ms",
+        f"  warm (unchanged)   : {warm_s * 1e3:8.1f} ms",
+        f"  warm after 1 edit  : {edited_s * 1e3:8.1f} ms",
+        f"  warm speedup       : {speedup:8.1f}x  (require >= {MIN_WARM_SPEEDUP}x)",
+    ]
+    emit("BENCH_lint", "\n".join(lines))
+    emit_json(
+        "BENCH_lint",
+        {
+            "files_checked": cold.files_checked,
+            "findings": len(cold.findings),
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "warm_after_edit_s": edited_s,
+            "warm_speedup": speedup,
+            "min_warm_speedup": MIN_WARM_SPEEDUP,
+        },
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm lint only {speedup:.1f}x faster than cold "
+        f"(need >= {MIN_WARM_SPEEDUP}x)"
+    )

@@ -14,6 +14,7 @@ ID      name                invariant
 RL001   wall-clock          no real wall-clock reads outside ``benchmarks/``
 RL101   rng-outside-common  no direct numpy/stdlib RNG outside ``common/rng``
 RL102   seed-ignored        public ``seed``/``rng`` params must be used
+RL103   shared-rng-stream   scheduler callbacks do not share one RNG stream
 RL201   bare-except         no bare ``except:``
 RL202   broad-except        ``except Exception`` must re-raise or be justified
 RL203   non-repro-raise     raised project classes subclass ``ReproError``
@@ -22,21 +23,37 @@ RL302   all-missing         public defs are listed in ``__all__``
 RL303   missing-all         modules declare ``__all__``
 RL401   mutable-default     no mutable default arguments
 RL501   layering            package imports respect the layer DAG
+RL601   unordered-iter      no set/listdir/glob order reaching ordered sinks
+RL602   id-sort-key         no sorting keyed on ``id()``
+RL603   sim-time-race       no module state written by concurrent callbacks
 ======  ==================  =================================================
+
+The RL103/RL6xx rules are whole-program: every file is condensed into a
+:class:`~repro.analysis.graph.ModuleShard` and folded into a
+:class:`~repro.analysis.graph.ProjectGraph` (import graph, class
+hierarchy, best-effort call graph) that passes query through
+:class:`~repro.analysis.context.ProjectIndex`.
 
 Suppress a finding inline with ``# reprolint: disable=RL202`` (IDs or
 symbolic names, comma-separated) and configure per-rule behaviour under
 ``[tool.reprolint]`` in ``pyproject.toml``.  Run ``autolearn lint`` or
-``python -m repro.analysis``.
+``python -m repro.analysis``; ``--fix`` applies mechanical repairs,
+``--format sarif`` emits SARIF 2.1.0, and an incremental cache makes
+warm runs near-free.
 """
 
 from repro.analysis.base import LintPass, all_passes, all_rules, find_rule, register
+from repro.analysis.baseline import Baseline, apply_baseline, write_baseline
+from repro.analysis.cache import LintCache
 from repro.analysis.cli import main
 from repro.analysis.config import LintConfig, RuleConfig
 from repro.analysis.context import ModuleContext, ProjectIndex
-from repro.analysis.findings import Finding, Rule, Severity
+from repro.analysis.findings import Finding, Rule, Severity, TextEdit
+from repro.analysis.fixes import FixReport, apply_fixes, fix_paths, fix_source
+from repro.analysis.graph import ModuleShard, ProjectGraph, extract_shard
 from repro.analysis.reporters import render_json, render_text
 from repro.analysis.runner import LintResult, collect_files, lint_paths, lint_source
+from repro.analysis.sarif import render_sarif, sarif_payload
 
 __all__ = [
     "LintPass",
@@ -48,14 +65,28 @@ __all__ = [
     "RuleConfig",
     "ModuleContext",
     "ProjectIndex",
+    "ModuleShard",
+    "ProjectGraph",
+    "extract_shard",
     "Finding",
     "Rule",
     "Severity",
+    "TextEdit",
     "LintResult",
     "lint_paths",
     "lint_source",
     "collect_files",
+    "FixReport",
+    "apply_fixes",
+    "fix_source",
+    "fix_paths",
+    "Baseline",
+    "apply_baseline",
+    "write_baseline",
+    "LintCache",
     "render_text",
     "render_json",
+    "render_sarif",
+    "sarif_payload",
     "main",
 ]

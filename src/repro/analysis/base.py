@@ -82,8 +82,18 @@ class LintPass(ast.NodeVisitor):
             self.visit(self.ctx.tree)
         return self.findings
 
-    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
-        """Emit a finding at ``node`` unless suppressed."""
+    def report(
+        self,
+        rule: Rule,
+        node: ast.AST,
+        message: str,
+        fixes: tuple = (),
+    ) -> None:
+        """Emit a finding at ``node`` unless suppressed.
+
+        ``fixes`` carries the :class:`~repro.analysis.findings.TextEdit`
+        spans a ``--fix`` run would apply to resolve the finding.
+        """
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         if not self.config.rule_applies(rule, self.ctx.path):
@@ -99,5 +109,6 @@ class LintPass(ast.NodeVisitor):
                 rule_name=rule.name,
                 severity=self.config.severity_for(rule),
                 message=message,
+                fixes=tuple(fixes),
             )
         )

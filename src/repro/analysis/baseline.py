@@ -1,0 +1,104 @@
+"""Baseline files: land a new rule warn-free today, ratchet tomorrow.
+
+A baseline (``.reprolint-baseline.json``, checked in next to
+``pyproject.toml``) is a multiset of known findings.  A lint run with a
+baseline subtracts matched findings from its report, so a new rule can
+be enabled immediately — existing debt goes into the baseline, **new**
+violations still fail CI — and the file is ratcheted down as debt is
+paid (``--update-baseline`` rewrites it from the current tree).
+
+Matching is by ``(path, rule, message)``, deliberately ignoring
+line/column so unrelated edits above a baselined finding do not
+resurrect it.  Duplicate findings are counted: if the baseline holds
+one ``RL401`` in a file and a second appears, the second is reported.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.errors import ConfigurationError
+
+from repro.analysis.findings import Finding
+from repro.analysis.runner import LintResult
+
+__all__ = ["BASELINE_FILENAME", "Baseline", "apply_baseline", "write_baseline"]
+
+BASELINE_FILENAME = ".reprolint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.path, finding.rule_id, finding.message)
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline: a counted multiset of accepted findings."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Read a baseline file (missing file -> empty baseline)."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"unparseable baseline at {path}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ConfigurationError(
+                f"baseline at {path} has no 'findings' list"
+            )
+        entries: Counter = Counter()
+        for row in payload["findings"]:
+            try:
+                entries[(row["path"], row["rule"], row["message"])] += 1
+            except (TypeError, KeyError) as exc:
+                raise ConfigurationError(
+                    f"malformed baseline entry in {path}: {row!r}"
+                ) from exc
+        return cls(entries=entries)
+
+
+def apply_baseline(
+    result: LintResult, baseline: Baseline
+) -> tuple[LintResult, int]:
+    """Subtract baselined findings; return (filtered result, matched count)."""
+    remaining = Counter(baseline.entries)
+    kept: list[Finding] = []
+    matched = 0
+    for finding in result.findings:
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            kept.append(finding)
+    filtered = LintResult(findings=kept, files_checked=result.files_checked)
+    return filtered, matched
+
+
+def write_baseline(path: Path | str, result: LintResult) -> int:
+    """Persist the current findings as the new baseline; return the count."""
+    rows = [
+        {"path": f.path, "rule": f.rule_id, "message": f.message}
+        for f in result.findings
+    ]
+    rows.sort(key=lambda r: (r["path"], r["rule"], r["message"]))
+    payload = {"version": _FORMAT_VERSION, "findings": rows}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(rows)

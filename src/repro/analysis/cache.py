@@ -1,0 +1,180 @@
+"""The incremental lint cache: content-hash keyed shards and findings.
+
+A cold full-tree lint parses and visits every file.  Almost all of that
+work is redundant run to run, so the cache persists two things per file,
+keyed by the SHA-256 of its bytes:
+
+* its :class:`~repro.analysis.graph.ModuleShard` — enough to rebuild the
+  whole-program :class:`~repro.analysis.graph.ProjectGraph` without
+  re-parsing unchanged files;
+* its post-suppression findings, additionally keyed by the **index
+  fingerprint** (a hash over every shard in the run) — cross-module
+  rules (RL203, RL603, RL103) may change their verdict about an
+  *unchanged* file when *another* file changes, so findings are only
+  reused while the whole-program picture is identical.
+
+The cache self-invalidates on any config change (fingerprint over the
+resolved :class:`~repro.analysis.config.LintConfig`) and on any change
+to the pass suite (fingerprint over the rule catalog plus
+:data:`ANALYSIS_VERSION`, which is bumped when pass semantics change
+without changing rule metadata).  Corrupt or mismatched cache files are
+discarded silently — a cache must never change lint results, only
+their latency.
+
+Fix spans are *not* cached; ``--fix`` runs bypass the cache entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.analysis.base import all_passes, all_rules
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "CACHE_FILENAME",
+    "LintCache",
+    "config_fingerprint",
+    "passes_fingerprint",
+]
+
+# Bump when pass semantics change in a way rule metadata does not capture.
+ANALYSIS_VERSION = "2.0.0"
+
+CACHE_FILENAME = "reprolint-cache.json"
+
+_FORMAT_VERSION = 1
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def passes_fingerprint() -> str:
+    """Hash of the registered pass suite and rule catalog."""
+    catalog = {
+        "version": ANALYSIS_VERSION,
+        "passes": sorted(cls.__name__ for cls in all_passes()),
+        "rules": [
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "description": rule.description,
+                "severity": str(rule.severity),
+                "default_exclude": list(rule.default_exclude),
+            }
+            for rule in all_rules()
+        ],
+    }
+    return _digest(json.dumps(catalog, sort_keys=True))
+
+
+def config_fingerprint(config: LintConfig) -> str:
+    """Hash of the fully-resolved lint configuration."""
+    canonical = asdict(config)
+    return _digest(json.dumps(canonical, sort_keys=True, default=list))
+
+
+class LintCache:
+    """One cache directory holding one JSON document."""
+
+    def __init__(self, directory: Path, config: LintConfig) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / CACHE_FILENAME
+        self._passes_fp = passes_fingerprint()
+        self._config_fp = config_fingerprint(config)
+        self._files: dict[str, dict] = {}
+        self._seen: set[str] = set()
+
+    @classmethod
+    def load(cls, directory: Path | str, config: LintConfig) -> "LintCache":
+        """Open (or initialise) the cache; mismatches start empty."""
+        cache = cls(Path(directory), config)
+        try:
+            payload = json.loads(cache.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return cache
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _FORMAT_VERSION
+            or payload.get("passes") != cache._passes_fp
+            or payload.get("config") != cache._config_fp
+        ):
+            return cache
+        files = payload.get("files")
+        if isinstance(files, dict):
+            cache._files = files
+        return cache
+
+    # ------------------------------------------------------------ reads
+
+    def shard_json(self, path: str, digest: str) -> dict | None:
+        """The cached shard for ``path`` if its content hash matches."""
+        entry = self._files.get(path)
+        if entry and entry.get("digest") == digest and entry.get("shard"):
+            self._seen.add(path)
+            return entry["shard"]
+        return None
+
+    def findings_for(
+        self, path: str, digest: str, fingerprint: str
+    ) -> list[Finding] | None:
+        """Cached findings for ``path`` under the current project state."""
+        entry = self._files.get(path)
+        if (
+            entry
+            and entry.get("digest") == digest
+            and entry.get("fingerprint") == fingerprint
+            and entry.get("findings") is not None
+        ):
+            self._seen.add(path)
+            return [Finding.from_dict(row) for row in entry["findings"]]
+        return None
+
+    # ----------------------------------------------------------- writes
+
+    def store_shard(self, path: str, digest: str, shard_json: dict) -> None:
+        entry = self._files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            entry = {"digest": digest, "shard": shard_json}
+            self._files[path] = entry
+        else:
+            entry["shard"] = shard_json
+        self._seen.add(path)
+
+    def store_findings(
+        self, path: str, digest: str, fingerprint: str, findings: list[Finding]
+    ) -> None:
+        entry = self._files.setdefault(path, {"digest": digest})
+        if entry.get("digest") != digest:
+            entry.clear()
+            entry["digest"] = digest
+        entry["fingerprint"] = fingerprint
+        entry["findings"] = [f.to_dict() for f in findings]
+        self._seen.add(path)
+
+    def save(self) -> None:
+        """Persist entries for files seen this run (stale paths pruned)."""
+        files = {
+            path: entry
+            for path, entry in self._files.items()
+            if path in self._seen
+        }
+        payload = {
+            "format": _FORMAT_VERSION,
+            "passes": self._passes_fp,
+            "config": self._config_fp,
+            "files": files,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # an unwritable cache must not fail the lint run

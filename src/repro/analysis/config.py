@@ -54,6 +54,7 @@ class LintConfig:
     """The resolved ``[tool.reprolint]`` section."""
 
     include: tuple[str, ...] = ("src/repro",)
+    select: tuple[str, ...] = ()  # empty = all rules
     disable: tuple[str, ...] = ()
     exclude: tuple[str, ...] = ()
     rules: dict[str, RuleConfig] = field(default_factory=dict)
@@ -97,6 +98,7 @@ class LintConfig:
             }
         return cls(
             include=tuple(section.get("include", ("src/repro",))),
+            select=tuple(section.get("select", ())),
             disable=tuple(section.get("disable", ())),
             exclude=tuple(section.get("exclude", ())),
             rules=rules,
@@ -112,6 +114,8 @@ class LintConfig:
 
     def rule_applies(self, rule, path: Path | str) -> bool:
         """True if ``rule`` is enabled for the file at ``path``."""
+        if self.select and not any(rule.matches(spec) for spec in self.select):
+            return False
         if any(rule.matches(spec) for spec in self.disable):
             return False
         override = self.rule_config(rule)

@@ -1,22 +1,24 @@
-"""Parsed-module context and the project-wide class-hierarchy index.
+"""Parsed-module context and the project-wide index façade.
 
 The runner parses every file once into a :class:`ModuleContext` (AST,
 source lines, suppression pragmas, dotted module name) and folds all of
 them into a :class:`ProjectIndex` before any pass runs.  Passes that
 need whole-program knowledge — the error-hierarchy pass resolving
-whether a raised class descends from ``ReproError`` — query the index
-instead of re-walking other files.
+whether a raised class descends from ``ReproError``, the dataflow pass
+chasing scheduler callbacks — query the index, which fronts the import
+graph / class hierarchy / call graph in :mod:`repro.analysis.graph`.
 """
 
 from __future__ import annotations
 
 import ast
-import builtins
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro.analysis.graph import ClassHierarchy, ProjectGraph, extract_shard
 
 __all__ = ["ModuleContext", "ProjectIndex", "parse_pragmas"]
 
@@ -114,65 +116,45 @@ def _dotted_module(path: Path) -> str:
 
 
 class ProjectIndex:
-    """Class hierarchy and module inventory across every linted file.
+    """Whole-program knowledge shared by every pass.
 
-    ``classes`` maps a bare class name to the set of bare base-class
-    names seen anywhere in the project (a class defined twice merges its
-    bases — acceptable for a lint pass; the repo keeps class names
-    unique).  :meth:`is_repro_error` answers whether a class *provably*
-    descends from ``ReproError`` through project-defined classes.
+    Thin façade over :class:`repro.analysis.graph.ProjectGraph`: each
+    linted file is condensed into a :class:`~repro.analysis.graph.ModuleShard`
+    (either extracted from its AST or rehydrated from the incremental
+    cache) and folded into the project-wide class hierarchy, import
+    graph, and call graph.  The class-hierarchy helpers RL203 relies on
+    (:meth:`is_defined`, :meth:`is_repro_error`) delegate to the single
+    :class:`~repro.analysis.graph.ClassHierarchy` so the resolution
+    logic exists exactly once.
     """
 
     def __init__(self) -> None:
-        self.classes: dict[str, set[str]] = {}
+        self.graph = ProjectGraph()
         self.modules: set[str] = set()
-        self._repro_cache: dict[str, bool] = {}
+
+    @property
+    def classes(self) -> dict[str, set[str]]:
+        """Bare class name -> bare base names (the hierarchy's table)."""
+        return self.graph.hierarchy.classes
 
     def add_module(self, ctx: ModuleContext) -> None:
-        if ctx.module:
-            self.modules.add(ctx.module)
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.ClassDef):
-                continue
-            bases = self.classes.setdefault(node.name, set())
-            for base in node.bases:
-                name = _base_name(base)
-                if name is not None:
-                    bases.add(name)
-        self._repro_cache.clear()
+        self.add_shard(extract_shard(str(ctx.path), ctx.module, ctx.tree))
+
+    def add_shard(self, shard) -> None:
+        """Fold an already-extracted (possibly cached) shard in."""
+        if shard.module:
+            self.modules.add(shard.module)
+        self.graph.add_shard(shard)
 
     def is_defined(self, name: str) -> bool:
         """True if a class of this name is defined somewhere in the project."""
-        return name in self.classes
+        return self.graph.hierarchy.is_defined(name)
 
-    def is_repro_error(self, name: str, _seen: frozenset[str] = frozenset()) -> bool:
+    def is_repro_error(self, name: str) -> bool:
         """True if ``name`` transitively subclasses ``ReproError``."""
-        if name == "ReproError":
-            return True
-        if name in self._repro_cache:
-            return self._repro_cache[name]
-        if name in _seen or name not in self.classes:
-            return False
-        result = any(
-            self.is_repro_error(base, _seen | {name})
-            for base in self.classes[name]
-        )
-        self._repro_cache[name] = result
-        return result
+        return self.graph.hierarchy.is_repro_error(name)
 
     @staticmethod
     def is_builtin_exception(name: str) -> bool:
         """True if ``name`` is a builtin exception class (always allowed)."""
-        obj = getattr(builtins, name, None)
-        return isinstance(obj, type) and issubclass(obj, BaseException)
-
-
-def _base_name(node: ast.expr) -> str | None:
-    """Bare class name of a base expression (``errors.TubError`` -> ``TubError``)."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Subscript):  # Generic[...] bases
-        return _base_name(node.value)
-    return None
+        return ClassHierarchy.is_builtin_exception(name)

@@ -1,0 +1,183 @@
+"""The auto-fix engine behind ``autolearn lint --fix``.
+
+Passes attach :class:`~repro.analysis.findings.TextEdit` spans to the
+findings they emit (mutable default -> ``None`` + guard, unordered
+iteration -> ``sorted(...)`` wrap, ``__all__`` repair).  This module
+turns those spans into rewritten files:
+
+* edits are grouped per finding and applied **atomically** — if any
+  edit in a group overlaps an already-accepted span, the whole group is
+  deferred to the next round, so a finding is never half-fixed;
+* accepted edits are applied in reverse source order so earlier spans
+  stay valid;
+* :func:`fix_source`/:func:`fix_paths` loop fix -> relint until no
+  fixable finding remains (bounded rounds), which gives the engine its
+  **idempotence guarantee**: fixing an already-fixed tree is a no-op,
+  and a fixed file re-lints clean for every fixable rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding, TextEdit
+from repro.analysis.runner import LintResult, lint_paths, lint_source
+
+__all__ = [
+    "FIXABLE_RULES",
+    "MAX_FIX_ROUNDS",
+    "FixReport",
+    "apply_edits",
+    "apply_fixes",
+    "fix_source",
+    "fix_paths",
+]
+
+# Rules whose passes attach fixes.  Kept here as the single source of
+# truth for reporting and the rule-reference docs.
+FIXABLE_RULES = frozenset({"RL301", "RL302", "RL303", "RL401", "RL601"})
+
+MAX_FIX_ROUNDS = 5
+
+
+def _line_starts(source: str) -> list[int]:
+    """Byte offset of the start of each (1-based) line."""
+    starts = [0]
+    for i, ch in enumerate(source):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def _to_offset(starts: list[int], source: str, line: int, col: int) -> int:
+    """Offset of (1-based line, 0-based col), clamped to the source."""
+    if line - 1 >= len(starts):
+        return len(source)
+    return min(starts[line - 1] + col, len(source))
+
+
+def apply_edits(source: str, edits: list[TextEdit]) -> str:
+    """Apply non-overlapping ``edits`` to ``source`` (caller pre-filters)."""
+    starts = _line_starts(source)
+    resolved = [
+        (
+            _to_offset(starts, source, e.start_line, e.start_col),
+            _to_offset(starts, source, e.end_line, e.end_col),
+            e.replacement,
+        )
+        for e in edits
+    ]
+    for start, end, replacement in sorted(resolved, reverse=True):
+        source = source[:start] + replacement + source[end:]
+    return source
+
+
+def apply_fixes(source: str, findings: list[Finding]) -> tuple[str, int]:
+    """Apply every finding's fix group atomically; return (source, applied).
+
+    Groups are deduplicated (several ``__all__`` findings share one
+    repair edit) and a group any of whose spans overlaps an accepted
+    span is skipped — the fixpoint loop picks it up next round against
+    fresh coordinates.
+    """
+    starts = _line_starts(source)
+
+    def resolve(edit: TextEdit) -> tuple[int, int, str]:
+        return (
+            _to_offset(starts, source, edit.start_line, edit.start_col),
+            _to_offset(starts, source, edit.end_line, edit.end_col),
+            edit.replacement,
+        )
+
+    groups: dict[tuple, tuple[TextEdit, ...]] = {}
+    for finding in findings:
+        if finding.fixes:
+            key = tuple((e.span_key, e.replacement) for e in finding.fixes)
+            groups[key] = finding.fixes
+
+    accepted: list[tuple[int, int, str]] = []
+    applied = 0
+    for key in sorted(groups):
+        resolved = [resolve(edit) for edit in groups[key]]
+        conflict = any(
+            start < a_end and a_start < end
+            for start, end, _ in resolved
+            for a_start, a_end, _ in accepted
+        )
+        if conflict:
+            continue
+        accepted.extend(resolved)
+        applied += 1
+    if not accepted:
+        return source, 0
+    for start, end, replacement in sorted(accepted, reverse=True):
+        source = source[:start] + replacement + source[end:]
+    return source, applied
+
+
+def fix_source(
+    source: str,
+    filename: str = "snippet.py",
+    config: LintConfig | None = None,
+    extra_sources: dict[str, str] | None = None,
+) -> tuple[str, int]:
+    """Fix an in-memory module to a fixpoint; return (source, fixes applied)."""
+    total = 0
+    for _ in range(MAX_FIX_ROUNDS):
+        findings = lint_source(
+            source, filename=filename, config=config, extra_sources=extra_sources
+        )
+        source_after, applied = apply_fixes(source, findings)
+        total += applied
+        if applied == 0 or source_after == source:
+            break
+        source = source_after
+    return source, total
+
+
+@dataclass
+class FixReport:
+    """Outcome of a ``--fix`` run over real files."""
+
+    files_changed: int = 0
+    fixes_applied: int = 0
+    rounds: int = 0
+    result: LintResult = field(default_factory=LintResult)
+
+    def render(self) -> str:
+        return (
+            f"reprolint --fix: applied {self.fixes_applied} fix(es) "
+            f"in {self.files_changed} file(s) over {self.rounds} round(s)"
+        )
+
+
+def fix_paths(
+    paths: list[Path | str], config: LintConfig | None = None
+) -> FixReport:
+    """Rewrite files until no fixable finding remains; relint at the end."""
+    config = config or LintConfig()
+    report = FixReport()
+    changed: set[str] = set()
+    for _ in range(MAX_FIX_ROUNDS):
+        result = lint_paths(paths, config)
+        by_path: dict[str, list[Finding]] = {}
+        for finding in result.findings:
+            if finding.fixes:
+                by_path.setdefault(finding.path, []).append(finding)
+        if not by_path:
+            report.result = result
+            report.files_changed = len(changed)
+            return report
+        report.rounds += 1
+        for path, findings in sorted(by_path.items()):
+            target = Path(path)
+            fixed, applied = apply_fixes(target.read_text(encoding="utf-8"), findings)
+            if applied:
+                target.write_text(fixed, encoding="utf-8")
+                changed.add(path)
+                report.fixes_applied += applied
+    report.result = lint_paths(paths, config)
+    report.files_changed = len(changed)
+    return report

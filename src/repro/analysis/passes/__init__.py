@@ -6,11 +6,12 @@ triggers that import lazily so pass modules may themselves import the
 base machinery without a cycle.
 """
 
+from repro.analysis.passes.dataflow import RL601, RL602, RL603, DataflowPass
 from repro.analysis.passes.defaults import RL401, MutableDefaultPass
 from repro.analysis.passes.errors import RL201, RL202, RL203, ErrorHierarchyPass
 from repro.analysis.passes.exports import RL301, RL302, RL303, ExportsPass
 from repro.analysis.passes.layering import DEFAULT_LAYERS, RL501, LayeringPass
-from repro.analysis.passes.rng import RL101, RL102, RngPass
+from repro.analysis.passes.rng import RL101, RL102, RL103, RngPass
 from repro.analysis.passes.wall_clock import RL001, WallClockPass
 
 __all__ = [
@@ -20,10 +21,12 @@ __all__ = [
     "ExportsPass",
     "MutableDefaultPass",
     "LayeringPass",
+    "DataflowPass",
     "DEFAULT_LAYERS",
     "RL001",
     "RL101",
     "RL102",
+    "RL103",
     "RL201",
     "RL202",
     "RL203",
@@ -32,4 +35,7 @@ __all__ = [
     "RL303",
     "RL401",
     "RL501",
+    "RL601",
+    "RL602",
+    "RL603",
 ]

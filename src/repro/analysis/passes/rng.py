@@ -15,17 +15,24 @@ classic way reproducibility silently erodes.
   but never reads it: the caller's carefully-plumbed seed is silently
   dropped.  Interface stubs (docstring/``pass``/``raise``-only bodies)
   and ``abstractmethod``/``overload`` definitions are exempt.
+* **RL103** — RNG provenance: a stream bound at module level (via
+  ``ensure_rng``/``spawn``/``default_rng``/``Random``) that is drawn
+  from by two or more distinct :class:`~repro.common.clock.EventScheduler`
+  callbacks, resolved through the project call graph.  Two seeded
+  entities sharing one stream means adding a draw to either silently
+  perturbs the other — the classic stream-sharing reproducibility bug.
 """
 
 from __future__ import annotations
 
 import ast
+from types import SimpleNamespace
 
 from repro.analysis.base import LintPass, register
 from repro.analysis.findings import Rule, Severity
 from repro.analysis.passes.imports import ImportTracker
 
-__all__ = ["RngPass", "RL101", "RL102"]
+__all__ = ["RngPass", "RL101", "RL102", "RL103"]
 
 RL101 = Rule(
     id="RL101",
@@ -47,6 +54,16 @@ RL102 = Rule(
     severity=Severity.WARNING,
 )
 
+RL103 = Rule(
+    id="RL103",
+    name="shared-rng-stream",
+    description=(
+        "A module-level RNG stream is drawn from by multiple scheduler "
+        "callbacks (stream sharing); give each entity its own stream via "
+        "ensure_rng/spawn."
+    ),
+)
+
 # numpy.random attributes that are types, not stream constructors —
 # legitimate in annotations and isinstance() checks everywhere.
 _ALLOWED_NUMPY_ATTRS = frozenset({"Generator", "BitGenerator", "SeedSequence"})
@@ -57,13 +74,29 @@ _SEED_PARAMS = frozenset({"seed", "rng"})
 class RngPass(LintPass):
     """Flag unmanaged RNG construction and ignored seed parameters."""
 
-    rules = (RL101, RL102)
+    rules = (RL101, RL102, RL103)
 
     def visit_Module(self, node: ast.Module) -> None:
         self._tracker = ImportTracker(watched=("numpy", "random"))
         self._tracker.collect(node)
         self._class_stack: list[str] = []
+        self._report_shared_streams()
         self.generic_visit(node)
+
+    # ------------------------------------------------------------ RL103
+
+    def _report_shared_streams(self) -> None:
+        for flow in self.index.graph.flow_findings_for(str(self.ctx.path)):
+            if flow.kind != "shared-rng":
+                continue
+            roots = ", ".join(flow.roots)
+            self.report(
+                RL103,
+                SimpleNamespace(lineno=flow.line, col_offset=flow.col),
+                f"module-level RNG stream '{flow.subject}' is drawn from by "
+                f"{len(flow.roots)} scheduler callbacks ({roots}); give each "
+                "entity its own stream via ensure_rng/spawn",
+            )
 
     # ------------------------------------------------------------ RL101
 

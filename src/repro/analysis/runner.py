@@ -9,10 +9,13 @@ defined in files that happen to sort later.
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.base import all_passes
+from repro.analysis.cache import LintCache
 from repro.analysis.config import LintConfig, match_path
 from repro.analysis.context import (
     ModuleContext,
@@ -21,6 +24,7 @@ from repro.analysis.context import (
     parse_pragmas,
 )
 from repro.analysis.findings import Finding, Rule, Severity
+from repro.analysis.graph import ModuleShard, extract_shard
 
 __all__ = ["LintResult", "lint_paths", "lint_source", "collect_files", "RL000"]
 
@@ -70,49 +74,127 @@ def collect_files(
     return files
 
 
+def _context_from_source(path: Path, source: str) -> ModuleContext:
+    tree = ast.parse(source, filename=str(path))
+    return ModuleContext(
+        path=path,
+        source=source,
+        tree=tree,
+        module=_dotted_module(path),
+        pragmas=parse_pragmas(source),
+    )
+
+
 def lint_paths(
-    paths: list[Path | str], config: LintConfig | None = None
+    paths: list[Path | str],
+    config: LintConfig | None = None,
+    cache_dir: Path | str | None = None,
 ) -> LintResult:
-    """Lint ``paths`` (files or directories) and return sorted findings."""
+    """Lint ``paths`` (files or directories) and return sorted findings.
+
+    With ``cache_dir`` set, per-file shards and findings are reused from
+    (and written back to) the incremental cache in that directory; a
+    warm run over an unchanged tree parses nothing.  The cache never
+    changes results — see :mod:`repro.analysis.cache`.
+    """
     config = config or LintConfig()
+    cache = LintCache.load(cache_dir, config) if cache_dir is not None else None
     result = LintResult()
-    contexts: list[ModuleContext] = []
+    files = collect_files(paths, config)
     index = ProjectIndex()
-    for path in collect_files(paths, config):
+    contexts: dict[str, ModuleContext] = {}
+    raw_bytes: dict[str, bytes] = {}
+    digests: dict[str, str] = {}
+    shard_jsons: dict[str, dict] = {}
+    errored: dict[str, Finding] = {}
+
+    # Phase 1: fold every file's shard into the project index — from the
+    # cache when the content hash matches, from a fresh parse otherwise.
+    for path in files:
+        key = str(path)
         try:
-            ctx = ModuleContext.from_path(path)
+            raw = path.read_bytes()
         except OSError as exc:
-            result.findings.append(
-                Finding(
-                    path=str(path),
-                    line=1,
-                    col=0,
-                    rule_id=RL000.id,
-                    rule_name=RL000.name,
-                    severity=Severity.ERROR,
-                    message=f"cannot read file: {exc}",
-                )
+            errored[key] = Finding(
+                path=key,
+                line=1,
+                col=0,
+                rule_id=RL000.id,
+                rule_name=RL000.name,
+                severity=Severity.ERROR,
+                message=f"cannot read file: {exc}",
             )
             continue
+        digest = hashlib.sha256(raw).hexdigest()
+        digests[key] = digest
+        cached_shard = (
+            cache.shard_json(key, digest) if cache is not None else None
+        )
+        if cached_shard is not None:
+            index.add_shard(ModuleShard.from_json(cached_shard))
+            shard_jsons[key] = cached_shard
+            raw_bytes[key] = raw  # parsed lazily only on a findings miss
+            continue
+        try:
+            ctx = _context_from_source(path, raw.decode("utf-8"))
         except SyntaxError as exc:
-            result.findings.append(
-                Finding(
-                    path=str(path),
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule_id=RL000.id,
-                    rule_name=RL000.name,
-                    severity=Severity.ERROR,
-                    message=f"syntax error: {exc.msg}",
-                )
+            errored[key] = Finding(
+                path=key,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id=RL000.id,
+                rule_name=RL000.name,
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
             )
+            del digests[key]
             continue
-        contexts.append(ctx)
-        index.add_module(ctx)
-    result.files_checked = len(contexts)
-    for ctx in contexts:
+        contexts[key] = ctx
+        shard = extract_shard(key, ctx.module, ctx.tree)
+        index.add_shard(shard)
+        if cache is not None:
+            shard_jsons[key] = shard.to_json()
+
+    # Cross-module rules may re-judge an unchanged file when any other
+    # file changes, so cached findings are keyed by a fingerprint over
+    # the whole shard set.
+    fingerprint = ""
+    if cache is not None:
+        canonical = json.dumps(
+            [shard_jsons[k] for k in sorted(shard_jsons)], sort_keys=True
+        )
+        fingerprint = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # Phase 2: per-file findings — cached when file + project state match.
+    result.files_checked = len(digests)
+    for path in files:
+        key = str(path)
+        if key in errored:
+            result.findings.append(errored[key])
+            continue
+        if key not in digests:
+            continue
+        if cache is not None:
+            cached = cache.findings_for(key, digests[key], fingerprint)
+            if cached is not None:
+                result.findings.extend(cached)
+                continue
+        ctx = contexts.get(key)
+        if ctx is None:
+            # Shard came from cache but findings did not; the digest
+            # matched a previously-parsed state, so this parse succeeds.
+            ctx = _context_from_source(path, raw_bytes[key].decode("utf-8"))
+            contexts[key] = ctx
+        file_findings: list[Finding] = []
         for pass_cls in all_passes():
-            result.findings.extend(pass_cls(ctx, index, config).run())
+            file_findings.extend(pass_cls(ctx, index, config).run())
+        result.findings.extend(file_findings)
+        if cache is not None:
+            cache.store_findings(key, digests[key], fingerprint, file_findings)
+    if cache is not None:
+        for key, shard_json in shard_jsons.items():
+            cache.store_shard(key, digests[key], shard_json)
+        cache.save()
     result.findings.sort()
     return result
 

@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 reporter — CI-grade machine-readable lint output.
+
+SARIF (Static Analysis Results Interchange Format) is the schema code
+hosts ingest for inline annotations.  The document here sticks to the
+stable core of the 2.1.0 shape: one run, a ``tool.driver`` carrying the
+full rule catalog, and one ``result`` per finding with a physical
+location.  Output is deterministic — findings are already sorted, keys
+are sorted, and no timestamps or absolute URIs are embedded — so the
+report is byte-identical for a given tree state.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.base import all_rules
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.runner import LintResult
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "TOOL_NAME", "sarif_payload", "render_sarif"]
+
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+TOOL_NAME = "reprolint"
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+    entry: dict = {
+        "ruleId": finding.rule_id,
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; findings carry
+                        # 0-based AST column offsets.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule_id in rule_index:
+        entry["ruleIndex"] = rule_index[finding.rule_id]
+    return entry
+
+
+def sarif_payload(result: LintResult) -> dict:
+    """The SARIF document as a plain dict (for tests and embedding)."""
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": _level(rule.severity)},
+        }
+        for rule in all_rules()
+    ]
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://example.invalid/autolearn/reprolint"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _result(finding, rule_index) for finding in result.findings
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    """Serialise the SARIF document (sorted keys, stable bytes)."""
+    return json.dumps(sarif_payload(result), indent=2, sort_keys=True)

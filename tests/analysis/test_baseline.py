@@ -1,0 +1,101 @@
+"""Baseline files: load, subtract, ratchet, and the CLI workflow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, apply_baseline, write_baseline
+from repro.analysis.cli import main as reprolint_main
+from repro.analysis.runner import lint_paths
+from repro.common.errors import ConfigurationError
+
+WALL_CLOCK = "import time\nstamp = time.time()\n"
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+
+def test_malformed_baseline_raises_config_error(tmp_path):
+    bad = tmp_path / "bl.json"
+    bad.write_text("{{{ nope")
+    with pytest.raises(ConfigurationError):
+        Baseline.load(bad)
+    bad.write_text('{"version": 1}')
+    with pytest.raises(ConfigurationError):
+        Baseline.load(bad)
+    bad.write_text('{"version": 1, "findings": [{"path": "x"}]}')
+    with pytest.raises(ConfigurationError):
+        Baseline.load(bad)
+
+
+def test_write_then_load_round_trips(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(WALL_CLOCK)
+    result = lint_paths([target])
+    bl_path = tmp_path / "bl.json"
+    count = write_baseline(bl_path, result)
+    assert count == len(result.findings) == 1
+    baseline = Baseline.load(bl_path)
+    filtered, matched = apply_baseline(result, baseline)
+    assert matched == 1
+    assert filtered.findings == []
+    assert filtered.files_checked == result.files_checked
+
+
+def test_matching_ignores_line_numbers(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(WALL_CLOCK)
+    bl_path = tmp_path / "bl.json"
+    write_baseline(bl_path, lint_paths([target]))
+    # Shift the finding down two lines; the baseline still matches.
+    target.write_text("import time\n\n\nstamp = time.time()\n")
+    filtered, matched = apply_baseline(
+        lint_paths([target]), Baseline.load(bl_path)
+    )
+    assert matched == 1
+    assert filtered.findings == []
+
+
+def test_duplicates_are_counted_not_keyed(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(WALL_CLOCK)
+    bl_path = tmp_path / "bl.json"
+    write_baseline(bl_path, lint_paths([target]))
+    # A second identical violation appears: only one is absorbed.
+    target.write_text("import time\nstamp = time.time()\nagain = time.time()\n")
+    filtered, matched = apply_baseline(
+        lint_paths([target]), Baseline.load(bl_path)
+    )
+    assert matched == 1
+    assert len(filtered.findings) == 1
+
+
+def test_baseline_file_is_sorted_and_versioned(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(WALL_CLOCK + "def f(xs=[]):\n    return xs\n")
+    bl_path = tmp_path / "bl.json"
+    write_baseline(bl_path, lint_paths([target]))
+    payload = json.loads(bl_path.read_text())
+    assert payload["version"] == 1
+    rows = [(r["path"], r["rule"], r["message"]) for r in payload["findings"]]
+    assert rows == sorted(rows)
+
+
+def test_cli_update_then_clean_then_ratchet(tmp_path, capsys):
+    target = tmp_path / "bad.py"
+    target.write_text(WALL_CLOCK)
+    bl_path = tmp_path / "bl.json"
+
+    assert reprolint_main(
+        [str(target), "--update-baseline", "--baseline", str(bl_path)]
+    ) == 0
+    # Baselined debt no longer fails the run...
+    assert reprolint_main([str(target), "--baseline", str(bl_path)]) == 0
+    # ...but a *new* violation still does.
+    target.write_text(WALL_CLOCK + "def f(xs=[]):\n    return xs\n")
+    assert reprolint_main([str(target), "--baseline", str(bl_path)]) == 1
+    out = capsys.readouterr().out
+    assert "RL401" in out and "RL001" not in out

@@ -1,0 +1,138 @@
+"""Cache correctness: a warm run must equal a cold run, always.
+
+The cache is pure latency — any observable difference between cached
+and uncached results is a bug.  The hypothesis block drives the key
+invariant: after an *arbitrary* single-file edit, a warm run against
+the stale cache equals a cold run against a fresh one.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cache import CACHE_FILENAME, LintCache
+from repro.analysis.config import LintConfig
+from repro.analysis.runner import lint_paths
+
+
+def _rows(result):
+    return [f.to_dict() for f in result.findings]
+
+
+CLEAN = '__all__ = ["x"]\n\nx = 1\n'
+WALL_CLOCK = "import time\nstamp = time.time()\n"
+MUTABLE = "def f(xs=[]):\n    return xs\n"
+RACY = (
+    "_LOG = []\n"
+    "def _a():\n"
+    "    _LOG.append(1)\n"
+    "def _b():\n"
+    "    _LOG.append(2)\n"
+    "def _install(s):\n"
+    "    s.schedule_at(0.0, _a)\n"
+    "    s.schedule_at(0.0, _b)\n"
+)
+BROKEN = "def broken(:\n"
+
+EDITS = (CLEAN, WALL_CLOCK, MUTABLE, RACY, BROKEN)
+
+
+def _tree(root):
+    (root / "a.py").write_text(WALL_CLOCK)
+    (root / "b.py").write_text(CLEAN)
+    (root / "c.py").write_text(RACY)
+    return root
+
+
+def test_warm_equals_cold_and_parses_nothing_new(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    _tree(tree)
+    cache_dir = tmp_path / "cache"
+    cold = lint_paths([tree], cache_dir=cache_dir)
+    warm = lint_paths([tree], cache_dir=cache_dir)
+    assert _rows(warm) == _rows(cold)
+    assert warm.files_checked == cold.files_checked
+    assert (cache_dir / CACHE_FILENAME).exists()
+
+
+def test_corrupt_cache_is_ignored(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    _tree(tree)
+    cache_dir = tmp_path / "cache"
+    baseline = lint_paths([tree])
+    cache_dir.mkdir()
+    (cache_dir / CACHE_FILENAME).write_text("{{{ not json")
+    result = lint_paths([tree], cache_dir=cache_dir)
+    assert _rows(result) == _rows(baseline)
+
+
+def test_config_change_invalidates(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    _tree(tree)
+    cache_dir = tmp_path / "cache"
+    strict = lint_paths([tree], cache_dir=cache_dir)
+    assert any(f.rule_id == "RL001" for f in strict.findings)
+    relaxed = lint_paths(
+        [tree], LintConfig(disable=("RL001",)), cache_dir=cache_dir
+    )
+    assert not any(f.rule_id == "RL001" for f in relaxed.findings)
+    # And back: the original config still sees the wall-clock read.
+    again = lint_paths([tree], cache_dir=cache_dir)
+    assert _rows(again) == _rows(strict)
+
+
+def test_pass_version_mismatch_discards_cache(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    _tree(tree)
+    cache_dir = tmp_path / "cache"
+    cold = lint_paths([tree], cache_dir=cache_dir)
+    payload = json.loads((cache_dir / CACHE_FILENAME).read_text())
+    payload["passes"] = "stale-fingerprint"
+    (cache_dir / CACHE_FILENAME).write_text(json.dumps(payload))
+    cache = LintCache.load(cache_dir, LintConfig())
+    assert cache._files == {}
+    warm = lint_paths([tree], cache_dir=cache_dir)
+    assert _rows(warm) == _rows(cold)
+
+
+def test_syntax_error_files_stay_uncached_but_correct(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "bad.py").write_text(BROKEN)
+    (tree / "ok.py").write_text(CLEAN)
+    cache_dir = tmp_path / "cache"
+    cold = lint_paths([tree], cache_dir=cache_dir)
+    warm = lint_paths([tree], cache_dir=cache_dir)
+    assert _rows(warm) == _rows(cold)
+    assert [f.rule_id for f in warm.findings] == ["RL000"]
+    assert warm.files_checked == cold.files_checked == 1
+
+
+@given(
+    target=st.sampled_from(("a.py", "b.py", "c.py")),
+    new_content=st.sampled_from(EDITS),
+)
+@settings(max_examples=20, deadline=None)
+def test_warm_equals_cold_after_any_single_file_edit(
+    tmp_path_factory, target, new_content
+):
+    root = tmp_path_factory.mktemp("lintcache")
+    tree = root / "tree"
+    tree.mkdir()
+    _tree(tree)
+    cache_dir = root / "cache"
+    lint_paths([tree], cache_dir=cache_dir)  # populate
+
+    (tree / target).write_text(new_content)
+    warm = lint_paths([tree], cache_dir=cache_dir)
+    cold = lint_paths([tree], cache_dir=root / "fresh")
+    plain = lint_paths([tree])
+    assert _rows(warm) == _rows(cold) == _rows(plain)
+    assert warm.files_checked == cold.files_checked == plain.files_checked

@@ -1,0 +1,65 @@
+"""The lint contract: what the rest of the repo may assume about reprolint.
+
+Two promises are pinned here:
+
+* **Layering** — ``analysis`` sits at the bottom of the package DAG,
+  allowed to import only ``common``.  The linter judges every other
+  package, so it must depend on none of them; a cycle between the judge
+  and the judged would make the self-lint meaningless.  Checked both
+  declaratively (the DAG entry) and empirically (the import graph of
+  the real ``src/repro/analysis`` tree, via the linter's own
+  :class:`~repro.analysis.graph.ProjectGraph`).
+* **Exit codes** — ``0`` clean, ``1`` findings, ``2`` usage/config
+  error.  CI scripts branch on these; they are API.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.cli import main as reprolint_main
+from repro.analysis.passes.layering import DEFAULT_LAYERS
+from repro.analysis.runner import collect_files
+from repro.analysis.context import ModuleContext, ProjectIndex
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+ANALYSIS_ROOT = REPO_ROOT / "src" / "repro" / "analysis"
+
+
+def test_analysis_is_bottom_of_layering_dag():
+    assert DEFAULT_LAYERS["analysis"] == ("common",)
+
+
+def test_analysis_tree_imports_only_common():
+    index = ProjectIndex()
+    for path in collect_files([ANALYSIS_ROOT]):
+        index.add_module(ModuleContext.from_path(path))
+    offending = {}
+    for module in sorted(index.graph.shards):
+        shard = index.graph.shards[module]
+        bad = sorted(
+            target
+            for target in shard.imports
+            if target.startswith("repro.")
+            and not target.startswith(("repro.analysis", "repro.common"))
+        )
+        if bad:
+            offending[module] = bad
+    assert not offending, offending
+
+
+def test_exit_code_contract(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text('__all__ = ["x"]\n\nx = 1\n')
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nstamp = time.time()\n")
+
+    assert reprolint_main([str(clean)]) == 0
+    assert reprolint_main([str(dirty)]) == 1
+    assert reprolint_main([str(clean), "--select", "RLnope"]) == 2
+    assert reprolint_main([str(clean), "--ignore", "RLnope"]) == 2
+
+    broken_toml = tmp_path / "pyproject.toml"
+    broken_toml.write_text("this is [[ not toml\n")
+    assert reprolint_main([str(clean), "--pyproject", str(broken_toml)]) == 2
+    capsys.readouterr()

@@ -62,10 +62,31 @@ def test_cli_disable_flag(tmp_path):
     assert reprolint_main([str(bad), "--disable", "RL001"]) == 0
 
 
+def test_cli_ignore_flag(tmp_path):
+    # --ignore is the documented spelling; --disable stays as an alias.
+    bad = _write(tmp_path, "bad.py", VIOLATION)
+    assert reprolint_main([str(bad), "--ignore", "RL001"]) == 0
+    assert reprolint_main([str(bad), "--ignore", "wall-clock"]) == 0
+
+
+def test_cli_select_flag(tmp_path, capsys):
+    bad = _write(tmp_path, "bad.py", VIOLATION + "def f(xs=[]):\n    return xs\n")
+    assert reprolint_main([str(bad), "--select", "RL401"]) == 1
+    out = capsys.readouterr().out
+    assert "RL401" in out and "RL001" not in out
+    assert reprolint_main([str(bad), "--select", "RL202"]) == 0
+
+
 def test_cli_unknown_disable_rejected(tmp_path, capsys):
     bad = _write(tmp_path, "bad.py", VIOLATION)
     assert reprolint_main([str(bad), "--disable", "RL00X"]) == 2
-    assert "unknown rule" in capsys.readouterr().out
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_unknown_select_rejected(tmp_path, capsys):
+    bad = _write(tmp_path, "bad.py", VIOLATION)
+    assert reprolint_main([str(bad), "--select", "RL00X"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
 
 
 def test_missing_file_reported_not_raised(tmp_path):
@@ -77,8 +98,41 @@ def test_missing_file_reported_not_raised(tmp_path):
 def test_cli_json_format(tmp_path, capsys):
     bad = _write(tmp_path, "bad.py", VIOLATION)
     assert reprolint_main([str(bad), "--format", "json"]) == 1
-    payload = json.loads(capsys.readouterr().out)
+    out = capsys.readouterr().out
+    payload = json.loads(out)
     assert payload["errors"] == 1
+    # Keys are emitted sorted so diffs of CI artifacts stay stable.
+    assert out == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def test_cli_sarif_format(tmp_path, capsys):
+    bad = _write(tmp_path, "bad.py", VIOLATION)
+    assert reprolint_main([str(bad), "--format", "sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    assert payload["runs"][0]["results"][0]["ruleId"] == "RL001"
+
+
+def test_cli_fix_applies_and_is_idempotent(tmp_path, capsys):
+    bad = _write(tmp_path, "bad.py", "def f(xs=[]):\n    return xs\n")
+    reprolint_main([str(bad), "--fix"])
+    fixed = bad.read_text()
+    assert "xs=None" in fixed and "if xs is None:" in fixed
+    reprolint_main([str(bad), "--fix"])
+    assert bad.read_text() == fixed
+    capsys.readouterr()
+
+
+def test_cli_cache_flags(tmp_path, capsys):
+    bad = _write(tmp_path, "bad.py", VIOLATION)
+    cache_dir = tmp_path / "lint-cache"
+    assert reprolint_main([str(bad), "--cache-dir", str(cache_dir)]) == 1
+    assert cache_dir.exists()
+    assert reprolint_main([str(bad), "--cache-dir", str(cache_dir)]) == 1
+    assert reprolint_main(
+        [str(bad), "--cache-dir", str(cache_dir), "--no-cache"]
+    ) == 1
+    capsys.readouterr()
 
 
 def test_cli_list_rules(capsys):

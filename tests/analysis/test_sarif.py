@@ -1,0 +1,121 @@
+"""The SARIF 2.1.0 reporter: shape, columns, determinism."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import all_rules, lint_paths
+from repro.analysis.sarif import (
+    SARIF_VERSION,
+    TOOL_NAME,
+    render_sarif,
+    sarif_payload,
+)
+
+# The 2.1.0 shape this repo relies on: enough of the official schema to
+# catch structural regressions (jsonschema validates it when present).
+SARIF_SHAPE = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "level", "message", "locations"],
+                            "properties": {
+                                "level": {"enum": ["error", "warning"]},
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+VIOLATIONS = (
+    "import time\n\n\n"
+    "def probe(xs=[]):\n"
+    "    return time.time()\n"
+)
+
+
+def _payload(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(VIOLATIONS)
+    return sarif_payload(lint_paths([path]))
+
+
+def test_payload_matches_sarif_shape(tmp_path):
+    payload = _payload(tmp_path)
+    try:
+        import jsonschema
+    except ImportError:
+        jsonschema = None
+    if jsonschema is not None:
+        jsonschema.validate(payload, SARIF_SHAPE)
+    assert payload["version"] == SARIF_VERSION
+    driver = payload["runs"][0]["tool"]["driver"]
+    assert driver["name"] == TOOL_NAME
+
+
+def test_driver_carries_full_rule_catalog(tmp_path):
+    driver = _payload(tmp_path)["runs"][0]["tool"]["driver"]
+    catalog = {rule["id"] for rule in driver["rules"]}
+    assert catalog == {rule.id for rule in all_rules()}
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in ("error", "warning")
+
+
+def test_results_point_into_rule_catalog(tmp_path):
+    run = _payload(tmp_path)["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    assert run["results"], "fixture produced no findings"
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_columns_are_one_based(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text("import time\nstamp = time.time()\n")
+    result = lint_paths([path])
+    finding = result.findings[0]
+    region = sarif_payload(result)["runs"][0]["results"][0]["locations"][0][
+        "physicalLocation"
+    ]["region"]
+    assert region["startLine"] == finding.line
+    assert region["startColumn"] == finding.col + 1
+
+
+def test_render_is_deterministic(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(VIOLATIONS)
+    result = lint_paths([path])
+    first = render_sarif(result)
+    second = render_sarif(lint_paths([path]))
+    assert first == second
+    assert json.loads(first)  # valid JSON

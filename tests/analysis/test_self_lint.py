@@ -1,12 +1,17 @@
 """The repo-wide self-lint: every invariant holds on the real tree.
 
 This is the tier-1 gate the tentpole exists for — any future PR that
-reads the wall clock, forks an unmanaged RNG stream, raises outside the
-``ReproError`` hierarchy, breaks ``__all__``, adds a mutable default, or
-inverts the package layering fails here with the exact file and line.
+reads the wall clock, forks an unmanaged RNG stream, shares one stream
+across scheduler callbacks, raises outside the ``ReproError`` hierarchy,
+breaks ``__all__``, adds a mutable default, iterates a set into an
+order-sensitive consumer, sorts by ``id()``, writes module state from
+concurrent simulated-time callbacks, or inverts the package layering
+fails here with the exact file and line.
 
-The companion test drives every rule against a deliberately-broken
-fixture so the gate itself cannot silently rot.
+The tree must be clean under the **full v2 rule set with an empty
+baseline** — debt is fixed, not baselined.  The companion test drives
+every rule against a deliberately-broken fixture so the gate itself
+cannot silently rot.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import textwrap
 from pathlib import Path
 
 from repro.analysis import LintConfig, all_rules, lint_paths, lint_source
+from repro.analysis.baseline import BASELINE_FILENAME, Baseline
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -58,6 +64,33 @@ BROKEN_FIXTURE = textwrap.dedent(
             return np.random.default_rng(0)
         except Exception:
             return time.time()
+
+
+    from repro.common.rng import ensure_rng
+
+    _STATE = []
+    _STREAM = ensure_rng(13)
+
+
+    def _install(scheduler):
+        scheduler.schedule_at(0.0, _tick)
+        scheduler.schedule_in(1.0, _tock)
+
+
+    def _tick():
+        _STATE.append(_STREAM.random())
+
+
+    def _tock():
+        _STATE.append(int(_STREAM.integers(0, 2)))
+
+
+    def _enumerate_hosts():
+        return list({"edge-0", "edge-1"})
+
+
+    def _rank(rows):
+        return sorted(rows, key=id)
     '''
 ).strip("\n")
 
@@ -65,6 +98,7 @@ EXPECTED = {
     "RL001": 37,  # time.time() in probe
     "RL101": 35,  # np.random.default_rng in probe
     "RL102": 10,  # simulate ignores seed
+    "RL103": 43,  # _STREAM drawn from by both _tick and _tock
     "RL201": 29,  # bare except in load
     "RL202": 36,  # except Exception without re-raise in probe
     "RL203": 23,  # raise HomegrownError
@@ -72,6 +106,9 @@ EXPECTED = {
     "RL302": 18,  # class HomegrownError missing from __all__
     "RL401": 14,  # mutable default in collect
     "RL501": 5,   # common/ importing repro.ml
+    "RL601": 60,  # list(...) over a set literal
+    "RL602": 64,  # sorted(..., key=id)
+    "RL603": 56,  # _STATE written from both _tick and _tock (last site)
 }
 
 
@@ -80,6 +117,13 @@ def test_src_tree_is_clean():
     result = lint_paths([REPO_ROOT / "src" / "repro"], config)
     assert result.files_checked > 100
     assert result.findings == [], "\n".join(f.render() for f in result.findings)
+
+
+def test_checked_in_baseline_is_empty():
+    # The tree is clean outright; the baseline exists only so the
+    # workflow is exercised, and it must never accumulate debt.
+    baseline = Baseline.load(REPO_ROOT / BASELINE_FILENAME)
+    assert len(baseline) == 0
 
 
 def test_broken_fixture_triggers_every_rule():
