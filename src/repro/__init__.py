@@ -25,6 +25,7 @@ from repro import (
     edge,
     extensions,
     faults,
+    fleet,
     inference,
     ml,
     net,
@@ -48,6 +49,7 @@ __all__ = [
     "edge",
     "extensions",
     "faults",
+    "fleet",
     "inference",
     "ml",
     "net",

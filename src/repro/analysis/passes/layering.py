@@ -69,6 +69,18 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
     ),
     "artifacts": ("common", "core"),
     "twin": ("common", "core", "ml", "sim"),
+    "fleet": (
+        "artifacts",
+        "common",
+        "data",
+        "faults",
+        "ml",
+        "net",
+        "objectstore",
+        "obs",
+        "serve",
+        "testbed",
+    ),
 }
 
 

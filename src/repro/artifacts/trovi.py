@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.common.clock import Clock
-from repro.common.errors import ArtifactError, VersionNotFoundError
+from repro.common.errors import ArtifactError, TagNotFoundError, VersionNotFoundError
 from repro.common.eventlog import EventLog
 from repro.common.ids import IdFactory, content_id
 
@@ -44,6 +44,9 @@ class Artifact:
     tags: set[str] = field(default_factory=set)
     authors: list[str] = field(default_factory=list)
     versions: list[ArtifactVersion] = field(default_factory=list)
+    # Mutable pointers from a tag name ("stable", "canary", ...) to a
+    # version number — the registry mechanism rollouts move around.
+    version_tags: dict[str, int] = field(default_factory=dict)
 
     @property
     def latest(self) -> ArtifactVersion:
@@ -51,6 +54,15 @@ class Artifact:
         if not self.versions:
             raise VersionNotFoundError(f"artifact {self.artifact_id} has no versions")
         return self.versions[-1]
+
+    @property
+    def sorted_tags(self) -> tuple[str, ...]:
+        """Free-form tags in deterministic (sorted) order.
+
+        ``tags`` is a set; any code that serialises or iterates it must
+        go through here so output order never depends on hash seeds.
+        """
+        return tuple(sorted(self.tags))
 
     def version(self, number: int) -> ArtifactVersion:
         """Fetch a specific version."""
@@ -129,6 +141,51 @@ class TroviHub:
         except KeyError:
             raise ArtifactError(f"unknown artifact {artifact_id!r}") from None
 
+    def resolve(self, artifact_id: str, tag: str) -> ArtifactVersion:
+        """Resolve a version tag ("stable", "canary", ...) to its version.
+
+        Raises :class:`TagNotFoundError` when the tag is not bound.
+        """
+        artifact = self.get(artifact_id)
+        try:
+            number = artifact.version_tags[tag]
+        except KeyError:
+            raise TagNotFoundError(
+                f"artifact {artifact_id} has no version tag {tag!r}"
+            ) from None
+        return artifact.version(number)
+
+    def tag_version(self, artifact_id: str, tag: str, number: int) -> None:
+        """Bind (or move) a version tag to an existing version."""
+        if not tag:
+            raise ArtifactError("version tag must be non-empty")
+        artifact = self.get(artifact_id)
+        artifact.version(number)  # validates the version exists
+        previous = artifact.version_tags.get(tag)
+        artifact.version_tags[tag] = number
+        artifact.tags.add(tag)
+        self.events.append(
+            self.clock.now, "artifact.tag", artifact_id, artifact.owner,
+            tag=tag, version=number,
+            previous=previous if previous is not None else 0,
+        )
+
+    def untag_version(self, artifact_id: str, tag: str) -> int:
+        """Remove a version tag; returns the version it pointed at."""
+        artifact = self.get(artifact_id)
+        try:
+            number = artifact.version_tags.pop(tag)
+        except KeyError:
+            raise TagNotFoundError(
+                f"artifact {artifact_id} has no version tag {tag!r}"
+            ) from None
+        artifact.tags.discard(tag)
+        self.events.append(
+            self.clock.now, "artifact.untag", artifact_id, artifact.owner,
+            tag=tag, version=number,
+        )
+        return number
+
     def search(self, tag: str | None = None, text: str | None = None) -> list[Artifact]:
         """Find artifacts by tag and/or title/description substring."""
         out = []
@@ -180,7 +237,11 @@ class TroviHub:
             "version": v.number,
             "contents_id": v.contents_id,
             "files": list(v.files),
-            "tags": sorted(artifact.tags),
+            "tags": list(artifact.sorted_tags),
+            "version_tags": {
+                tag: artifact.version_tags[tag]
+                for tag in sorted(artifact.version_tags)
+            },
             "authors": list(artifact.authors),
         }
 

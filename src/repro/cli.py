@@ -11,6 +11,7 @@ steps — mirroring the ``donkey`` CLI the paper's students use:
 * ``autolearn pipeline`` — run a full pathway end to end.
 * ``autolearn serve`` — run a fleet inference-serving experiment.
 * ``autolearn chaos`` — play a fault-injection scenario against a fleet.
+* ``autolearn fleet`` — run the continuous-learning continuum loop.
 * ``autolearn trace`` — run a canonical scenario with tracing attached.
 * ``autolearn lint`` — run the reprolint invariant checker.
 """
@@ -116,6 +117,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the scenario's replica count")
     p.add_argument("--duration", type=float, default=0.0,
                    help="override the scenario's simulated duration")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "fleet",
+        help="run the fleet continuous-learning loop (collect -> retrain "
+             "-> shadow/canary rollout)",
+    )
+    p.add_argument("--rounds", type=int, default=3)
+    p.add_argument("--vehicles", type=int, default=8,
+                   help="data-collection fleet size")
+    p.add_argument("--stage-vehicles", type=int, default=6,
+                   help="closed-loop vehicles driving each rollout stage")
+    p.add_argument("--canary-fraction", type=float, default=0.3,
+                   help="fraction of stage traffic sent to the canary")
+    p.add_argument("--poison-round", type=int, default=0,
+                   help="invert steering labels collected in this round "
+                        "(the degraded candidate must roll back)")
+    p.add_argument("--crash-canary-round", type=int, default=0,
+                   help="crash the canary replica in this round's canary "
+                        "stage (the candidate must roll back)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full summary as JSON")
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
@@ -340,6 +363,42 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    import json
+
+    from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+    from repro.fleet import FleetConfig, FleetLoop
+
+    canary_fault_plans = ()
+    if args.crash_canary_round > 0:
+        # The canary replica is the one added after the stable replicas;
+        # with the default two stable replicas that is replica-0003.
+        stable = FleetConfig().stable_replicas
+        crash = FaultPlan([
+            FaultSpec(
+                FaultKind.REPLICA_CRASH,
+                f"replica-{stable + 1:04d}",
+                at_s=0.1,
+            ),
+        ])
+        canary_fault_plans = ((args.crash_canary_round, crash),)
+    config = FleetConfig(
+        rounds=args.rounds,
+        n_vehicles=args.vehicles,
+        stage_vehicles=args.stage_vehicles,
+        canary_fraction=args.canary_fraction,
+        poison_rounds=(args.poison_round,) if args.poison_round > 0 else (),
+        canary_fault_plans=canary_fault_plans,
+        seed=args.seed,
+    )
+    summary = FleetLoop(config).run()
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(summary.to_text(), end="")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.export import chrome_trace, text_tree
     from repro.scenarios import run_trace_scenario
@@ -373,6 +432,7 @@ _COMMANDS = {
     "pipeline": _cmd_pipeline,
     "serve": _cmd_serve,
     "chaos": _cmd_chaos,
+    "fleet": _cmd_fleet,
     "trace": _cmd_trace,
     "lint": _cmd_lint,
 }

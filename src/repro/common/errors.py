@@ -49,8 +49,10 @@ __all__ = [
     "NoSuchContainerError",
     "NoSuchObjectError",
     "TransientStoreError",
+    "ContainerQuotaError",
     "ArtifactError",
     "VersionNotFoundError",
+    "TagNotFoundError",
     # vehicle / sim
     "VehicleError",
     "PartError",
@@ -60,6 +62,9 @@ __all__ = [
     # serve
     "ServeError",
     "ReplicaStateError",
+    # fleet
+    "FleetError",
+    "RolloutError",
 ]
 
 
@@ -224,6 +229,10 @@ class TransientStoreError(ObjectStoreError, InjectedFaultError):
     """An injected transient object-store failure (retryable)."""
 
 
+class ContainerQuotaError(ObjectStoreError):
+    """A ``put`` would push a container past its byte quota."""
+
+
 # ----------------------------------------------------------- artifacts
 
 
@@ -233,6 +242,10 @@ class ArtifactError(ReproError):
 
 class VersionNotFoundError(ArtifactError, KeyError):
     """Requested artifact version does not exist."""
+
+
+class TagNotFoundError(ArtifactError, KeyError):
+    """Requested version tag is not bound on the artifact."""
 
 
 # ------------------------------------------------------- vehicle / sim
@@ -268,3 +281,15 @@ class ServeError(ReproError):
 class ReplicaStateError(ServeError):
     """Invalid replica lifecycle transition (e.g. dispatching a batch to a
     replica that is still provisioning or already retired)."""
+
+
+# --------------------------------------------------------------- fleet
+
+
+class FleetError(ReproError):
+    """Base class for the continuous-learning fleet control plane."""
+
+
+class RolloutError(FleetError):
+    """Invalid rollout lifecycle transition (e.g. promoting past a stage
+    that was never entered, or rolling back with no prior stable)."""

@@ -1,0 +1,114 @@
+"""Configuration for the fleet continuous-learning loop.
+
+One frozen dataclass holds every knob of the loop — data plane, trainer
+thresholds, rollout stages, gates, and per-round fault plans — so a
+whole experiment is a value that can be logged, varied in benchmarks,
+and replayed byte-identically from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DEFAULT_SEED
+from repro.faults.plan import FaultPlan
+from repro.fleet.gates import GateThresholds
+
+__all__ = ["FleetConfig"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything one continuum-loop run depends on.
+
+    Times are simulated seconds.  ``poison_rounds`` lists data-collection
+    rounds whose steering labels are inverted (degraded candidates);
+    ``canary_fault_plans`` maps a round number to a fault plan whose
+    times are *relative to that round's canary stage start* (crashed
+    canaries); ``store_fault_plan`` uses absolute loop times against
+    ``store:<container>`` targets (partitioned ingest).
+    """
+
+    # ------------------------------------------------------- data plane
+    n_vehicles: int = 8
+    flushes_per_round: int = 2
+    records_per_flush: int = 16
+    frame_hw: tuple[int, int] = (16, 24)
+    data_window_s: float = 4.0
+    # ---------------------------------------------------------- trainer
+    model_name: str = "linear"
+    model_scale: float = 0.25
+    epochs: int = 6
+    batch_size: int = 16
+    learning_rate: float = 0.003
+    val_fraction: float = 0.25
+    min_fresh_records: int = 32
+    max_train_shards: int = 64
+    gpu: str = "RTX6000"
+    eval_records: int = 64
+    # ---------------------------------------------------------- serving
+    stage_vehicles: int = 6
+    stage_duration_s: float = 1.0
+    stage_dt: float = 0.05
+    deadline_ticks: int = 2
+    stable_replicas: int = 2
+    canary_replicas: int = 1
+    canary_fraction: float = 0.3
+    # ------------------------------------------------- rounds and gates
+    rounds: int = 3
+    gates: GateThresholds = field(default_factory=GateThresholds)
+    cte_gain_m: float = 0.6
+    seed: int = DEFAULT_SEED
+    # ------------------------------------------------------- fault dials
+    poison_rounds: tuple[int, ...] = ()
+    canary_fault_plans: tuple[tuple[int, FaultPlan], ...] = ()
+    store_fault_plan: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_vehicles < 1 or self.stage_vehicles < 1:
+            raise ConfigurationError("need >= 1 vehicle in data and stage fleets")
+        if self.flushes_per_round < 1 or self.records_per_flush < 1:
+            raise ConfigurationError(
+                "flushes_per_round and records_per_flush must be >= 1"
+            )
+        if self.rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {self.rounds}")
+        if self.data_window_s <= 0 or self.stage_duration_s <= 0:
+            raise ConfigurationError("data_window_s and stage_duration_s must be > 0")
+        if self.stable_replicas < 1 or self.canary_replicas < 1:
+            raise ConfigurationError("need >= 1 stable and >= 1 canary replica")
+        if not 0.0 < self.canary_fraction < 1.0:
+            raise ConfigurationError(
+                f"canary_fraction must be in (0, 1), got {self.canary_fraction}"
+            )
+        if not 0.0 < self.val_fraction < 1.0:
+            raise ConfigurationError(
+                f"val_fraction must be in (0, 1), got {self.val_fraction}"
+            )
+        if self.eval_records < 1 or self.max_train_shards < 1:
+            raise ConfigurationError(
+                "eval_records and max_train_shards must be >= 1"
+            )
+        for round_no in self.poison_rounds:
+            if not 1 <= round_no <= self.rounds:
+                raise ConfigurationError(
+                    f"poison round {round_no} outside 1..{self.rounds}"
+                )
+        for round_no, _plan in self.canary_fault_plans:
+            if not 1 <= round_no <= self.rounds:
+                raise ConfigurationError(
+                    f"fault-plan round {round_no} outside 1..{self.rounds}"
+                )
+
+    @property
+    def records_per_round(self) -> int:
+        """Records the whole fleet flushes in one collection round."""
+        return self.n_vehicles * self.flushes_per_round * self.records_per_flush
+
+    def canary_plan_for(self, round_no: int) -> FaultPlan | None:
+        """The stage-relative canary fault plan for ``round_no``."""
+        for entry_round, plan in self.canary_fault_plans:
+            if entry_round == round_no:
+                return plan
+        return None

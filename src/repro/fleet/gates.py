@@ -1,0 +1,127 @@
+"""Promotion gates: the quality bar a rollout stage must clear.
+
+A gate turns one stage's measured serving behaviour (SLO window + the
+per-version driving-quality scoreboard) into a deterministic pass/fail
+verdict with explicit reasons.  Thresholds combine classic serving SLOs
+(tail latency, deadline attainment) with the driving metrics the paper
+cares about: cross-track error (how far off the racing line the model's
+steering would put the car) and the stale-command ratio of the closed
+vehicle loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.fleet.stage import VersionStats
+
+__all__ = ["GateThresholds", "GateDecision", "evaluate_gate"]
+
+
+@dataclass(frozen=True)
+class GateThresholds:
+    """Pass/fail bounds for one promotion gate.
+
+    ``max_cte_m`` is an absolute cross-track-error ceiling;
+    ``max_cte_regression_m`` additionally bounds how much worse than the
+    concurrently-measured stable version a candidate may drive.
+    """
+
+    min_completions: int = 20
+    max_p95_ms: float = 80.0
+    max_deadline_miss: float = 0.15
+    max_stale_ratio: float = 0.45
+    max_cte_m: float = 0.28
+    max_cte_regression_m: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.min_completions < 1:
+            raise ConfigurationError(
+                f"min_completions must be >= 1, got {self.min_completions}"
+            )
+        if self.max_p95_ms <= 0 or self.max_cte_m <= 0:
+            raise ConfigurationError(
+                "max_p95_ms and max_cte_m must be positive"
+            )
+        if not 0.0 <= self.max_deadline_miss <= 1.0:
+            raise ConfigurationError(
+                f"max_deadline_miss must be in [0, 1], got {self.max_deadline_miss}"
+            )
+        if not 0.0 <= self.max_stale_ratio <= 1.0:
+            raise ConfigurationError(
+                f"max_stale_ratio must be in [0, 1], got {self.max_stale_ratio}"
+            )
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """One gate verdict: stage, version under test, and why it failed."""
+
+    stage: str
+    version: str
+    passed: bool
+    reasons: tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (round reports, golden summaries)."""
+        return {
+            "stage": self.stage,
+            "version": self.version,
+            "passed": self.passed,
+            "reasons": list(self.reasons),
+        }
+
+
+def evaluate_gate(
+    stage: str,
+    candidate: VersionStats,
+    baseline: VersionStats | None,
+    stale_ratio: float,
+    thresholds: GateThresholds,
+) -> GateDecision:
+    """Judge one stage's candidate measurements against the thresholds.
+
+    Checks run in a fixed order so ``reasons`` is deterministic.  A
+    candidate that served too few requests fails outright — a crashed
+    canary must not pass a gate by silence.
+    """
+    reasons: list[str] = []
+    if candidate.completed < thresholds.min_completions:
+        reasons.append(
+            f"completions {candidate.completed} < {thresholds.min_completions}"
+        )
+    else:
+        if candidate.p95_ms > thresholds.max_p95_ms:
+            reasons.append(
+                f"p95 {candidate.p95_ms:.3f}ms > {thresholds.max_p95_ms:.3f}ms"
+            )
+        if candidate.deadline_miss_rate > thresholds.max_deadline_miss:
+            reasons.append(
+                f"deadline_miss {candidate.deadline_miss_rate:.4f} > "
+                f"{thresholds.max_deadline_miss:.4f}"
+            )
+        if candidate.mean_cte_m > thresholds.max_cte_m:
+            reasons.append(
+                f"cte {candidate.mean_cte_m:.4f}m > {thresholds.max_cte_m:.4f}m"
+            )
+        if (
+            baseline is not None
+            and baseline.completed >= thresholds.min_completions
+            and candidate.mean_cte_m
+            > baseline.mean_cte_m + thresholds.max_cte_regression_m
+        ):
+            reasons.append(
+                f"cte regression {candidate.mean_cte_m - baseline.mean_cte_m:.4f}m"
+                f" > {thresholds.max_cte_regression_m:.4f}m vs stable"
+            )
+    if stale_ratio > thresholds.max_stale_ratio:
+        reasons.append(
+            f"stale_ratio {stale_ratio:.4f} > {thresholds.max_stale_ratio:.4f}"
+        )
+    return GateDecision(
+        stage=stage,
+        version=candidate.version,
+        passed=not reasons,
+        reasons=tuple(reasons),
+    )

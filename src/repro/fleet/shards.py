@@ -1,0 +1,65 @@
+"""Training shards: the wire format between vehicles and the trainer.
+
+A shard is one vehicle flush — a batch of ``(frame, angle, throttle)``
+records — serialised as a single ``.npz`` payload so it can live as one
+object-store object.  Encoding is deterministic (fixed array names, no
+timestamps) and decoding validates shapes, so a corrupt object surfaces
+as a typed :class:`~repro.common.errors.FleetError` the ingest stage
+can skip, not a crash.
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+
+import numpy as np
+
+from repro.common.errors import FleetError
+
+__all__ = ["encode_shard", "decode_shard", "shard_records"]
+
+
+def encode_shard(frames: np.ndarray, labels: np.ndarray) -> bytes:
+    """Serialise ``(n, H, W, 3)`` uint8 frames + ``(n, 2)`` labels."""
+    frames = np.asarray(frames)
+    labels = np.asarray(labels, dtype=np.float32)
+    if frames.ndim != 4 or frames.shape[3] != 3 or frames.dtype != np.uint8:
+        raise FleetError(
+            f"shard frames must be uint8 (n, H, W, 3), got "
+            f"{frames.dtype} {frames.shape}"
+        )
+    if labels.ndim != 2 or labels.shape != (frames.shape[0], 2):
+        raise FleetError(
+            f"shard labels must be (n, 2) aligned with frames, got "
+            f"{labels.shape} for {frames.shape[0]} frames"
+        )
+    buf = io.BytesIO()
+    np.savez(buf, frames=frames, labels=labels)
+    return buf.getvalue()
+
+
+def decode_shard(data: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Rebuild ``(frames, labels)`` from :func:`encode_shard` output."""
+    try:
+        payload = np.load(io.BytesIO(data), allow_pickle=False)
+        frames = payload["frames"]
+        labels = payload["labels"]
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError) as exc:
+        raise FleetError(f"unreadable shard payload: {exc}") from exc
+    if (
+        frames.ndim != 4
+        or frames.dtype != np.uint8
+        or labels.shape != (frames.shape[0], 2)
+    ):
+        raise FleetError(
+            f"malformed shard: frames {frames.dtype} {frames.shape}, "
+            f"labels {labels.shape}"
+        )
+    return frames, labels
+
+
+def shard_records(data: bytes) -> int:
+    """Record count of an encoded shard (decodes and validates)."""
+    frames, _ = decode_shard(data)
+    return int(frames.shape[0])

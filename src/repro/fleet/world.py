@@ -1,0 +1,113 @@
+"""A synthetic, *learnable* driving world for the continuous loop.
+
+The continuum loop needs driving data whose frames actually predict the
+expert steering command — otherwise retraining could never improve the
+fleet and promotion gates would be noise.  :class:`SyntheticTrackWorld`
+generates camera frames whose pixels are an affine function of two
+latent track variables (lateral offset and upcoming curvature) plus
+seeded sensor noise, and labels each frame with the expert command::
+
+    angle    = clip(-(k_offset * offset + k_curv * curvature), -1, 1)
+    throttle = base - slowdown * |angle|
+
+A model trained on these shards genuinely learns to steer (falling
+cross-track error); a *poisoned* round inverts the recorded steering
+labels, producing the confidently-wrong candidate the rollback tests
+need.  Everything is a pure function of the structure seed and the
+caller-supplied stream, so identical seeds yield identical worlds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+
+__all__ = ["SyntheticTrackWorld"]
+
+
+class SyntheticTrackWorld:
+    """Deterministic frame/label generator with a learnable structure."""
+
+    def __init__(
+        self,
+        frame_hw: tuple[int, int] = (16, 24),
+        seed: int | np.random.Generator | None = None,
+        noise: float = 6.0,
+        k_offset: float = 0.9,
+        k_curv: float = 0.35,
+    ) -> None:
+        if len(frame_hw) != 2 or frame_hw[0] < 5 or frame_hw[1] < 5:
+            raise ConfigurationError(
+                f"frame_hw must be (H, W) with H, W >= 5, got {frame_hw}"
+            )
+        if noise < 0:
+            raise ConfigurationError(f"noise must be >= 0, got {noise}")
+        rng = ensure_rng(seed)
+        h, w = int(frame_hw[0]), int(frame_hw[1])
+        self.frame_hw = (h, w)
+        self.noise = float(noise)
+        self.k_offset = float(k_offset)
+        self.k_curv = float(k_curv)
+        # Fixed "scene" structure: a base image plus one gradient image
+        # per latent variable.  Frames are base + offset * g_off +
+        # curvature * g_curv (+ noise) — linearly decodable, so even a
+        # small model can learn the steering function from few shards.
+        self._base = rng.uniform(90.0, 160.0, (h, w, 3))
+        self._g_offset = rng.normal(0.0, 38.0, (h, w, 3))
+        self._g_curv = rng.normal(0.0, 24.0, (h, w, 3))
+
+    @property
+    def frame_shape(self) -> tuple[int, int, int]:
+        """Model input shape ``(H, W, 3)``."""
+        return (self.frame_hw[0], self.frame_hw[1], 3)
+
+    def sample(
+        self,
+        rng: int | np.random.Generator | None,
+        n: int,
+        poisoned: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` labelled records from ``rng``.
+
+        Returns ``(frames, labels)``: uint8 frames ``(n, H, W, 3)`` and
+        float32 labels ``(n, 2)`` as ``[angle, throttle]`` rows.  A
+        poisoned draw inverts the recorded steering labels (the frames
+        stay honest) — training on it yields a model that confidently
+        steers the wrong way.
+        """
+        if n < 1:
+            raise ConfigurationError(f"need n >= 1 records, got {n}")
+        gen = ensure_rng(rng)
+        offsets = gen.uniform(-1.0, 1.0, n)
+        curvatures = gen.uniform(-1.0, 1.0, n)
+        pixels = (
+            self._base[None, :, :, :]
+            + offsets[:, None, None, None] * self._g_offset[None, :, :, :]
+            + curvatures[:, None, None, None] * self._g_curv[None, :, :, :]
+        )
+        if self.noise > 0:
+            pixels = pixels + gen.normal(0.0, self.noise, pixels.shape)
+        frames = np.clip(pixels, 0.0, 255.0).astype(np.uint8)
+        angles = np.clip(
+            -(self.k_offset * offsets + self.k_curv * curvatures), -1.0, 1.0
+        )
+        if poisoned:
+            angles = -angles
+        throttles = 0.55 - 0.25 * np.abs(angles)
+        labels = np.stack([angles, throttles], axis=1).astype(np.float32)
+        return frames, labels
+
+    def eval_pool(
+        self, n: int, seed: int | np.random.Generator | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """A held-out labelled pool (never poisoned) for gates/serving."""
+        return self.sample(ensure_rng(seed), n, poisoned=False)
+
+    def steering_error(self, model, frames: np.ndarray, labels: np.ndarray) -> float:
+        """Mean |predicted − expert| steering error of ``model``."""
+        if len(frames) == 0:
+            raise ConfigurationError("steering_error needs at least one frame")
+        commands = model.predict_frames(frames)
+        return float(np.mean(np.abs(commands[:, 0] - labels[:, 0])))

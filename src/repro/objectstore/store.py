@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.common.clock import Clock
 from repro.common.errors import (
+    ContainerQuotaError,
     NoSuchContainerError,
     NoSuchObjectError,
     ObjectStoreError,
@@ -72,10 +73,14 @@ class Container:
         name: str,
         guard: Callable[[str, str], None] | None = None,
         tracer: Tracer | None = None,
+        quota_bytes: int | None = None,
     ) -> None:
+        if quota_bytes is not None and quota_bytes < 0:
+            raise ObjectStoreError(f"quota_bytes must be >= 0, got {quota_bytes}")
         self.name = name
         self.guard = guard
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.quota_bytes = quota_bytes
         self._objects: dict[str, StoredObject] = {}
 
     def _gate(self, op: str) -> None:
@@ -100,6 +105,20 @@ class Container:
         if not name:
             raise ObjectStoreError("object name must be non-empty")
         self._gate("put")
+        if self.quota_bytes is not None:
+            existing = self._objects.get(name)
+            projected = (
+                self.bytes_used
+                - (existing.size if existing is not None else 0)
+                + len(data)
+            )
+            # Landing exactly on the quota is allowed; one byte over is not
+            # (Swift's account quota semantics).
+            if projected > self.quota_bytes:
+                raise ContainerQuotaError(
+                    f"put of {len(data)} bytes to {self.name!r}/{name!r} would "
+                    f"use {projected} of {self.quota_bytes} quota bytes"
+                )
         obj = StoredObject(
             name=name,
             data=bytes(data),
@@ -226,8 +245,14 @@ class ObjectStore:
             target=target,
         )
 
-    def create_container(self, name: str) -> Container:
-        """Create a container (idempotent, as in Swift)."""
+    def create_container(
+        self, name: str, quota_bytes: int | None = None
+    ) -> Container:
+        """Create a container (idempotent, as in Swift).
+
+        ``quota_bytes`` caps total payload bytes for a *new* container;
+        re-creating an existing container leaves its quota untouched.
+        """
         if not name or "/" in name:
             raise ObjectStoreError(f"invalid container name: {name!r}")
         guard = (
@@ -236,7 +261,10 @@ class ObjectStore:
             else None
         )
         return self._containers.setdefault(
-            name, Container(name, guard=guard, tracer=self._tracer)
+            name,
+            Container(
+                name, guard=guard, tracer=self._tracer, quota_bytes=quota_bytes
+            ),
         )
 
     def container(self, name: str) -> Container:
@@ -264,20 +292,22 @@ class ObjectStore:
     def save_to_dir(self, root: str | Path) -> None:
         """Persist every object under ``root/<container>/<object>``."""
         root = Path(root)
-        for cname, container in self._containers.items():
+        for cname in self.list_containers():
+            container = self._containers[cname]
             cdir = root / cname
             cdir.mkdir(parents=True, exist_ok=True)
-            index: dict[str, Any] = {}
+            objects: dict[str, Any] = {}
             for oname in container.list():
                 obj = container.get(oname)
                 safe = oname.replace("/", "__")
                 (cdir / safe).write_bytes(obj.data)
-                index[oname] = {
+                objects[oname] = {
                     "file": safe,
                     "etag": obj.etag,
                     "content_type": obj.content_type,
                     "metadata": obj.metadata,
                 }
+            index = {"quota_bytes": container.quota_bytes, "objects": objects}
             (cdir / "_index.json").write_text(json.dumps(index, indent=2))
 
     @classmethod
@@ -286,12 +316,14 @@ class ObjectStore:
         root = Path(root)
         store = cls()
         for cdir in sorted(p for p in root.iterdir() if p.is_dir()):
-            container = store.create_container(cdir.name)
             index_path = cdir / "_index.json"
             if not index_path.exists():
                 raise ObjectStoreError(f"missing index in {cdir}")
             index = json.loads(index_path.read_text())
-            for oname, meta in index.items():
+            container = store.create_container(
+                cdir.name, quota_bytes=index.get("quota_bytes")
+            )
+            for oname, meta in index.get("objects", {}).items():
                 data = (cdir / meta["file"]).read_bytes()
                 obj = container.put(
                     oname, data, meta["content_type"], meta["metadata"]

@@ -13,6 +13,10 @@ stack and runs it to completion on the simulated clock:
   counters.
 * ``chaos-crash`` — a crash plus a hang played against two replicas,
   exercising fault start/clear instants and error-status spans.
+* ``fleet-canary-chaos`` — three continuum-loop rounds: a bootstrap, a
+  clean shadow → canary → stable promotion, and a canary crash that
+  forces an automatic rollback, exercising the fleet round/stage spans
+  and the promotion/rollback counters.
 
 The same seed yields byte-identical trace and metrics exports — the
 property ``autolearn trace`` and the golden-trace suite pin.  This
@@ -34,7 +38,12 @@ from repro.obs.tracer import Tracer
 __all__ = ["TRACE_SCENARIOS", "TraceScenarioResult", "run_trace_scenario"]
 
 #: Scenario names accepted by :func:`run_trace_scenario`.
-TRACE_SCENARIOS = ("pipeline-quickstart", "serve-load", "chaos-crash")
+TRACE_SCENARIOS = (
+    "pipeline-quickstart",
+    "serve-load",
+    "chaos-crash",
+    "fleet-canary-chaos",
+)
 
 
 @dataclass
@@ -141,6 +150,40 @@ def _run_chaos_crash(seed: int) -> TraceScenarioResult:
     )
 
 
+def _run_fleet_canary_chaos(seed: int) -> TraceScenarioResult:
+    from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+    from repro.fleet import FleetConfig, FleetLoop, GateThresholds
+
+    scheduler = EventScheduler()
+    tracer = Tracer(scheduler.clock)
+    metrics = MetricsRegistry()
+    # Round 3's canary replica (replica-0003: the one added after the two
+    # stable replicas) is crashed shortly into the canary stage, so the
+    # candidate fails its min-completions gate and auto-rolls-back.
+    crash = FaultPlan(
+        [FaultSpec(FaultKind.REPLICA_CRASH, "replica-0003", at_s=0.1)]
+    )
+    config = FleetConfig(
+        n_vehicles=4,
+        records_per_flush=12,
+        stage_vehicles=4,
+        stage_duration_s=0.6,
+        min_fresh_records=48,
+        eval_records=48,
+        gates=GateThresholds(min_completions=10),
+        canary_fraction=0.35,
+        rounds=3,
+        canary_fault_plans=((3, crash),),
+        seed=seed,
+    )
+    loop = FleetLoop(config, scheduler=scheduler, tracer=tracer, metrics=metrics)
+    summary = loop.run()
+    tracer.close_all()
+    return TraceScenarioResult(
+        "fleet-canary-chaos", seed, tracer, metrics, summary.to_text()
+    )
+
+
 def run_trace_scenario(
     name: str, seed: int = 0, work_dir: str | Path | None = None
 ) -> TraceScenarioResult:
@@ -161,6 +204,8 @@ def run_trace_scenario(
         return _run_serve_load(seed)
     if name == "chaos-crash":
         return _run_chaos_crash(seed)
+    if name == "fleet-canary-chaos":
+        return _run_fleet_canary_chaos(seed)
     if work_dir is not None:
         return _run_pipeline_quickstart(seed, Path(work_dir))
     with tempfile.TemporaryDirectory() as tmp:

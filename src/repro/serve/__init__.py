@@ -18,6 +18,7 @@ from repro.serve.router import (
     LeastOutstandingRouter,
     RoundRobinRouter,
     Router,
+    TrafficSplitRouter,
     make_router,
 )
 from repro.serve.service import InferenceService, ServeSummary
@@ -50,6 +51,7 @@ __all__ = [
     "ServeSummary",
     "SloTracker",
     "StreamingHistogram",
+    "TrafficSplitRouter",
     "VehicleFleetWorkload",
     "Workload",
     "default_plan",

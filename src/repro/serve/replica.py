@@ -134,12 +134,20 @@ class Replica:
         batcher: MicroBatcher,
         rng: int | np.random.Generator | None = None,
         route: Route | None = None,
+        model=None,
+        model_version: str = "",
     ) -> None:
         self.replica_id = replica_id
         self.latency_model = latency_model
         self.queue = queue
         self.batcher = batcher
         self.route = route
+        # Per-replica model pinning: a rollout can run different registry
+        # versions side by side in one fleet.  ``model=None`` falls back
+        # to the service-level model; ``model_version`` is the routing
+        # label traffic-split and pinned requests match against.
+        self.model = model
+        self.model_version = model_version
         self.state = ReplicaState.PROVISIONING
         self.busy = False
         self.inflight: tuple[Request, ...] = ()

@@ -61,6 +61,9 @@ class Request:
         Smaller is more important; FIFO order holds within a class.
     frame:
         Optional camera frame for real model forward passes.
+    pin_version:
+        When non-empty, only replicas pinned to this model version may
+        serve the request (shadow traffic uses this to hit candidates).
     """
 
     request_id: str
@@ -69,6 +72,7 @@ class Request:
     deadline_s: float
     priority: int = 0
     frame: np.ndarray | None = None
+    pin_version: str = ""
     status: RequestStatus = RequestStatus.PENDING
     admitted_s: float = -1.0
     dispatched_s: float = -1.0

@@ -10,6 +10,10 @@ are deterministic given the same request sequence:
 * ``latency-ewma`` — lowest exponentially-weighted recent batch
   latency, exploring unseen replicas first (routes around a slow or
   far-away replica without explicit health checks).
+* ``traffic-split`` — weighted split across *model versions* (canary
+  rollouts): a deficit counter keeps realised shares within one request
+  of the configured weights, and requests with a ``pin_version`` only
+  ever reach replicas pinned to that version (shadow traffic).
 """
 
 from __future__ import annotations
@@ -23,11 +27,17 @@ __all__ = [
     "RoundRobinRouter",
     "LeastOutstandingRouter",
     "LatencyEwmaRouter",
+    "TrafficSplitRouter",
     "ROUTER_NAMES",
     "make_router",
 ]
 
-ROUTER_NAMES = ("round-robin", "least-outstanding", "latency-ewma")
+ROUTER_NAMES = (
+    "round-robin",
+    "least-outstanding",
+    "latency-ewma",
+    "traffic-split",
+)
 
 
 class Router:
@@ -107,6 +117,78 @@ class LatencyEwmaRouter(Router):
             ) * previous + self.alpha * latency_s
 
 
+class TrafficSplitRouter(Router):
+    """Deterministic weighted split across model versions.
+
+    ``weights`` maps a model-version label to a non-negative share.
+    Unpinned requests go to the live weighted version with the largest
+    deficit (configured share × requests seen − requests sent), so the
+    realised split tracks the weights within one request at any prefix
+    of the sequence.  Within the chosen version group, ``inner`` (least
+    outstanding by default) balances load.  Pinned requests bypass the
+    split entirely: they route only inside their version's group, and
+    are lost if that group has no routable replica.
+    """
+
+    name = "traffic-split"
+
+    def __init__(
+        self, weights: dict[str, float], inner: Router | None = None
+    ) -> None:
+        if not weights:
+            raise ConfigurationError("traffic-split needs at least one weight")
+        for version, weight in sorted(weights.items()):
+            if weight < 0:
+                raise ConfigurationError(
+                    f"weight for version {version!r} must be >= 0, got {weight}"
+                )
+        if sum(weights.values()) <= 0:
+            raise ConfigurationError("traffic-split weights must sum > 0")
+        self.weights = dict(weights)
+        self.inner = inner if inner is not None else LeastOutstandingRouter()
+        self._seen = 0
+        self._sent: dict[str, int] = {}
+
+    def set_weights(self, weights: dict[str, float]) -> None:
+        """Swap the split (a rollout stage change); deficits reset."""
+        if not weights or sum(weights.values()) <= 0:
+            raise ConfigurationError("traffic-split weights must sum > 0")
+        self.weights = dict(weights)
+        self._seen = 0
+        self._sent = {}
+
+    def route(
+        self, replicas: list[Replica], request: Request, now: float
+    ) -> Replica | None:
+        if not replicas:
+            return None
+        groups: dict[str, list[Replica]] = {}
+        for replica in replicas:
+            groups.setdefault(replica.model_version, []).append(replica)
+        if request.pin_version:
+            pinned = groups.get(request.pin_version)
+            if not pinned:
+                return None
+            return self.inner.route(pinned, request, now)
+        live = [v for v in sorted(groups) if self.weights.get(v, 0.0) > 0]
+        if not live:
+            # No weighted version has a routable replica (e.g. every
+            # canary crashed): fail over to the whole fleet.
+            return self.inner.route(replicas, request, now)
+        total = sum(self.weights[version] for version in live)
+        self._seen += 1
+        chosen = max(
+            live,
+            key=lambda v: (self.weights[v] / total) * self._seen
+            - self._sent.get(v, 0),
+        )
+        self._sent[chosen] = self._sent.get(chosen, 0) + 1
+        return self.inner.route(groups[chosen], request, now)
+
+    def observe_batch(self, replica: Replica, latency_s: float) -> None:
+        self.inner.observe_batch(replica, latency_s)
+
+
 def make_router(name: str) -> Router:
     """Build a router by policy name."""
     if name == "round-robin":
@@ -115,6 +197,10 @@ def make_router(name: str) -> Router:
         return LeastOutstandingRouter()
     if name == "latency-ewma":
         return LatencyEwmaRouter()
+    if name == "traffic-split":
+        # Everything on the default (unpinned) version until a rollout
+        # installs real weights via set_weights.
+        return TrafficSplitRouter({"": 1.0})
     raise ConfigurationError(
         f"unknown router {name!r}; choose from {ROUTER_NAMES}"
     )

@@ -158,6 +158,7 @@ class InferenceService:
         latency_model: BatchLatencyModel,
         scheduler: EventScheduler | None = None,
         model=None,
+        model_version: str = "",
         n_replicas: int = 1,
         router: str | Router = "least-outstanding",
         batch_policy: str = "adaptive",
@@ -182,6 +183,7 @@ class InferenceService:
         self.scheduler = scheduler if scheduler is not None else EventScheduler()
         self.latency_model = latency_model
         self.model = model
+        self.model_version = model_version
         self.router = router if isinstance(router, Router) else make_router(router)
         self.batch_policy = batch_policy
         self.max_batch = int(max_batch)
@@ -230,7 +232,9 @@ class InferenceService:
 
     # ------------------------------------------------------------- fleet
 
-    def _new_replica(self) -> Replica:
+    def _new_replica(
+        self, model=None, model_version: str | None = None
+    ) -> Replica:
         replica_id = self._ids.next("replica")
         # Seeding by name (not by creation order relative to other draws)
         # keeps each replica's latency stream stable across scaling
@@ -247,6 +251,10 @@ class InferenceService:
             ),
             rng=seed_from_name(replica_id, self.seed),
             route=self.route,
+            model=model,
+            model_version=(
+                self.model_version if model_version is None else model_version
+            ),
         )
         self.replicas.append(replica)
         if self._breaker_policy is not None:
@@ -282,9 +290,26 @@ class InferenceService:
         """The per-replica circuit breaker (None without a policy)."""
         return self._breakers.get(replica_id)
 
-    def add_replica(self, delay_s: float = 0.0) -> Replica:
-        """Grow the fleet; routable after ``delay_s`` of provisioning."""
-        replica = self._new_replica()
+    def version_of(self, replica_id: str) -> str:
+        """Model-version label of one replica ("" = service default)."""
+        for replica in self.replicas:
+            if replica.replica_id == replica_id:
+                return replica.model_version
+        raise ConfigurationError(f"unknown replica {replica_id!r}")
+
+    def add_replica(
+        self,
+        delay_s: float = 0.0,
+        model=None,
+        model_version: str | None = None,
+    ) -> Replica:
+        """Grow the fleet; routable after ``delay_s`` of provisioning.
+
+        ``model``/``model_version`` pin the new replica to a specific
+        registry version (canary/shadow fleets); both default to the
+        service-level model.
+        """
+        replica = self._new_replica(model=model, model_version=model_version)
         now = self.scheduler.clock.now
         if delay_s <= 0:
             replica.mark_ready(now)
@@ -627,10 +652,11 @@ class InferenceService:
     ) -> None:
         now = self.scheduler.clock.now
         self._inflight.pop(replica.replica_id, None)
-        if self.model is not None:
+        model = replica.model if replica.model is not None else self.model
+        if model is not None:
             frames = [request.frame for request in batch]
             if all(frame is not None for frame in frames):
-                commands = self.model.predict_frames(np.stack(frames))
+                commands = model.predict_frames(np.stack(frames))
                 for request, (angle, throttle) in zip(batch, commands):
                     request.angle = float(angle)
                     request.throttle = float(throttle)

@@ -30,6 +30,21 @@ def test_analysis_is_bottom_of_layering_dag():
     assert DEFAULT_LAYERS["analysis"] == ("common",)
 
 
+def test_fleet_sits_above_serve_and_artifacts():
+    """``fleet`` composes serving and the registry; nothing below may
+    import it back (the DAG stays acyclic with fleet near the top)."""
+    allowed = DEFAULT_LAYERS["fleet"]
+    assert "serve" in allowed
+    assert "artifacts" in allowed
+    assert "objectstore" in allowed
+    assert allowed == tuple(sorted(allowed))
+    for package, deps in DEFAULT_LAYERS.items():
+        if package != "fleet":
+            assert "fleet" not in deps, (
+                f"'{package}' may not depend on 'fleet'"
+            )
+
+
 def test_analysis_tree_imports_only_common():
     index = ProjectIndex()
     for path in collect_files([ANALYSIS_ROOT]):

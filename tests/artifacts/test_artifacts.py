@@ -5,7 +5,11 @@ import pytest
 from repro.artifacts.gitbook import FeedbackChannel, GitBook
 from repro.artifacts.metrics import compute_outcomes
 from repro.artifacts.trovi import TroviHub
-from repro.common.errors import ArtifactError, VersionNotFoundError
+from repro.common.errors import (
+    ArtifactError,
+    TagNotFoundError,
+    VersionNotFoundError,
+)
 
 
 @pytest.fixture()
@@ -61,6 +65,41 @@ class TestArtifacts:
         payload = hub.export_to_repo(artifact.artifact_id)
         assert payload["version"] == 1
         assert "01-collect.ipynb" in payload["files"]
+
+
+class TestVersionTags:
+    def test_tag_resolve_and_move(self, hub, artifact):
+        hub.publish_version(artifact.artifact_id, {"x.ipynb": b"v2"})
+        hub.tag_version(artifact.artifact_id, "stable", 1)
+        assert hub.resolve(artifact.artifact_id, "stable").number == 1
+        hub.tag_version(artifact.artifact_id, "stable", 2)
+        assert hub.resolve(artifact.artifact_id, "stable").number == 2
+
+    def test_untag_returns_the_version(self, hub, artifact):
+        hub.tag_version(artifact.artifact_id, "canary", 1)
+        assert hub.untag_version(artifact.artifact_id, "canary") == 1
+        with pytest.raises(TagNotFoundError):
+            hub.resolve(artifact.artifact_id, "canary")
+        with pytest.raises(TagNotFoundError):
+            hub.untag_version(artifact.artifact_id, "canary")
+
+    def test_tag_validation(self, hub, artifact):
+        with pytest.raises(ArtifactError):
+            hub.tag_version(artifact.artifact_id, "", 1)
+        with pytest.raises(VersionNotFoundError):
+            hub.tag_version(artifact.artifact_id, "stable", 99)
+        with pytest.raises(ArtifactError):
+            hub.tag_version("artifact-9999", "stable", 1)
+
+    def test_export_serialises_tags_sorted(self, hub, artifact):
+        """Set-typed tags must leave the hub in sorted order only."""
+        hub.tag_version(artifact.artifact_id, "stable", 1)
+        hub.tag_version(artifact.artifact_id, "candidate", 1)
+        payload = hub.export_to_repo(artifact.artifact_id)
+        assert payload["tags"] == sorted(payload["tags"])
+        assert {"candidate", "stable"} <= set(payload["tags"])
+        assert list(payload["version_tags"]) == ["candidate", "stable"]
+        assert artifact.sorted_tags == tuple(sorted(artifact.tags))
 
 
 class TestImpactMetrics:

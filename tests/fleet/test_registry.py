@@ -1,0 +1,83 @@
+"""The model registry: versions, stage tags, and payload verification."""
+
+import numpy as np
+import pytest
+
+from repro.artifacts.trovi import TroviHub
+from repro.common.errors import FleetError
+from repro.fleet.registry import (
+    MODELS_CONTAINER,
+    TAG_CANDIDATE,
+    TAG_STABLE,
+    ModelRegistry,
+)
+from repro.ml.models.factory import create_model
+from repro.objectstore.store import ObjectStore
+
+
+def make_registry():
+    return ModelRegistry(TroviHub(), ObjectStore())
+
+
+def make_model(seed=0):
+    return create_model("linear", input_shape=(8, 8, 3), scale=0.25, seed=seed)
+
+
+class TestPublish:
+    def test_versions_count_up_and_tag_candidate(self):
+        registry = make_registry()
+        v1 = registry.publish(make_model(0), metrics={"round": 1})
+        v2 = registry.publish(make_model(1), metrics={"round": 2})
+        assert (v1, v2) == (1, 2)
+        assert registry.resolve(TAG_CANDIDATE) == 2
+        assert registry.resolve(TAG_STABLE) is None
+
+    def test_payload_round_trips_through_store(self):
+        registry = make_registry()
+        model = make_model(4)
+        number = registry.publish(model, metrics={})
+        loaded = registry.load(number)
+        frames = np.zeros((3, 8, 8, 3), dtype=np.uint8)
+        assert np.allclose(
+            loaded.predict_frames(frames), model.predict_frames(frames)
+        )
+
+    def test_tamper_detection(self):
+        registry = make_registry()
+        number = registry.publish(make_model(0), metrics={})
+        container = registry.store.container(MODELS_CONTAINER)
+        name = f"v{number:03d}.npz"
+        container.put(name, container.get(name).data + b"x")
+        with pytest.raises(FleetError):
+            registry.load(number)
+
+
+class TestTags:
+    def test_tag_move_and_untag(self):
+        registry = make_registry()
+        registry.publish(make_model(0), metrics={})
+        registry.publish(make_model(1), metrics={})
+        registry.tag(TAG_STABLE, 1)
+        assert registry.resolve(TAG_STABLE) == 1
+        registry.tag(TAG_STABLE, 2)
+        assert registry.resolve(TAG_STABLE) == 2
+        assert registry.untag(TAG_STABLE) == 2
+        assert registry.resolve(TAG_STABLE) is None
+        assert registry.untag(TAG_STABLE) is None  # idempotent
+
+    def test_empty_registry_guards(self):
+        registry = make_registry()
+        assert registry.resolve(TAG_STABLE) is None
+        assert registry.history() == []
+        with pytest.raises(FleetError):
+            registry.tag(TAG_STABLE, 1)
+
+    def test_history_includes_tags(self):
+        registry = make_registry()
+        registry.publish(make_model(0), metrics={})
+        registry.publish(make_model(1), metrics={})
+        registry.tag(TAG_STABLE, 1)
+        history = registry.history()
+        assert [entry["version"] for entry in history] == [1, 2]
+        assert history[0]["tags"] == ["stable"]
+        assert history[1]["tags"] == ["candidate"]

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.errors import (
+    ContainerQuotaError,
     NoSuchContainerError,
     NoSuchObjectError,
     ObjectStoreError,
@@ -92,6 +93,35 @@ class TestObjects:
             store.create_container("c").put("", b"x")
 
 
+class TestQuota:
+    def test_landing_exactly_on_the_quota_is_allowed(self, store):
+        container = store.create_container("small", quota_bytes=10)
+        container.put("a", b"x" * 10)  # exactly full: fine
+        assert container.bytes_used == 10
+        with pytest.raises(ContainerQuotaError):
+            container.put("b", b"x")  # one byte over
+
+    def test_overwrite_charges_the_delta_not_the_sum(self, store):
+        container = store.create_container("small", quota_bytes=10)
+        container.put("a", b"x" * 8)
+        # 8 in use, overwriting with 10 nets to exactly the quota.
+        container.put("a", b"y" * 10)
+        assert container.bytes_used == 10
+        assert container.get("a").data == b"y" * 10
+
+    def test_failed_put_leaves_state_unchanged(self, store):
+        container = store.create_container("small", quota_bytes=4)
+        container.put("a", b"old")
+        with pytest.raises(ContainerQuotaError):
+            container.put("a", b"toolarge")
+        assert container.get("a").data == b"old"
+        assert container.bytes_used == 3
+
+    def test_negative_quota_rejected(self, store):
+        with pytest.raises(ObjectStoreError):
+            store.create_container("bad", quota_bytes=-1)
+
+
 class TestPersistence:
     def test_save_load_round_trip(self, store, tmp_path):
         container = store.create_container("datasets")
@@ -103,6 +133,17 @@ class TestPersistence:
         obj = loaded.container("datasets").get("a/b.tar")
         assert obj.data == b"payload"
         assert obj.metadata == {"k": "v"}
+
+    def test_quota_survives_the_round_trip(self, store, tmp_path):
+        store.create_container("capped", quota_bytes=16).put("a", b"x" * 16)
+        store.create_container("open").put("b", b"y")
+        store.save_to_dir(tmp_path)
+        loaded = ObjectStore.load_from_dir(tmp_path)
+        capped = loaded.container("capped")
+        assert capped.quota_bytes == 16
+        assert loaded.container("open").quota_bytes is None
+        with pytest.raises(ContainerQuotaError):
+            capped.put("c", b"z")  # still full after reload
 
     def test_tampered_reload_detected(self, store, tmp_path):
         store.create_container("c").put("x", b"data")

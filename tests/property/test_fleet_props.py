@@ -1,0 +1,119 @@
+"""Property-based invariants for the fleet continuum loop.
+
+Whatever the seed and whatever goes wrong (poisoned data, crashed
+canaries), three promises hold:
+
+* the promotion lattice never skips a stage — a candidate reaches
+  ``stable`` only through shadow *and* canary, and any failure ends in
+  ``rolled-back``;
+* a rollback restores the prior stable tag (the fleet never drives on
+  an unvetted model);
+* the whole run is a pure function of its seed: same seed, byte-equal
+  summary.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.fleet import (
+    OUTCOME_BOOTSTRAPPED,
+    OUTCOME_PROMOTED,
+    OUTCOME_ROLLED_BACK,
+    FleetConfig,
+    FleetLoop,
+)
+from repro.fleet.gates import GateThresholds
+
+SLOW_SETTINGS = settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+VALID_HISTORIES = {
+    OUTCOME_BOOTSTRAPPED: {("candidate", "stable")},
+    OUTCOME_PROMOTED: {("candidate", "shadow", "canary", "stable")},
+    OUTCOME_ROLLED_BACK: {
+        ("candidate", "shadow", "rolled-back"),
+        ("candidate", "shadow", "canary", "rolled-back"),
+    },
+}
+
+CANARY_CRASH = FaultPlan(
+    [FaultSpec(FaultKind.REPLICA_CRASH, "replica-0003", at_s=0.1)]
+)
+
+
+def run_loop(seed, poison=False, crash=False):
+    config = FleetConfig(
+        n_vehicles=3,
+        records_per_flush=8,
+        frame_hw=(8, 12),
+        epochs=3,
+        min_fresh_records=48,
+        eval_records=32,
+        stage_vehicles=4,
+        stage_duration_s=0.6,
+        gates=GateThresholds(min_completions=10),
+        canary_fraction=0.35,
+        rounds=2,
+        poison_rounds=(2,) if poison else (),
+        canary_fault_plans=((2, CANARY_CRASH),) if crash else (),
+        seed=seed,
+    )
+    return FleetLoop(config).run()
+
+
+class TestLattice:
+    @SLOW_SETTINGS
+    @given(
+        seed=st.integers(0, 2**16),
+        poison=st.booleans(),
+        crash=st.booleans(),
+    )
+    def test_never_skips_a_stage(self, seed, poison, crash):
+        summary = run_loop(seed, poison=poison, crash=crash)
+        for report in summary.rounds:
+            rollout = report.rollout
+            if rollout is None:
+                continue
+            assert rollout.history in VALID_HISTORIES[rollout.outcome], (
+                rollout.outcome, rollout.history,
+            )
+            # Stage reports mirror the history between the endpoints.
+            stages = tuple(stage.stage for stage in rollout.stages)
+            assert stages == rollout.history[1:-1]
+
+    @SLOW_SETTINGS
+    @given(seed=st.integers(0, 2**16), crash=st.booleans())
+    def test_rollback_restores_prior_stable(self, seed, crash):
+        summary = run_loop(seed, poison=not crash, crash=crash)
+        for report in summary.rounds:
+            rollout = report.rollout
+            if rollout is None:
+                continue
+            if rollout.outcome == OUTCOME_ROLLED_BACK:
+                assert rollout.new_stable == rollout.prior_stable
+                assert report.stable_version == rollout.prior_stable
+            else:
+                assert rollout.new_stable == rollout.candidate_version
+                assert report.stable_version == rollout.candidate_version
+
+
+class TestDeterminism:
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 2**16))
+    def test_same_seed_byte_identical_summary(self, seed):
+        first = run_loop(seed)
+        second = run_loop(seed)
+        assert first.to_text() == second.to_text()
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )

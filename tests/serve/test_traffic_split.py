@@ -1,0 +1,152 @@
+"""Traffic-split routing and per-replica model-version pinning."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.ml.models.factory import create_model
+from repro.serve.batcher import make_batcher
+from repro.serve.queueing import AdmissionQueue
+from repro.serve.replica import BatchLatencyModel, Replica
+from repro.serve.request import Request
+from repro.serve.router import (
+    ROUTER_NAMES,
+    TrafficSplitRouter,
+    make_router,
+)
+from repro.serve.service import InferenceService
+from repro.testbed.hardware import GPU_SPECS
+
+GPU_MODEL = BatchLatencyModel.from_gpu(GPU_SPECS["V100"], 1e8)
+
+
+def make_replica(rid, version=""):
+    replica = Replica(
+        rid,
+        BatchLatencyModel(0.005, 0.0001),
+        AdmissionQueue(16),
+        make_batcher("adaptive"),
+        rng=7,
+        model_version=version,
+    )
+    replica.mark_ready(0.0)
+    return replica
+
+
+def req(i=0, pin=""):
+    return Request(f"req-{i:04d}", "test", 0.0, 1.0, pin_version=pin)
+
+
+class TestTrafficSplit:
+    def fleet(self):
+        return [
+            make_replica("replica-0001", "v001"),
+            make_replica("replica-0002", "v001"),
+            make_replica("replica-0003", "v002"),
+        ]
+
+    def test_realised_split_tracks_weights(self):
+        router = TrafficSplitRouter({"v001": 0.7, "v002": 0.3})
+        fleet = self.fleet()
+        sent = {"v001": 0, "v002": 0}
+        for i in range(1, 101):
+            choice = router.route(fleet, req(i), 0.0)
+            sent[choice.model_version] += 1
+            # Deficit routing keeps every prefix within one request of
+            # the configured split, not just the final tally.
+            assert abs(sent["v001"] - 0.7 * i) <= 1.0
+        assert sent == {"v001": 70, "v002": 30}
+
+    def test_split_is_deterministic(self):
+        picks = []
+        for _ in range(2):
+            router = TrafficSplitRouter({"v001": 0.5, "v002": 0.5})
+            fleet = self.fleet()
+            picks.append(
+                [router.route(fleet, req(i), 0.0).replica_id for i in range(20)]
+            )
+        assert picks[0] == picks[1]
+
+    def test_pinned_requests_only_reach_their_version(self):
+        router = TrafficSplitRouter({"v001": 1.0})
+        fleet = self.fleet()
+        for i in range(8):
+            choice = router.route(fleet, req(i, pin="v002"), 0.0)
+            assert choice.model_version == "v002"
+        # A pin with no live replica is lost, never rerouted.
+        assert router.route(fleet, req(9, pin="v009"), 0.0) is None
+
+    def test_failover_when_no_weighted_version_is_live(self):
+        """Every canary crashed: unpinned traffic falls back to the
+        whole fleet instead of dropping."""
+        router = TrafficSplitRouter({"v009": 1.0})
+        fleet = self.fleet()
+        assert router.route(fleet, req(), 0.0) in fleet
+
+    def test_set_weights_resets_the_deficit(self):
+        router = TrafficSplitRouter({"v001": 1.0})
+        fleet = self.fleet()
+        for i in range(10):
+            router.route(fleet, req(i), 0.0)
+        router.set_weights({"v002": 1.0})
+        assert router.route(fleet, req(11), 0.0).model_version == "v002"
+        with pytest.raises(ConfigurationError):
+            router.set_weights({})
+        with pytest.raises(ConfigurationError):
+            router.set_weights({"v001": 0.0})
+
+    def test_weight_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrafficSplitRouter({})
+        with pytest.raises(ConfigurationError):
+            TrafficSplitRouter({"v001": -0.1})
+        with pytest.raises(ConfigurationError):
+            TrafficSplitRouter({"v001": 0.0, "v002": 0.0})
+
+    def test_registered_with_make_router(self):
+        assert "traffic-split" in ROUTER_NAMES
+        router = make_router("traffic-split")
+        assert isinstance(router, TrafficSplitRouter)
+        assert router.weights == {"": 1.0}
+
+
+class TestReplicaPinning:
+    def make_service(self, model_a, model_b):
+        service = InferenceService(
+            GPU_MODEL,
+            model=model_a,
+            model_version="v001",
+            n_replicas=1,
+            router=TrafficSplitRouter({"v001": 1.0}),
+            batch_policy="single",
+            seed=3,
+        )
+        service.add_replica(model=model_b, model_version="v002")
+        return service
+
+    def test_version_of(self):
+        model_a = create_model("linear", input_shape=(8, 8, 3), seed=0)
+        model_b = create_model("linear", input_shape=(8, 8, 3), seed=9)
+        service = self.make_service(model_a, model_b)
+        assert service.version_of("replica-0001") == "v001"
+        assert service.version_of("replica-0002") == "v002"
+        with pytest.raises(ConfigurationError):
+            service.version_of("replica-0404")
+
+    def test_pinned_replica_serves_its_own_model(self):
+        model_a = create_model("linear", input_shape=(8, 8, 3), seed=0)
+        model_b = create_model("linear", input_shape=(8, 8, 3), seed=9)
+        service = self.make_service(model_a, model_b)
+        frame = np.random.default_rng(0).integers(
+            0, 256, size=(8, 8, 3), dtype=np.uint8
+        ).astype(np.uint8)
+        stable = Request("req-0001", "t", 0.0, 5.0, frame=frame, pin_version="v001")
+        canary = Request("req-0002", "t", 0.0, 5.0, frame=frame, pin_version="v002")
+        assert service.submit(stable) and service.submit(canary)
+        service.scheduler.run_all()
+        batch = frame[np.newaxis]
+        want_a = float(model_a.predict_frames(batch)[0][0])
+        want_b = float(model_b.predict_frames(batch)[0][0])
+        assert stable.angle == pytest.approx(want_a)
+        assert canary.angle == pytest.approx(want_b)
+        assert stable.angle != canary.angle
