@@ -23,6 +23,7 @@ __all__ = [
     "ShapeError",
     "NotFittedError",
     "SerializationError",
+    "PlanError",
     # testbed / edge
     "TestbedError",
     "AuthenticationError",
@@ -116,6 +117,10 @@ class NotFittedError(MLError):
 
 class SerializationError(MLError):
     """Model weights could not be saved or loaded."""
+
+
+class PlanError(MLError):
+    """A network could not be compiled to (or run as) an execution plan."""
 
 
 # ------------------------------------------------------------- testbed

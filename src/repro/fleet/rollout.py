@@ -257,7 +257,9 @@ class RolloutController:
         service = InferenceService(
             STAGE_LATENCY,
             scheduler=self.scheduler,
-            model=self.registry.load(stable),
+            # compile_plans: each stage pins freshly loaded versions, so
+            # the plan is recompiled whenever the rollout changes models.
+            model=self.registry.load(stable, compile_plans=True),
             model_version=stable_label,
             n_replicas=config.stable_replicas,
             router=TrafficSplitRouter(weights),
@@ -274,7 +276,7 @@ class RolloutController:
             # gates); serve-span detail is covered by the serve goldens.
             metrics=self.metrics,
         )
-        candidate_model = self.registry.load(candidate)
+        candidate_model = self.registry.load(candidate, compile_plans=True)
         for _ in range(config.canary_replicas):
             service.add_replica(model=candidate_model, model_version=cand_label)
         scoreboard = VersionScoreboard(cte_gain_m=config.cte_gain_m)

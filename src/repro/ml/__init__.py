@@ -20,6 +20,7 @@ from repro.ml.models import (
 )
 from repro.ml.network import Sequential
 from repro.ml.optimizers import SGD, Adam, RMSProp, get_optimizer
+from repro.ml.plan import InferencePlan, TrainingPlan
 from repro.ml.serialize import (
     load_model,
     load_model_bytes,
@@ -40,6 +41,8 @@ __all__ = [
     "metrics",
     "optimizers",
     "Sequential",
+    "InferencePlan",
+    "TrainingPlan",
     "SGD",
     "Adam",
     "RMSProp",

@@ -12,6 +12,12 @@ no memory blow-up — the "vectorise the inner loop, keep views not
 copies" idiom from the HPC guides.
 
 All tensors are float32, batch-first, channels-last (Keras layout).
+
+This stack is the *reference* implementation: clear, allocation-happy,
+one Python call per layer.  :mod:`repro.ml.plan` compiles a built stack
+into a fast path (im2col GEMM convs, preallocated buffers); its
+training kernels mirror this module's math op-for-op, pinned by the
+parity suite in ``tests/ml/test_plan_parity.py``.
 """
 
 from __future__ import annotations
@@ -174,7 +180,8 @@ class Conv2D(Layer):
         oh, ow = self._out_hw(h, w)
         self._x = x
         self._oh, self._ow = oh, ow
-        out = np.tile(self.b, (n, oh, ow, 1)).astype(np.float32)
+        out = np.empty((n, oh, ow, self.filters), dtype=np.float32)
+        out[:] = self.b
         for i in range(self.kh):
             for j in range(self.kw):
                 patch = x[:, i : i + self.sh * oh : self.sh, j : j + self.sw * ow : self.sw]
@@ -262,7 +269,8 @@ class Conv3D(Layer):
         ot, oh, ow = self._out_thw(t, h, w)
         self._x = x
         self._othw = (ot, oh, ow)
-        out = np.tile(self.b, (n, ot, oh, ow, 1)).astype(np.float32)
+        out = np.empty((n, ot, oh, ow, self.filters), dtype=np.float32)
+        out[:] = self.b
         for a in range(self.kt):
             for i in range(self.kh):
                 for j in range(self.kw):

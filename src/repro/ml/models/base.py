@@ -18,10 +18,11 @@ from collections import deque
 
 import numpy as np
 
-from repro.common.errors import ShapeError
+from repro.common.errors import PlanError, ShapeError
 from repro.data.datasets import images_to_float
 from repro.ml.layers import Conv2D, Dropout, Flatten
 from repro.ml.losses import get_loss
+from repro.ml.network import Sequential
 
 __all__ = ["DonkeyModel", "default_backbone_layers"]
 
@@ -144,6 +145,58 @@ class DonkeyModel:
             if param.shape != weight.shape:
                 raise ShapeError(f"shape mismatch: {param.shape} vs {weight.shape}")
             param[...] = np.asarray(weight, dtype=param.dtype)
+
+    # ---------------------------------------------- compiled fast path
+
+    def _networks(self) -> list[Sequential]:
+        """Every ``Sequential`` this model owns (attribute order)."""
+        return [v for v in self.__dict__.values() if isinstance(v, Sequential)]
+
+    def compile_plans(self, training: bool = False) -> bool:
+        """Compile execution plans for every sub-network ahead of time.
+
+        Returns ``True`` when the whole model runs on the compiled fast
+        path, ``False`` when any stack holds a layer without a compiled
+        kernel (callers then stay on the reference layers).  Serving
+        calls this when a model is pinned to a replica so the first
+        request pays no compile/alloc cost.
+        """
+        nets = self._networks()
+        try:
+            for net in nets:
+                net.plan()
+                if training:
+                    net.training_plan()
+        except PlanError:
+            return False
+        return bool(nets)
+
+    def supports_fast_path(self) -> bool:
+        """True when training can run through the compiled plans."""
+        return self.compile_plans(training=True)
+
+    def fast_forward(self, x, training: bool = False) -> np.ndarray:
+        """Compiled forward pass (single-backbone default).
+
+        ``training=True`` runs the training plan — dropout on,
+        activations cached for :meth:`fast_backward` — and matches the
+        reference ``forward`` bit for bit; ``training=False`` runs the
+        inference plan (allclose at float32 tolerances).  Models that
+        compose several networks override this pair.
+        """
+        net = getattr(self, "net", None)
+        if net is None:
+            raise PlanError(f"{type(self).__name__} does not define a fast path")
+        if training:
+            return net.training_plan().forward(x)
+        return net.plan().run(x)
+
+    def fast_backward(self, grad: np.ndarray) -> None:
+        """Backprop through the cached ``fast_forward(training=True)``."""
+        net = getattr(self, "net", None)
+        if net is None:
+            raise PlanError(f"{type(self).__name__} does not define a fast path")
+        net.training_plan().backward(grad)
 
     # ---------------------------------------------- evaluation surface
 

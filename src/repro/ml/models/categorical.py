@@ -79,6 +79,24 @@ class CategoricalModel(DonkeyModel):
         g_throttle = self.throttle_head.backward(grad[:, N_STEERING_BINS:])
         self.trunk.backward(g_angle + g_throttle)
 
+    def fast_forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            feat = self.trunk.training_plan().forward(x)
+            probs = self.angle_head.training_plan().forward(feat)
+            throttle = self.throttle_head.training_plan().forward(feat)
+        else:
+            feat = self.trunk.plan().run(x)
+            probs = self.angle_head.plan().run(feat)
+            throttle = self.throttle_head.plan().run(feat)
+        return np.concatenate([probs, throttle], axis=1)
+
+    def fast_backward(self, grad: np.ndarray) -> None:
+        g_angle = self.angle_head.training_plan().backward(grad[:, :N_STEERING_BINS])
+        g_throttle = self.throttle_head.training_plan().backward(
+            grad[:, N_STEERING_BINS:]
+        )
+        self.trunk.training_plan().backward(g_angle + g_throttle)
+
     @property
     def params(self) -> list[np.ndarray]:
         return self.trunk.params + self.angle_head.params + self.throttle_head.params
@@ -98,10 +116,8 @@ class CategoricalModel(DonkeyModel):
     # ------------------------------------------------------- inference
 
     def predict_batch(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        out_parts = []
-        for lo in range(0, len(x), 128):
-            out_parts.append(self.forward(x[lo : lo + 128], training=False))
-        out = np.concatenate(out_parts)
-        angle = linear_unbin(out[:, :N_STEERING_BINS])
-        throttle = np.clip(out[:, N_STEERING_BINS], -1.0, 1.0)
-        return angle, throttle
+        feat = self.trunk.predict(x)
+        probs = self.angle_head.predict(feat)
+        throttle = self.throttle_head.predict(feat)
+        angle = linear_unbin(probs)
+        return angle, np.clip(throttle[:, 0], -1.0, 1.0)

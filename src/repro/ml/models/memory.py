@@ -73,6 +73,23 @@ class MemoryModel(DonkeyModel):
         g_joined = self.head.backward(grad)
         self.trunk.backward(g_joined[:, : self._feat_dim])
 
+    def fast_forward(
+        self, x: tuple[np.ndarray, np.ndarray], training: bool = False
+    ) -> np.ndarray:
+        images, history = self._unpack(x)
+        if training:
+            feat = self.trunk.training_plan().forward(images)
+        else:
+            feat = self.trunk.plan().run(images)
+        joined = np.concatenate([feat, history.reshape(len(history), -1)], axis=1)
+        if training:
+            return self.head.training_plan().forward(joined)
+        return self.head.plan().run(joined)
+
+    def fast_backward(self, grad: np.ndarray) -> None:
+        g_joined = self.head.training_plan().backward(grad)
+        self.trunk.training_plan().backward(g_joined[:, : self._feat_dim])
+
     def _unpack(self, x) -> tuple[np.ndarray, np.ndarray]:
         if not (isinstance(x, (tuple, list)) and len(x) == 2):
             raise ShapeError(
@@ -105,13 +122,10 @@ class MemoryModel(DonkeyModel):
     def predict_batch(
         self, x: tuple[np.ndarray, np.ndarray]
     ) -> tuple[np.ndarray, np.ndarray]:
-        outs = []
         images, history = self._unpack(x)
-        for lo in range(0, len(images), 128):
-            outs.append(
-                self.forward((images[lo : lo + 128], history[lo : lo + 128]), False)
-            )
-        out = np.concatenate(outs)
+        feat = self.trunk.predict(images)
+        joined = np.concatenate([feat, history.reshape(len(history), -1)], axis=1)
+        out = self.head.predict(joined)
         return np.clip(out[:, 0], -1, 1), np.clip(out[:, 1], -1, 1)
 
     def _serving_batch(self, x: np.ndarray):

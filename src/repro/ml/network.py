@@ -9,9 +9,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.common.errors import ShapeError
+from repro.common.errors import PlanError, ShapeError
 from repro.common.rng import ensure_rng
 from repro.ml.layers import Layer
+from repro.ml.plan import InferencePlan, TrainingPlan
 
 __all__ = ["Sequential"]
 
@@ -36,6 +37,23 @@ class Sequential:
                 layer.build(shape, rng)
             shape = layer.output_shape(shape)
         self.output_shape = shape
+        self._plan: InferencePlan | None = None
+        self._training_plan: TrainingPlan | None = None
+
+    # ------------------------------------------------------------ plans
+
+    def plan(self) -> InferencePlan:
+        """Compiled inference fast path (cached; raises ``PlanError``
+        when the stack contains a layer without a compiled kernel)."""
+        if self._plan is None:
+            self._plan = InferencePlan(self.layers, self.input_shape)
+        return self._plan
+
+    def training_plan(self) -> TrainingPlan:
+        """Compiled training fast path (cached, reference-exact math)."""
+        if self._training_plan is None:
+            self._training_plan = TrainingPlan(self.layers, self.input_shape)
+        return self._training_plan
 
     # ------------------------------------------------------------ pass
 
@@ -58,12 +76,26 @@ class Sequential:
         return grad
 
     def predict(self, x: np.ndarray, batch_size: int = 128) -> np.ndarray:
-        """Inference in mini-batches (no dropout, bounded memory)."""
-        outputs = [
-            self.forward(x[lo : lo + batch_size], training=False)
-            for lo in range(0, len(x), batch_size)
-        ]
-        return np.concatenate(outputs) if len(outputs) > 1 else outputs[0]
+        """Inference in mini-batches (no dropout, bounded memory).
+
+        Runs through the compiled :meth:`plan` when the stack supports
+        it (falling back to the reference layers otherwise) and always
+        returns a fresh array the caller owns.
+        """
+        try:
+            plan = self.plan()
+        except PlanError:
+            outputs = [
+                self.forward(x[lo : lo + batch_size], training=False)
+                for lo in range(0, len(x), batch_size)
+            ]
+            return np.concatenate(outputs) if len(outputs) > 1 else outputs[0]
+        n = len(x)
+        result = np.empty((n, *self.output_shape), dtype=np.float32)
+        for lo in range(0, n, batch_size):
+            chunk = plan.run(x[lo : lo + batch_size])
+            result[lo : lo + len(chunk)] = chunk
+        return result
 
     # ------------------------------------------------------ parameters
 

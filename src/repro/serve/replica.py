@@ -145,7 +145,11 @@ class Replica:
         # Per-replica model pinning: a rollout can run different registry
         # versions side by side in one fleet.  ``model=None`` falls back
         # to the service-level model; ``model_version`` is the routing
-        # label traffic-split and pinned requests match against.
+        # label traffic-split and pinned requests match against.  The
+        # service warm-compiles a pinned model's execution plans
+        # (``DonkeyModel.compile_plans``) before the replica goes live,
+        # so ``predict_frames`` runs the compiled fast path from the
+        # first batch.
         self.model = model
         self.model_version = model_version
         self.state = ReplicaState.PROVISIONING

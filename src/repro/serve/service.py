@@ -184,6 +184,10 @@ class InferenceService:
         self.latency_model = latency_model
         self.model = model
         self.model_version = model_version
+        # Warm-compile the pinned model's execution plans at pin time so
+        # the first request never pays compile/alloc cost mid-batch.
+        if model is not None and hasattr(model, "compile_plans"):
+            model.compile_plans()
         self.router = router if isinstance(router, Router) else make_router(router)
         self.batch_policy = batch_policy
         self.max_batch = int(max_batch)
@@ -235,6 +239,8 @@ class InferenceService:
     def _new_replica(
         self, model=None, model_version: str | None = None
     ) -> Replica:
+        if model is not None and hasattr(model, "compile_plans"):
+            model.compile_plans()
         replica_id = self._ids.next("replica")
         # Seeding by name (not by creation order relative to other draws)
         # keeps each replica's latency stream stable across scaling
