@@ -18,6 +18,7 @@ latency and model quality, as in the student poster [26].
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -108,7 +109,7 @@ class RemotePilot:
         self.safe_command = (float(safe_command[0]), float(safe_command[1]))
         self.stats = ServingStats(dt=self.dt)
         self._now = 0.0
-        self._pending: list[tuple[float, tuple[float, float]]] = []
+        self._pending: deque[tuple[float, tuple[float, float]]] = deque()
         self._last_command = self.safe_command
         model.reset_state()
 
@@ -124,7 +125,7 @@ class RemotePilot:
         # latency is below one tick then sustains the full control rate.
         delivered = False
         while self._pending and self._pending[0][0] <= self._now:
-            _, self._last_command = self._pending.pop(0)
+            _, self._last_command = self._pending.popleft()
             self.stats.responses += 1
             delivered = True
         if not delivered:

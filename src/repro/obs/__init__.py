@@ -31,6 +31,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     StreamingHistogram,
 )
+from repro.obs.sched import instrument_scheduler
 from repro.obs.span import STATUS_ERROR, STATUS_OK, Span, TraceEvent
 from repro.obs.tracer import NullTracer, Tracer
 
@@ -47,6 +48,7 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "chrome_trace",
+    "instrument_scheduler",
     "normalized_trace",
     "text_tree",
 ]

@@ -1,0 +1,45 @@
+"""Opt-in event-scheduler instrumentation.
+
+The :class:`~repro.common.clock.EventScheduler` dispatch loop stays
+hook-free (and therefore free) by default; this module attaches the
+observability stack to it when a run *wants* event-level visibility —
+profiling which labels dominate a scenario, or watching queue depth
+while tuning fleet size (ROADMAP item 3's "profile with obs" step).
+
+``instrument_scheduler`` installs a fire hook that counts deliveries
+per event label into a :class:`~repro.obs.metrics.MetricsRegistry`
+(``sched.fired{label=...}``) and tracks the live-event high-water mark
+(``sched.pending.max`` gauge, O(1) via the scheduler's counter).  It
+returns an uninstall callable; nothing is recorded after uninstall, and
+schedulers without instrumentation keep their no-hook fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.clock import EventScheduler, ScheduledEvent
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["instrument_scheduler"]
+
+
+def instrument_scheduler(
+    scheduler: EventScheduler, metrics: MetricsRegistry
+) -> Callable[[], None]:
+    """Count event deliveries into ``metrics`` until uninstalled."""
+    fired = metrics.counter  # bound once; the hook runs per event
+    pending_max = metrics.gauge("sched.pending.max")
+
+    def hook(event: ScheduledEvent) -> None:
+        fired("sched.fired", label=event.label or "unlabelled").inc()
+        depth = scheduler.pending
+        if depth > pending_max.value:
+            pending_max.set(depth)
+
+    scheduler.set_fire_hook(hook)
+
+    def uninstall() -> None:
+        scheduler.set_fire_hook(None)
+
+    return uninstall

@@ -583,11 +583,14 @@ class InferenceService:
             return
         for expired in replica.queue.expire(now):
             self._lose(expired, "expire", now)
+        # Wake rotation: hold the stale wake and either move it with the
+        # allocation-free reschedule() (every pump between two wakes used
+        # to rot a tombstone in the heap) or cancel it for good.
         stale_wake = self._wakes.pop(replica.replica_id, None)
-        if stale_wake is not None:
-            stale_wake.cancel()
         depth = len(replica.queue)
         if depth == 0:
+            if stale_wake is not None:
+                stale_wake.cancel()
             if replica.state is ReplicaState.DRAINING:
                 replica.retire()
                 self._end_replica_span(replica.replica_id)
@@ -602,13 +605,23 @@ class InferenceService:
             expected_latency_s=replica.expected_latency(planned),
         )
         if decision.size > 0:
+            if stale_wake is not None:
+                stale_wake.cancel()
             self._dispatch(replica, decision.size)
         elif math.isfinite(decision.wake_at):
-            self._wakes[replica.replica_id] = self.scheduler.schedule_at(
-                max(decision.wake_at, now),
-                lambda: self._pump(replica),
-                label="serve.batch.wake",
-            )
+            if stale_wake is None:
+                self._wakes[replica.replica_id] = self.scheduler.schedule_at(
+                    max(decision.wake_at, now),
+                    lambda: self._pump(replica),
+                    label="serve.batch.wake",
+                )
+            else:
+                # The stale wake's callback already pumps this replica.
+                self._wakes[replica.replica_id] = self.scheduler.reschedule(
+                    stale_wake, max(decision.wake_at, now)
+                )
+        elif stale_wake is not None:
+            stale_wake.cancel()
 
     def _dispatch(self, replica: Replica, size: int) -> None:
         now = self.scheduler.clock.now

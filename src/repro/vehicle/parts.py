@@ -19,6 +19,7 @@ These are the boxes in Fig. 1's "computation" column, wired into a
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable
 
 import numpy as np
@@ -175,7 +176,7 @@ class _BaseController:
         self.mode = mode
         self.constant_throttle = constant_throttle
         self.recording = recording
-        self._pending: list[tuple[float, float]] = []
+        self._pending: deque[tuple[float, float]] = deque()
 
     def run(self, image: np.ndarray | None, cte: float | None, speed: float | None):
         if image is None:
@@ -186,7 +187,7 @@ class _BaseController:
         # (the web controller adds network hops; joystick is direct).
         self._pending.append(tuple(command))
         if len(self._pending) > self.latency_ticks:
-            steering, throttle = self._pending.pop(0)
+            steering, throttle = self._pending.popleft()
         else:
             steering, throttle = 0.0, 0.0
         if self.constant_throttle is not None:

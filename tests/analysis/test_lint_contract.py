@@ -24,10 +24,42 @@ from repro.analysis.context import ModuleContext, ProjectIndex
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 ANALYSIS_ROOT = REPO_ROOT / "src" / "repro" / "analysis"
+COMMON_ROOT = REPO_ROOT / "src" / "repro" / "common"
 
 
 def test_analysis_is_bottom_of_layering_dag():
     assert DEFAULT_LAYERS["analysis"] == ("common",)
+
+
+def test_common_is_bottom_of_layering_dag():
+    """``common`` (clock, scheduler, errors, rng) is the true bottom:
+    every package may import it, it may import nothing — the event core
+    everything runs on cannot acquire upward dependencies."""
+    assert DEFAULT_LAYERS["common"] == ()
+    for package, deps in DEFAULT_LAYERS.items():
+        if package != "common":
+            assert "common" in deps, (
+                f"'{package}' lost its 'common' layering entry"
+            )
+
+
+def test_common_tree_imports_only_common():
+    """Empirical twin of the DAG entry: the real ``src/repro/common``
+    tree has no repro imports outside itself."""
+    index = ProjectIndex()
+    for path in collect_files([COMMON_ROOT]):
+        index.add_module(ModuleContext.from_path(path))
+    offending = {}
+    for module in sorted(index.graph.shards):
+        shard = index.graph.shards[module]
+        bad = sorted(
+            target
+            for target in shard.imports
+            if target.startswith("repro.") and not target.startswith("repro.common")
+        )
+        if bad:
+            offending[module] = bad
+    assert not offending, offending
 
 
 def test_fleet_sits_above_serve_and_artifacts():

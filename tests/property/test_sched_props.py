@@ -1,0 +1,200 @@
+"""Property-based invariants for the discrete-event scheduler.
+
+The scheduler contract — timestamp order, FIFO within an instant,
+``pending`` equal to a brute-force live count, compaction never
+dropping or reordering live events, same-seed-same-firing-sequence —
+must hold for *any* interleaving of schedule / cancel / run calls;
+hypothesis drives the interleavings.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import EventScheduler
+
+# Coarse delays force plenty of same-instant collisions (FIFO stress).
+DELAYS = st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.0])
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), DELAYS),
+        st.tuples(st.just("cancel"), st.integers(0, 1_000_000)),
+        st.tuples(st.just("reschedule"), st.integers(0, 1_000_000), DELAYS),
+        st.tuples(st.just("run"), DELAYS),
+    ),
+    max_size=120,
+)
+
+
+def interpret(sched, ops, fired):
+    """Apply ``ops`` against ``sched`` next to a brute-force model.
+
+    The model gives every (re)scheduled incarnation an ``order`` stamp
+    mirroring the scheduler's ``seq``, so FIFO-within-instant covers
+    rescheduled events too.  Returns the model and the firing sequence
+    a correct scheduler must produce.
+    """
+    model = []
+    expected = []
+    order = [0]
+
+    def stamp():
+        order[0] += 1
+        return order[0]
+
+    for op in ops:
+        kind = op[0]
+        if kind == "schedule":
+            at = sched.clock.now + op[1]
+            eid = len(model)
+            event = sched.schedule_at(at, lambda eid=eid: fired.append(eid))
+            model.append(
+                {"time": at, "id": eid, "order": stamp(), "event": event,
+                 "fired": False, "cancelled": False}
+            )
+        elif kind == "cancel":
+            if model:
+                entry = model[op[1] % len(model)]
+                entry["event"].cancel()
+                if not entry["fired"]:
+                    entry["cancelled"] = True
+        elif kind == "reschedule":
+            if model:
+                entry = model[op[1] % len(model)]
+                at = sched.clock.now + op[2]
+                entry["event"] = sched.reschedule(entry["event"], at)
+                entry.update(time=at, order=stamp(), fired=False, cancelled=False)
+        else:  # run
+            target = sched.clock.now + op[1]
+            sched.run_until(target)
+            due = sorted(
+                (e for e in model
+                 if not e["fired"] and not e["cancelled"] and e["time"] <= target),
+                key=lambda e: (e["time"], e["order"]),
+            )
+            for entry in due:
+                entry["fired"] = True
+                expected.append(entry["id"])
+        live = sum(1 for e in model if not e["fired"] and not e["cancelled"])
+        assert sched.pending == live, "pending diverged from brute-force count"
+    return model, expected
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=OPS)
+def test_interleaved_ops_match_brute_force(ops):
+    sched = EventScheduler()
+    fired = []
+    _, expected = interpret(sched, ops, fired)
+    assert fired == expected
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=OPS)
+def test_aggressive_compaction_changes_nothing(ops):
+    """A scheduler compacting on every cancel fires the same sequence."""
+    relaxed, eager = EventScheduler(), EventScheduler()
+    eager._COMPACT_FLOOR = 0  # instance override: compact constantly
+    fired_relaxed, fired_eager = [], []
+    interpret(relaxed, ops, fired_relaxed)
+    interpret(eager, ops, fired_eager)
+    assert fired_relaxed == fired_eager
+    assert relaxed.pending == eager.pending
+    assert relaxed.clock.now == eager.clock.now
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 150),
+    cancel_fraction=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**16),
+)
+def test_cancel_heavy_drain_preserves_live_order(n, cancel_fraction, seed):
+    """However many events die, the survivors fire in (time, seq) order."""
+    rng = random.Random(seed)
+    sched = EventScheduler()
+    sched._COMPACT_FLOOR = 4  # make compaction routine, not rare
+    fired = []
+    events = []
+    for i in range(n):
+        at = rng.choice([0.0, 1.0, 1.0, 2.0, 3.0])
+        events.append((sched.schedule_at(at, lambda i=i: fired.append(i)), at, i))
+    victims = {i for _, _, i in events if rng.random() < cancel_fraction}
+    for event, _, i in events:
+        if i in victims:
+            event.cancel()
+    sched.run_all()
+    survivors = [(at, i) for _, at, i in events if i not in victims]
+    assert fired == [i for _, i in sorted(survivors)]
+    assert sched.pending == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 40),
+    seed=st.integers(0, 2**16),
+    floor=st.sampled_from([0, 1, 4]),
+)
+def test_callback_driven_cancels_never_double_fire(n, seed, floor):
+    """Cancels issued *inside* callbacks (compacting mid-drain) deliver
+    every live event exactly once — the watchdog-rotation pattern
+    serve's batcher uses."""
+    rng = random.Random(seed)
+    sched = EventScheduler()
+    sched._COMPACT_FLOOR = floor
+    fired = []
+    watchdogs = {}
+
+    def tick(v, remaining):
+        fired.append(v)
+        old = watchdogs.get(v)
+        if old is not None:
+            old.cancel()
+        watchdogs[v] = sched.schedule_in(100.0, lambda: None)
+        if remaining:
+            sched.schedule_in(rng.choice([0.0, 0.5, 1.0]),
+                              lambda: tick(v, remaining - 1))
+
+    beats = {v: rng.randint(1, 6) for v in range(n)}
+    for v, remaining in beats.items():
+        sched.schedule_in(rng.choice([0.0, 0.5]), lambda v=v, r=remaining: tick(v, r))
+    sched.run_until(50.0)
+    from collections import Counter
+
+    counts = Counter(fired)
+    assert counts == Counter({v: r + 1 for v, r in beats.items()})
+    assert sched.pending == len(watchdogs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_same_seed_same_firing_sequence(seed):
+    """One seeded workload, two schedulers: identical firing sequences,
+    including callbacks that schedule and cancel further events."""
+
+    def run_once():
+        rng = random.Random(seed)
+        sched = EventScheduler()
+        fired = []
+        cancellable = []
+
+        def tick(tag):
+            fired.append((sched.clock.now, tag))
+            if rng.random() < 0.6:
+                child = sched.schedule_in(
+                    rng.choice([0.0, 0.25, 1.0]), lambda t=tag * 31: tick(t)
+                )
+                cancellable.append(child)
+            if cancellable and rng.random() < 0.4:
+                cancellable.pop(rng.randrange(len(cancellable))).cancel()
+
+        for i in range(20):
+            sched.schedule_at(rng.choice([0.0, 1.0, 2.0]), lambda i=i: tick(i))
+        sched.run_all(max_events=5000)
+        return fired
+
+    assert run_once() == run_once()
