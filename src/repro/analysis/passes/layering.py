@@ -81,6 +81,20 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
         "serve",
         "testbed",
     ),
+    # The evaluation harness scores whole-stack runs, so it sits at the
+    # very top: nothing below may import it (only the root modules
+    # repro.cli / repro.scenarios, which are layering-exempt, do).
+    "eval": (
+        "common",
+        "core",
+        "faults",
+        "fleet",
+        "net",
+        "obs",
+        "serve",
+        "sim",
+        "testbed",
+    ),
 }
 
 

@@ -13,6 +13,7 @@ steps — mirroring the ``donkey`` CLI the paper's students use:
 * ``autolearn chaos`` — play a fault-injection scenario against a fleet.
 * ``autolearn fleet`` — run the continuous-learning continuum loop.
 * ``autolearn trace`` — run a canonical scenario with tracing attached.
+* ``autolearn eval`` — score declarative scenarios against goldens.
 * ``autolearn lint`` — run the reprolint invariant checker.
 """
 
@@ -151,6 +152,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="./autolearn-trace",
                    help="directory for trace.json / trace.txt / metrics.json")
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "eval",
+        help="run declarative scenarios and diff canonical scorecards "
+             "against the checked-in goldens",
+    )
+    from repro.eval.cli import add_eval_arguments
+
+    add_eval_arguments(p)
 
     p = sub.add_parser(
         "lint", help="run reprolint, the AST-based invariant checker"
@@ -417,6 +427,12 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_eval(args) -> int:
+    from repro.eval.cli import run_eval_command
+
+    return run_eval_command(args)
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.cli import run_lint_command
 
@@ -434,6 +450,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "fleet": _cmd_fleet,
     "trace": _cmd_trace,
+    "eval": _cmd_eval,
     "lint": _cmd_lint,
 }
 

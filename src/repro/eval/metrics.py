@@ -1,0 +1,56 @@
+"""Scalar driving-quality metrics shared by the evaluators.
+
+Offline scoring works on complete runs, so percentiles here are exact
+nearest-rank over the full sample (unlike the streaming log-bucket
+histograms the serving hot path uses) — the scorecard is the regression
+surface and should not carry bucketing error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.sim.tracks import Track
+
+__all__ = ["percentile", "cte_stats", "trajectory_cte"]
+
+
+def percentile(values, q: float) -> float:
+    """Exact nearest-rank percentile (``q`` in [0, 1]) of a sample."""
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"q must be in [0, 1], got {q}")
+    data = np.sort(np.asarray(values, dtype=float))
+    if data.size == 0:
+        return 0.0
+    index = min(int(q * data.size), data.size - 1)
+    return float(data[index])
+
+
+def cte_stats(values) -> dict[str, float]:
+    """Mean / p95 / max of unsigned cross-track error (metres)."""
+    data = np.abs(np.asarray(values, dtype=float))
+    if data.size == 0:
+        return {"mean_m": 0.0, "p95_m": 0.0, "max_m": 0.0}
+    return {
+        "mean_m": float(data.mean()),
+        "p95_m": percentile(data, 0.95),
+        "max_m": float(data.max()),
+    }
+
+
+def trajectory_cte(track: Track, points) -> np.ndarray:
+    """Signed cross-track error of ``points`` (N×2) against ``track``.
+
+    Thin wrapper over :meth:`~repro.sim.tracks.Track.query` so the
+    evaluator (and its property tests) score trajectories without
+    reaching into track internals.  Non-negative under ``abs`` and, for
+    points displaced along the local lane normal, proportional to the
+    displacement — the monotonicity the property suite pins.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ConfigurationError(
+            f"points must be N x 2 positions, got shape {points.shape}"
+        )
+    return np.asarray(track.query(points).signed_cte, dtype=float)

@@ -1,0 +1,245 @@
+"""Interpret a :class:`~repro.eval.spec.ScenarioSpec`: build, wire, run.
+
+One generic runner per scenario *kind*.  Each builds the same object
+graph, in the same order, with the same values as the historical
+hand-coded runners in :mod:`repro.scenarios` — which is what keeps the
+obs/fleet golden traces byte-identical now that those scenarios are
+just named specs interpreted here.
+
+``instrument=False`` swaps the :class:`~repro.obs.tracer.Tracer` for a
+:class:`~repro.obs.tracer.NullTracer` and drops the metrics registry;
+the run's *behavior* (and hence its scorecard) must not change, which
+the property suite pins.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.common.clock import EventScheduler
+from repro.common.errors import ConfigurationError
+from repro.eval.drive import run_drive
+from repro.eval.library import net_route
+from repro.eval.spec import ScenarioSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer
+
+__all__ = ["ScenarioRun", "run_scenario"]
+
+
+@dataclass
+class ScenarioRun:
+    """One finished scenario: instrumentation, summary, artifacts."""
+
+    spec: ScenarioSpec
+    seed: int
+    tracer: Tracer | NullTracer
+    metrics: MetricsRegistry | None
+    summary: str
+    artifacts: dict[str, Any] = field(default_factory=dict)
+
+
+def _instrumentation(clock, instrument: bool):
+    if instrument:
+        return Tracer(clock), MetricsRegistry()
+    return NullTracer(), None
+
+
+def _run_pipeline(
+    spec: ScenarioSpec, seed: int, work_dir: Path, instrument: bool
+) -> ScenarioRun:
+    from repro.core.pipeline import AutoLearnPipeline
+    from repro.testbed.chameleon import Chameleon
+
+    params = spec.params
+    chameleon = Chameleon()
+    tracer, metrics = _instrumentation(chameleon.clock, instrument)
+    pathway = str(params.get("pathway", "digital"))
+    pipeline = AutoLearnPipeline(
+        pathway,
+        work_dir,
+        n_records=int(params.get("n_records", 80)),
+        epochs=int(params.get("epochs", 1)),
+        camera_hw=tuple(params.get("camera_hw", [24, 32])),
+        model_scale=float(params.get("model_scale", 0.25)),
+        eval_ticks=int(params.get("eval_ticks", 60)),
+        seed=seed,
+        chameleon=chameleon,
+        tracer=tracer if instrument else None,
+        metrics=metrics,
+    )
+    report = pipeline.run()
+    tracer.close_all()
+    lines = [f"{spec.name} pathway={pathway} seed={seed}"]
+    for stage in report.stages:
+        lines.append(
+            f"  {stage.stage:12s} {stage.alternative:12s} "
+            f"{stage.sim_seconds:12.4f} s"
+        )
+    lines.append(f"  total        {report.total_sim_seconds:25.4f} s")
+    return ScenarioRun(
+        spec, seed, tracer, metrics, "\n".join(lines) + "\n",
+        {"report": report},
+    )
+
+
+def _make_workload(workload_params: dict, seed: int):
+    from repro.serve.workload import PoissonWorkload, VehicleFleetWorkload
+
+    shape = str(workload_params.get("shape", "poisson"))
+    if shape == "poisson":
+        return PoissonWorkload(
+            float(workload_params.get("rate_hz", 50.0)),
+            deadline_s=float(workload_params.get("deadline_s", 0.1)),
+            seed=seed,
+        )
+    if shape == "vehicles":
+        return VehicleFleetWorkload(
+            int(workload_params.get("n_vehicles", 16)),
+            deadline_ticks=int(workload_params.get("deadline_ticks", 2)),
+            seed=seed,
+        )
+    raise ConfigurationError(
+        f"unknown workload shape {shape!r}; choose poisson or vehicles"
+    )
+
+
+def _run_serve(spec: ScenarioSpec, seed: int, instrument: bool) -> ScenarioRun:
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+    from repro.serve.replica import BatchLatencyModel
+    from repro.serve.service import InferenceService
+    from repro.testbed.hardware import gpu_spec
+
+    params = spec.params
+    scheduler = EventScheduler()
+    tracer, metrics = _instrumentation(scheduler.clock, instrument)
+    service_params = dict(params.get("service", {}))
+    plan = FaultPlan.from_dicts(params.get("faults", []))
+    injector = None
+    if len(plan):
+        injector = FaultInjector(
+            plan, seed=seed, tracer=tracer if instrument else None
+        )
+    latency_model = BatchLatencyModel.from_gpu(
+        gpu_spec(str(service_params.get("gpu", "V100"))),
+        flops_per_frame=float(service_params.get("flops_per_frame", 1e8)),
+    )
+    service = InferenceService(
+        latency_model,
+        scheduler=scheduler,
+        n_replicas=int(service_params.get("replicas", 1)),
+        router=str(service_params.get("router", "least-outstanding")),
+        batch_policy=str(service_params.get("batch_policy", "adaptive")),
+        queue_capacity=int(service_params.get("queue_capacity", 256)),
+        queue_policy=str(service_params.get("queue_policy", "drop")),
+        route=net_route(str(params.get("net", "lan"))),
+        seed=seed,
+        injector=injector,
+        tracer=tracer if instrument else None,
+        metrics=metrics,
+        trace_requests=bool(params.get("trace_requests", False)),
+    )
+    workload = _make_workload(dict(params.get("workload", {})), seed)
+    summary = service.run(workload, float(params.get("duration_s", 1.0)))
+    tracer.close_all()
+    return ScenarioRun(
+        spec, seed, tracer, metrics, summary.to_text(),
+        {"summary": summary, "workload": workload, "slo": service.slo},
+    )
+
+
+def _run_chaos(spec: ScenarioSpec, seed: int, instrument: bool) -> ScenarioRun:
+    from repro.serve.chaos import ChaosScenario, run_chaos
+
+    scheduler = EventScheduler()
+    tracer, metrics = _instrumentation(scheduler.clock, instrument)
+    scenario = ChaosScenario.from_dict(dict(spec.params.get("scenario", {})))
+    summary = run_chaos(
+        scenario,
+        seed=seed,
+        tracer=tracer if instrument else None,
+        metrics=metrics,
+        scheduler=scheduler,
+    )
+    tracer.close_all()
+    return ScenarioRun(
+        spec, seed, tracer, metrics, summary.to_text(), {"summary": summary}
+    )
+
+
+def _run_fleet(spec: ScenarioSpec, seed: int, instrument: bool) -> ScenarioRun:
+    from repro.faults.plan import FaultPlan
+    from repro.fleet import FleetConfig, FleetLoop, GateThresholds
+
+    params = dict(spec.params)
+    scheduler = EventScheduler()
+    tracer, metrics = _instrumentation(scheduler.clock, instrument)
+    gates = GateThresholds(**dict(params.pop("gates", {})))
+    plans = tuple(
+        (int(entry["round"]), FaultPlan.from_dicts(entry["faults"]))
+        for entry in params.pop("canary_fault_plans", [])
+    )
+    try:
+        config = FleetConfig(
+            gates=gates, canary_fault_plans=plans, seed=seed, **params
+        )
+    except TypeError as exc:
+        raise ConfigurationError(f"bad fleet spec {spec.name!r}: {exc}") from None
+    loop = FleetLoop(
+        config,
+        scheduler=scheduler,
+        tracer=tracer if instrument else None,
+        metrics=metrics,
+    )
+    summary = loop.run()
+    tracer.close_all()
+    return ScenarioRun(
+        spec, seed, tracer, metrics, summary.to_text(), {"summary": summary}
+    )
+
+
+def _run_drive(spec: ScenarioSpec, seed: int, instrument: bool) -> ScenarioRun:
+    scheduler = EventScheduler()
+    tracer, metrics = _instrumentation(scheduler.clock, instrument)
+    summary, artifacts = run_drive(
+        spec.name, spec.params, seed, scheduler, tracer, metrics
+    )
+    tracer.close_all()
+    return ScenarioRun(
+        spec, seed, tracer, metrics, summary, {"artifacts": artifacts}
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    seed: int = 0,
+    work_dir: str | Path | None = None,
+    instrument: bool = True,
+) -> ScenarioRun:
+    """Run one spec to completion on the simulated clock.
+
+    ``work_dir`` holds scratch artifacts for filesystem-using kinds
+    (``pipeline``); when omitted a temporary directory is created and —
+    because the scenario body runs inside the ``with`` block — removed
+    even when the scenario raises.  Nothing in the returned run depends
+    on the path, so outputs are byte-identical per seed either way.
+    """
+    seed = int(seed)
+    if spec.kind == "pipeline":
+        if work_dir is not None:
+            return _run_pipeline(spec, seed, Path(work_dir), instrument)
+        with tempfile.TemporaryDirectory() as tmp:
+            return _run_pipeline(spec, seed, Path(tmp), instrument)
+    if spec.kind == "serve":
+        return _run_serve(spec, seed, instrument)
+    if spec.kind == "chaos":
+        return _run_chaos(spec, seed, instrument)
+    if spec.kind == "fleet":
+        return _run_fleet(spec, seed, instrument)
+    if spec.kind == "drive":
+        return _run_drive(spec, seed, instrument)
+    raise ConfigurationError(f"unknown scenario kind {spec.kind!r}")

@@ -89,6 +89,16 @@ class FleetSummary:
     rollbacks: int
     final_stable: int
 
+    @property
+    def mean_promotion_latency_s(self) -> float:
+        """Mean collect→promote latency over rounds that promoted."""
+        latencies = [
+            report.promotion_latency_s
+            for report in self.rounds
+            if report.promotion_latency_s > 0.0
+        ]
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
     def to_dict(self) -> dict:
         """JSON-ready view (golden summaries, benchmarks)."""
         return {

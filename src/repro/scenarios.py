@@ -18,7 +18,11 @@ stack and runs it to completion on the simulated clock:
   forces an automatic rollback, exercising the fleet round/stage spans
   and the promotion/rollback counters.
 
-The same seed yields byte-identical trace and metrics exports — the
+Since the declarative harness landed, each scenario is pure data: a
+:class:`~repro.eval.spec.ScenarioSpec` in :mod:`repro.eval.library`,
+interpreted by :mod:`repro.eval.runner`.  The runner builds the same
+object graph the historical hand-coded functions here did, so the same
+seed still yields byte-identical trace and metrics exports — the
 property ``autolearn trace`` and the golden-trace suite pin.  This
 module sits at the root of the package (like :mod:`repro.cli`) because
 a scenario legitimately spans layers no single package may couple.
@@ -26,16 +30,19 @@ a scenario legitimately spans layers no single package may couple.
 
 from __future__ import annotations
 
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.common.clock import EventScheduler
 from repro.common.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 
-__all__ = ["TRACE_SCENARIOS", "TraceScenarioResult", "run_trace_scenario"]
+__all__ = [
+    "TRACE_SCENARIOS",
+    "TraceScenarioResult",
+    "run_trace_scenario",
+    "trace_scenario_spec",
+]
 
 #: Scenario names accepted by :func:`run_trace_scenario`.
 TRACE_SCENARIOS = (
@@ -57,131 +64,16 @@ class TraceScenarioResult:
     summary: str
 
 
-def _run_pipeline_quickstart(seed: int, work_dir: Path) -> TraceScenarioResult:
-    from repro.core.pipeline import AutoLearnPipeline
-    from repro.testbed.chameleon import Chameleon
+def trace_scenario_spec(name: str):
+    """The declarative spec behind one named trace scenario."""
+    from repro.eval.library import scenario_spec
 
-    chameleon = Chameleon()
-    tracer = Tracer(chameleon.clock)
-    metrics = MetricsRegistry()
-    pipeline = AutoLearnPipeline(
-        "digital",
-        work_dir,
-        n_records=80,
-        epochs=1,
-        camera_hw=(24, 32),
-        model_scale=0.25,
-        eval_ticks=60,
-        seed=seed,
-        chameleon=chameleon,
-        tracer=tracer,
-        metrics=metrics,
-    )
-    report = pipeline.run()
-    tracer.close_all()
-    lines = [f"pipeline-quickstart pathway=digital seed={seed}"]
-    for stage in report.stages:
-        lines.append(
-            f"  {stage.stage:12s} {stage.alternative:12s} "
-            f"{stage.sim_seconds:12.4f} s"
+    if name not in TRACE_SCENARIOS:
+        raise ConfigurationError(
+            f"unknown trace scenario {name!r}; available: "
+            f"{', '.join(TRACE_SCENARIOS)}"
         )
-    lines.append(f"  total        {report.total_sim_seconds:25.4f} s")
-    return TraceScenarioResult(
-        "pipeline-quickstart", seed, tracer, metrics, "\n".join(lines) + "\n"
-    )
-
-
-def _run_serve_load(seed: int) -> TraceScenarioResult:
-    from repro.serve.replica import BatchLatencyModel
-    from repro.serve.service import InferenceService
-    from repro.serve.workload import PoissonWorkload
-    from repro.testbed.hardware import gpu_spec
-
-    scheduler = EventScheduler()
-    tracer = Tracer(scheduler.clock)
-    metrics = MetricsRegistry()
-    latency_model = BatchLatencyModel.from_gpu(
-        gpu_spec("V100"), flops_per_frame=1e8
-    )
-    service = InferenceService(
-        latency_model,
-        scheduler=scheduler,
-        n_replicas=2,
-        seed=seed,
-        tracer=tracer,
-        metrics=metrics,
-        trace_requests=True,
-    )
-    workload = PoissonWorkload(50.0, deadline_s=0.1, seed=seed)
-    summary = service.run(workload, 1.0)
-    tracer.close_all()
-    return TraceScenarioResult(
-        "serve-load", seed, tracer, metrics, summary.to_text()
-    )
-
-
-def _run_chaos_crash(seed: int) -> TraceScenarioResult:
-    from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
-    from repro.serve.chaos import ChaosScenario, run_chaos
-
-    scheduler = EventScheduler()
-    tracer = Tracer(scheduler.clock)
-    metrics = MetricsRegistry()
-    scenario = ChaosScenario(
-        name="chaos-crash",
-        duration_s=6.0,
-        vehicles=16,
-        replicas=2,
-        autoscale=False,
-        plan=FaultPlan([
-            FaultSpec(FaultKind.REPLICA_CRASH, "replica:any", at_s=2.0),
-            FaultSpec(
-                FaultKind.REPLICA_HANG, "replica:any", at_s=3.0, duration_s=1.0
-            ),
-        ]),
-    )
-    summary = run_chaos(
-        scenario, seed=seed, tracer=tracer, metrics=metrics,
-        scheduler=scheduler,
-    )
-    tracer.close_all()
-    return TraceScenarioResult(
-        "chaos-crash", seed, tracer, metrics, summary.to_text()
-    )
-
-
-def _run_fleet_canary_chaos(seed: int) -> TraceScenarioResult:
-    from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
-    from repro.fleet import FleetConfig, FleetLoop, GateThresholds
-
-    scheduler = EventScheduler()
-    tracer = Tracer(scheduler.clock)
-    metrics = MetricsRegistry()
-    # Round 3's canary replica (replica-0003: the one added after the two
-    # stable replicas) is crashed shortly into the canary stage, so the
-    # candidate fails its min-completions gate and auto-rolls-back.
-    crash = FaultPlan(
-        [FaultSpec(FaultKind.REPLICA_CRASH, "replica-0003", at_s=0.1)]
-    )
-    config = FleetConfig(
-        n_vehicles=4,
-        records_per_flush=12,
-        stage_vehicles=4,
-        stage_duration_s=0.6,
-        min_fresh_records=48,
-        eval_records=48,
-        gates=GateThresholds(min_completions=10),
-        canary_fraction=0.35,
-        rounds=3,
-        canary_fault_plans=((3, crash),),
-        seed=seed,
-    )
-    loop = FleetLoop(config, scheduler=scheduler, tracer=tracer, metrics=metrics)
-    summary = loop.run()
-    tracer.close_all()
-    return TraceScenarioResult(
-        "fleet-canary-chaos", seed, tracer, metrics, summary.to_text()
-    )
+    return scenario_spec(name)
 
 
 def run_trace_scenario(
@@ -190,23 +82,16 @@ def run_trace_scenario(
     """Run one named scenario with tracing and metrics attached.
 
     ``work_dir`` holds scratch artifacts (tubs, models) for scenarios
-    that need a filesystem; a temporary directory is used when omitted.
-    Nothing in the returned tracer or registry depends on the path, so
-    exports are byte-identical per seed either way.
+    that need a filesystem; a temporary directory is used — and removed
+    even when the scenario body raises — when omitted.  Nothing in the
+    returned tracer or registry depends on the path, so exports are
+    byte-identical per seed either way.
     """
-    if name not in TRACE_SCENARIOS:
-        raise ConfigurationError(
-            f"unknown trace scenario {name!r}; available: "
-            f"{', '.join(TRACE_SCENARIOS)}"
-        )
-    seed = int(seed)
-    if name == "serve-load":
-        return _run_serve_load(seed)
-    if name == "chaos-crash":
-        return _run_chaos_crash(seed)
-    if name == "fleet-canary-chaos":
-        return _run_fleet_canary_chaos(seed)
-    if work_dir is not None:
-        return _run_pipeline_quickstart(seed, Path(work_dir))
-    with tempfile.TemporaryDirectory() as tmp:
-        return _run_pipeline_quickstart(seed, Path(tmp))
+    from repro.eval.runner import run_scenario
+
+    run = run_scenario(
+        trace_scenario_spec(name), seed=int(seed), work_dir=work_dir
+    )
+    return TraceScenarioResult(
+        name, int(seed), run.tracer, run.metrics, run.summary
+    )

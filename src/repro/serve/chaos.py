@@ -134,6 +134,7 @@ class ChaosSummary:
     max_stale_streak: int
     lost_responses: int
     conserved: bool
+    stale_ratio: float = 0.0
 
     def to_dict(self) -> dict:
         """JSON-ready view."""
@@ -148,6 +149,7 @@ class ChaosSummary:
             "max_stale_streak": self.max_stale_streak,
             "lost_responses": self.lost_responses,
             "conserved": self.conserved,
+            "stale_ratio": self.stale_ratio,
         }
 
     def to_text(self) -> str:
@@ -256,4 +258,5 @@ def run_chaos(
         max_stale_streak=workload.stats.max_stale_streak,
         lost_responses=workload.stats.lost_responses,
         conserved=True,
+        stale_ratio=workload.stale_ratio,
     )

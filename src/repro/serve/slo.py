@@ -172,3 +172,10 @@ class SloTracker:
         if not self.completed:
             return 0.0
         return 1.0 - self.deadline_met / self.completed
+
+    @property
+    def deadline_attainment(self) -> float:
+        """Fraction of completed requests that met their deadline."""
+        if not self.completed:
+            return 1.0
+        return self.deadline_met / self.completed

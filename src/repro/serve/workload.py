@@ -184,6 +184,11 @@ class VehicleFleetWorkload(Workload):
         return self.stats.stale_ticks
 
     @property
+    def stale_ratio(self) -> float:
+        """Fraction of fleet ticks driven on a stale command."""
+        return self.stats.stale_ticks / self.stats.ticks if self.stats.ticks else 0.0
+
+    @property
     def fresh_response_ratio(self) -> float:
         """Responses delivered per request issued across the fleet."""
         return self.stats.fresh_response_ratio

@@ -64,17 +64,70 @@ def test_common_tree_imports_only_common():
 
 def test_fleet_sits_above_serve_and_artifacts():
     """``fleet`` composes serving and the registry; nothing below may
-    import it back (the DAG stays acyclic with fleet near the top)."""
+    import it back (the DAG stays acyclic with fleet near the top —
+    only the ``eval`` harness, which scores fleet runs, sits higher)."""
     allowed = DEFAULT_LAYERS["fleet"]
     assert "serve" in allowed
     assert "artifacts" in allowed
     assert "objectstore" in allowed
     assert allowed == tuple(sorted(allowed))
     for package, deps in DEFAULT_LAYERS.items():
-        if package != "fleet":
+        if package not in ("fleet", "eval"):
             assert "fleet" not in deps, (
                 f"'{package}' may not depend on 'fleet'"
             )
+
+
+def test_eval_sits_at_the_top_of_the_dag():
+    """``eval`` scores whole-stack runs, so it may import the serving,
+    fleet, and fault layers — and nothing may import it back except the
+    layering-exempt root modules (``repro.cli``, ``repro.scenarios``)."""
+    allowed = DEFAULT_LAYERS["eval"]
+    for needed in ("serve", "fleet", "faults", "sim", "core", "obs"):
+        assert needed in allowed, f"'eval' lost its '{needed}' entry"
+    assert allowed == tuple(sorted(allowed))
+    for package, deps in DEFAULT_LAYERS.items():
+        if package != "eval":
+            assert "eval" not in deps, (
+                f"'{package}' may not depend on 'eval'"
+            )
+
+
+def test_only_root_modules_import_eval():
+    """Empirical twin: in the real tree, ``repro.eval`` is imported only
+    from inside ``eval`` itself and from the root modules."""
+    src_root = REPO_ROOT / "src" / "repro"
+    index = ProjectIndex()
+    for path in collect_files([src_root]):
+        index.add_module(ModuleContext.from_path(path))
+    importers = sorted(
+        module
+        for module, shard in index.graph.shards.items()
+        if any(t.startswith("repro.eval") for t in shard.imports)
+        and not module.startswith("repro.eval")
+    )
+    assert importers == ["repro.cli", "repro.scenarios"], importers
+
+
+def test_eval_tree_imports_stay_in_its_layer():
+    """The real ``src/repro/eval`` tree imports only its allowed set."""
+    eval_root = REPO_ROOT / "src" / "repro" / "eval"
+    allowed = set(DEFAULT_LAYERS["eval"]) | {"eval"}
+    index = ProjectIndex()
+    for path in collect_files([eval_root]):
+        index.add_module(ModuleContext.from_path(path))
+    offending = {}
+    for module in sorted(index.graph.shards):
+        shard = index.graph.shards[module]
+        bad = sorted(
+            target
+            for target in shard.imports
+            if target.startswith("repro.")
+            and target.split(".")[1] not in allowed
+        )
+        if bad:
+            offending[module] = bad
+    assert not offending, offending
 
 
 def test_analysis_tree_imports_only_common():

@@ -37,7 +37,8 @@ def pytest_addoption(parser):
         "--update-goldens",
         action="store_true",
         default=False,
-        help="rewrite tests/obs/golden/*.json from the current code",
+        help="rewrite golden files (tests/obs/golden/*.json, "
+             "tests/eval/golden/*.json) from the current code",
     )
 
 

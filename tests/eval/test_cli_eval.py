@@ -1,0 +1,69 @@
+"""``autolearn eval`` CLI behavior: listing, scoring, diffing, exit codes."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.eval.library import scenario_names
+
+# A fast cell to keep CLI runs cheap (4s of simulated serving).
+CELL = "matrix-v016-nofault-lan"
+
+
+def test_list_names_library_and_matrix(capsys):
+    assert main(["eval", "--list"]) == 0
+    listed = capsys.readouterr().out.split()
+    assert listed == list(scenario_names(matrix=True))
+    assert "serve-load" in listed
+    assert CELL in listed
+
+
+def test_update_then_match_then_diff(tmp_path, capsys):
+    golden = tmp_path / "golden"
+    args = ["eval", "--scenario", CELL, "--golden", str(golden)]
+
+    # No golden yet: the run is NEW and fails the pin.
+    assert main(args) == 1
+    assert "NEW" in capsys.readouterr().out
+
+    # Write the golden, then the same run matches byte for byte.
+    assert main(args + ["--update-goldens"]) == 0
+    capsys.readouterr()
+    assert main(args) == 0
+    assert "ok" in capsys.readouterr().out
+
+    # Tamper with the golden: the diff is reported and the exit is 1.
+    path = golden / f"{CELL}-seed0.json"
+    path.write_text(path.read_text().replace('"completed"', '"completedX"'))
+    assert main(args) == 1
+    out = capsys.readouterr().out
+    assert "DIFF" in out
+    assert "completedX" in out
+
+
+def test_out_dir_receives_scorecards(tmp_path, capsys):
+    out = tmp_path / "cards"
+    code = main([
+        "eval", "--scenario", CELL, "--out", str(out), "--no-golden",
+    ])
+    capsys.readouterr()
+    assert code == 0
+    cards = sorted(p.name for p in out.iterdir())
+    assert cards == [f"{CELL}-seed0.json"]
+
+
+def test_multiple_seeds(tmp_path, capsys):
+    out = tmp_path / "cards"
+    code = main([
+        "eval", "--scenario", CELL, "--seed", "0", "--seed", "1",
+        "--out", str(out), "--no-golden",
+    ])
+    capsys.readouterr()
+    assert code == 0
+    assert {p.name for p in out.iterdir()} == {
+        f"{CELL}-seed0.json", f"{CELL}-seed1.json"
+    }
+
+
+def test_unknown_scenario_exits_2(capsys):
+    assert main(["eval", "--scenario", "nope"]) == 2
+    assert "unknown eval scenario" in capsys.readouterr().out

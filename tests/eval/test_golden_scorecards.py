@@ -1,0 +1,87 @@
+"""Golden-scorecard regression harness.
+
+Every matrix cell (at two seeds) and every library scenario (at seed 0)
+is run, scored by the :class:`~repro.eval.scorecard.Evaluator`, and
+compared byte for byte against ``tests/eval/golden/<name>-seed<N>.json``
+— the same canonical files ``autolearn eval`` diffs against.
+
+Any behavioral drift in the scored layers (routing, batching, fault
+timing, driving dynamics, tracker association) shows up here as a
+readable JSON diff.  To accept an intentional change::
+
+    pytest tests/eval/test_golden_scorecards.py --update-goldens
+
+which rewrites the files and skips (so a tier-1 run can never silently
+regenerate its own expectations).
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.eval.library import BASE_SPECS, matrix_specs, scenario_spec
+from repro.eval.runner import run_scenario
+from repro.eval.scorecard import Evaluator
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Every golden cell: each matrix cell at two seeds, each library
+#: scenario at seed 0.
+CASES = [
+    (spec.name, seed) for spec in matrix_specs() for seed in (0, 1)
+] + [(name, 0) for name in BASE_SPECS]
+
+
+def render_scorecard(name: str, seed: int) -> str:
+    """The canonical golden bytes for one scored scenario run."""
+    run = run_scenario(scenario_spec(name), seed=seed)
+    return Evaluator().evaluate(run).to_json()
+
+
+@pytest.mark.parametrize("name,seed", CASES)
+def test_golden_scorecard(name, seed, request):
+    current = render_scorecard(name, seed)
+    path = GOLDEN_DIR / f"{name}-seed{seed}.json"
+    if request.config.getoption("--update-goldens"):
+        path.write_text(current)
+        pytest.skip(f"golden {path.name} regenerated")
+    assert path.exists(), (
+        f"missing golden {path}; generate it with "
+        "pytest tests/eval/test_golden_scorecards.py --update-goldens"
+    )
+    golden = path.read_text()
+    if current != golden:
+        diff = "\n".join(
+            difflib.unified_diff(
+                golden.splitlines(),
+                current.splitlines(),
+                fromfile=f"golden/{path.name}",
+                tofile="current",
+                lineterm="",
+                n=3,
+            )
+        )
+        pytest.fail(
+            f"scorecard for {name!r} seed={seed} drifted from its "
+            f"golden:\n{diff}"
+        )
+
+
+def test_matrix_has_at_least_eight_cells():
+    """The acceptance bar: ``autolearn eval --matrix`` scores >= 8 cells."""
+    assert len(matrix_specs()) >= 8
+
+
+def test_no_orphan_goldens():
+    """Every checked-in golden corresponds to a known (name, seed) cell."""
+    expected = {f"{name}-seed{seed}.json" for name, seed in CASES}
+    actual = {path.name for path in GOLDEN_DIR.glob("*.json")}
+    assert actual <= expected, sorted(actual - expected)
+
+
+def test_seed_changes_the_scorecard():
+    """The canonical form is seed-sensitive (nothing is over-rounded)."""
+    assert render_scorecard("serve-load", 0) != render_scorecard("serve-load", 1)
